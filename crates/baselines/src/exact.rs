@@ -1,0 +1,228 @@
+//! Exact single-table variance-tree trainer.
+//!
+//! Mirrors the factorized trainer's split rule exactly — per-distinct-value
+//! candidate thresholds, the same variance-reduction formula, the same
+//! best-first growth and tie-breaking — so that tests can assert the
+//! factorized path over the join graph returns an **identical tree** to
+//! training over the materialized join (the paper's correctness claim).
+
+use std::collections::HashMap;
+
+use joinboost::tree::{Split, SplitCondition, Tree, TreeNode};
+use joinboost_engine::Table;
+use joinboost_semiring::variance_reduction;
+
+/// Grow an exact regression tree over a materialized table.
+///
+/// `features` are resolved against `table`; the target column is `target`.
+/// Parameters mirror `joinboost::TrainParams` semantics for the variance
+/// ring (best-first growth).
+pub fn train_exact_tree(
+    table: &Table,
+    features: &[String],
+    target: &str,
+    num_leaves: usize,
+    min_gain: f64,
+    min_data_in_leaf: f64,
+    max_depth: usize,
+) -> Tree {
+    let n = table.num_rows();
+    let y: Vec<f64> = table
+        .column(None, target)
+        .expect("target column")
+        .to_f64_vec()
+        .expect("numeric target");
+    let cols: Vec<Vec<f64>> = features
+        .iter()
+        .map(|f| {
+            table
+                .column(None, f)
+                .expect("feature column")
+                .to_f64_vec()
+                .expect("numeric feature")
+        })
+        .collect();
+    let total_sum: f64 = y.iter().sum();
+    let mut tree = Tree::single_leaf(if n > 0 { total_sum / n as f64 } else { 0.0 }, n as f64);
+    if n == 0 {
+        return tree;
+    }
+    struct Node {
+        rows: Vec<u32>,
+        sum: f64,
+        depth: usize,
+        idx: usize,
+    }
+    struct Cand {
+        gain: f64,
+        feat: usize,
+        threshold: f64,
+        node: Node,
+    }
+    let evaluate = |node: &Node| -> Option<(f64, usize, f64)> {
+        let c_total = node.rows.len() as f64;
+        if c_total < 2.0 * min_data_in_leaf {
+            return None;
+        }
+        let s_total = node.sum;
+        let mut best: Option<(f64, usize, f64)> = None;
+        for (f, col) in cols.iter().enumerate() {
+            // Per-distinct-value aggregates (like the SQL GROUP BY).
+            let mut agg: HashMap<u64, (f64, f64, f64)> = HashMap::new();
+            for &r in &node.rows {
+                let v = col[r as usize];
+                if v.is_nan() {
+                    continue;
+                }
+                let e = agg.entry(v.to_bits()).or_insert((v, 0.0, 0.0));
+                e.1 += 1.0;
+                e.2 += y[r as usize];
+            }
+            let mut values: Vec<(f64, f64, f64)> = agg.into_values().collect();
+            values.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let mut c_acc = 0.0;
+            let mut s_acc = 0.0;
+            for (v, c, s) in values {
+                c_acc += c;
+                s_acc += s;
+                if c_acc < min_data_in_leaf || c_total - c_acc < min_data_in_leaf {
+                    continue;
+                }
+                if let Some(g) = variance_reduction(c_total, s_total, c_acc, s_acc) {
+                    if g > min_gain && best.is_none_or(|(bg, _, _)| g > bg) {
+                        best = Some((g, f, v));
+                    }
+                }
+            }
+        }
+        best
+    };
+    let mut heap: Vec<Cand> = Vec::new();
+    let root = Node {
+        rows: (0..n as u32).collect(),
+        sum: total_sum,
+        depth: 0,
+        idx: 0,
+    };
+    if let Some((gain, feat, threshold)) = evaluate(&root) {
+        heap.push(Cand {
+            gain,
+            feat,
+            threshold,
+            node: root,
+        });
+    }
+    let mut leaves = 1;
+    while leaves < num_leaves {
+        let Some(pos) = heap
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                a.1.gain
+                    .partial_cmp(&b.1.gain)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let Cand {
+            feat,
+            threshold,
+            node,
+            ..
+        } = heap.swap_remove(pos);
+        let mut lrows = Vec::new();
+        let mut rrows = Vec::new();
+        let mut lsum = 0.0;
+        for &r in &node.rows {
+            let v = cols[feat][r as usize];
+            if !v.is_nan() && v <= threshold {
+                lrows.push(r);
+                lsum += y[r as usize];
+            } else {
+                rrows.push(r);
+            }
+        }
+        let rsum = node.sum - lsum;
+        let left_id = tree.nodes.len();
+        let right_id = left_id + 1;
+        tree.nodes.push(TreeNode {
+            split: None,
+            left: 0,
+            right: 0,
+            value: lsum / lrows.len().max(1) as f64,
+            weight: lrows.len() as f64,
+            depth: node.depth + 1,
+        });
+        tree.nodes.push(TreeNode {
+            split: None,
+            left: 0,
+            right: 0,
+            value: rsum / rrows.len().max(1) as f64,
+            weight: rrows.len() as f64,
+            depth: node.depth + 1,
+        });
+        tree.nodes[node.idx].split = Some(Split {
+            feature: features[feat].clone(),
+            relation: "flat".into(),
+            cond: SplitCondition::LtEq(threshold),
+            default_left: false,
+        });
+        tree.nodes[node.idx].left = left_id;
+        tree.nodes[node.idx].right = right_id;
+        leaves += 1;
+        if max_depth > 0 && node.depth + 1 >= max_depth {
+            continue;
+        }
+        for (rows, sum, idx) in [(lrows, lsum, left_id), (rrows, rsum, right_id)] {
+            let child = Node {
+                rows,
+                sum,
+                depth: node.depth + 1,
+                idx,
+            };
+            if let Some((gain, feat, threshold)) = evaluate(&child) {
+                heap.push(Cand {
+                    gain,
+                    feat,
+                    threshold,
+                    node: child,
+                });
+            }
+        }
+    }
+    tree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinboost_engine::Column;
+
+    #[test]
+    fn splits_a_step_function_exactly() {
+        let t = Table::from_columns(vec![
+            ("x", Column::float(vec![1.0, 2.0, 3.0, 4.0])),
+            ("y", Column::float(vec![0.0, 0.0, 10.0, 10.0])),
+        ]);
+        let tree = train_exact_tree(&t, &["x".into()], "y", 2, 1e-12, 1.0, 0);
+        assert_eq!(tree.num_leaves(), 2);
+        let s = tree.nodes[0].split.as_ref().unwrap();
+        assert_eq!(s.cond, SplitCondition::LtEq(2.0));
+        assert_eq!(tree.nodes[tree.nodes[0].left].value, 0.0);
+        assert_eq!(tree.nodes[tree.nodes[0].right].value, 10.0);
+    }
+
+    #[test]
+    fn respects_leaf_budget_and_depth() {
+        let x: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let y: Vec<f64> = x.iter().map(|v| v * v).collect();
+        let t = Table::from_columns(vec![("x", Column::float(x)), ("y", Column::float(y))]);
+        let tree = train_exact_tree(&t, &["x".into()], "y", 8, 1e-12, 1.0, 0);
+        assert_eq!(tree.num_leaves(), 8);
+        let tree = train_exact_tree(&t, &["x".into()], "y", 64, 1e-12, 1.0, 2);
+        assert!(tree.max_depth() <= 2);
+        assert!(tree.num_leaves() <= 4);
+    }
+}

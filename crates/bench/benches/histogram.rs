@@ -1,0 +1,43 @@
+//! Exact vs histogram-binned split evaluation (Appendix D.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joinboost_engine::{Column, Database, Table};
+
+fn bench_histogram(c: &mut Criterion) {
+    let n = 50_000usize;
+    let db = Database::in_memory();
+    let vals: Vec<f64> = (0..n).map(|i| ((i * 7919) % 10_000) as f64).collect();
+    let ys: Vec<f64> = (0..n).map(|i| (i % 100) as f64).collect();
+    db.create_table(
+        "r",
+        Table::from_columns(vec![("f", Column::float(vals)), ("y", Column::float(ys))]),
+    )
+    .unwrap();
+
+    c.bench_function("split_exact_10k_distinct", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT val, c, s FROM (SELECT f AS val, COUNT(*) AS c, SUM(y) AS s \
+                 FROM r GROUP BY f) AS g ORDER BY val",
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("split_binned_32", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT val, c, s FROM (SELECT MAX(f) AS val, COUNT(*) AS c, SUM(y) AS s \
+                 FROM r GROUP BY FLOOR(f / 312.5)) AS g ORDER BY val",
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_histogram
+}
+criterion_main!(benches);

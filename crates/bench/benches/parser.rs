@@ -1,0 +1,26 @@
+//! Parser throughput on the paper's Example 2 query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_parser(c: &mut Criterion) {
+    let example2 = "SELECT A, -(100.0/8.0) * 100.0 + (s/c) * s \
+                    + (100.0 - s)/(8.0 - c) * (100.0 - s) AS criteria \
+                    FROM (SELECT A, SUM(c) OVER (ORDER BY A) AS c, SUM(s) OVER (ORDER BY A) AS s \
+                    FROM (SELECT A, SUM(Y) AS s, COUNT(*) AS c FROM R GROUP BY A) AS g) AS w \
+                    ORDER BY criteria DESC LIMIT 1";
+    c.bench_function("parse_example2_split_query", |b| {
+        b.iter(|| joinboost_sql::parse(black_box(example2)).unwrap())
+    });
+    let update = "UPDATE f SET s = CASE WHEN k1 IN (SELECT k1 FROM m1) AND k2 IN (SELECT k2 FROM m2) THEN s - 0.25 ELSE s END";
+    c.bench_function("parse_residual_update", |b| {
+        b.iter(|| joinboost_sql::parse(black_box(update)).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_parser
+}
+criterion_main!(benches);

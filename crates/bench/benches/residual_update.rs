@@ -1,0 +1,60 @@
+//! Residual update methods over the Figure-5 fact table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joinboost_datagen::{fig5_fact_table, Fig5Config};
+use joinboost_engine::{Database, EngineConfig};
+
+fn bench_updates(c: &mut Criterion) {
+    let cfg = Fig5Config {
+        rows: 50_000,
+        ..Default::default()
+    };
+    let case = "CASE WHEN d <= 5000 THEN s - 0.25 ELSE s END";
+
+    c.bench_function("update_in_place", |b| {
+        let db = Database::in_memory();
+        db.create_table("f", fig5_fact_table(&cfg)).unwrap();
+        b.iter(|| db.execute("UPDATE f SET s = s - 0.25 WHERE d <= 5000").unwrap())
+    });
+
+    c.bench_function("create_table", |b| {
+        let db = Database::in_memory();
+        db.create_table("f", fig5_fact_table(&cfg)).unwrap();
+        b.iter(|| {
+            db.execute(&format!(
+                "CREATE OR REPLACE TABLE f AS SELECT {case} AS s, d FROM f"
+            ))
+            .unwrap()
+        })
+    });
+
+    c.bench_function("column_swap", |b| {
+        let db = Database::new(EngineConfig::d_swap());
+        db.create_table("f", fig5_fact_table(&cfg)).unwrap();
+        b.iter(|| {
+            db.execute(&format!("CREATE TABLE delta AS SELECT {case} AS s FROM f"))
+                .unwrap();
+            db.execute("SWAP COLUMN f.s WITH delta.s").unwrap();
+            db.execute("DROP TABLE delta").unwrap();
+        })
+    });
+
+    c.bench_function("interop_pointer_swap", |b| {
+        let db = Database::in_memory();
+        db.register_external("f", &fig5_fact_table(&cfg));
+        b.iter(|| {
+            let t = db.execute(&format!("SELECT {case} AS s FROM f")).unwrap();
+            db.external("f")
+                .unwrap()
+                .replace_column("s", t.columns[0].clone())
+                .unwrap();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_updates
+}
+criterion_main!(benches);

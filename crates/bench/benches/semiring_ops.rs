@@ -1,0 +1,27 @@
+//! Semi-ring arithmetic throughput: `⊕`-folding lifted annotations and
+//! `⊗`-combining messages (the inner loops of factorized aggregation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joinboost_semiring::ring::SemiRing;
+use joinboost_semiring::VarianceRing;
+use std::hint::black_box;
+
+fn bench_semiring(c: &mut Criterion) {
+    let ring = VarianceRing;
+    let ys: Vec<f64> = (0..100_000).map(|i| (i % 997) as f64).collect();
+    c.bench_function("variance_ring_sum_lifted_100k", |b| {
+        b.iter(|| ring.sum_lifted(black_box(&ys).iter()))
+    });
+    let a = vec![8.0, 16.0, 36.0];
+    let bb = vec![3.0, 2.0, 1.0];
+    c.bench_function("variance_ring_mul", |b| {
+        b.iter(|| ring.mul(black_box(&a), black_box(&bb)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_semiring
+}
+criterion_main!(benches);

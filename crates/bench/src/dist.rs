@@ -1,0 +1,164 @@
+//! Distributed ("multi-node") decision-tree training over the partitioned
+//! engine — the harness behind Figures 12 and 13.
+//!
+//! The paper runs JoinBoost on Dask-SQL / a cloud warehouse: dimension
+//! tables replicated, the fact table hash-partitioned, every aggregation
+//! executed per machine and merged. Semi-ring aggregates merge by `⊕`
+//! (associative + commutative), so the per-machine partials just sum.
+
+use std::time::{Duration, Instant};
+
+use joinboost_datagen::favorita::Generated;
+use joinboost_engine::partition::PartitionedDatabase;
+use joinboost_engine::EngineConfig;
+use joinboost_semiring::variance_reduction;
+
+/// Load a generated snowflake onto `machines` workers: the target relation
+/// is hash-partitioned on its first join key, everything else replicated.
+pub fn deploy(gen: &Generated, machines: usize) -> PartitionedDatabase {
+    let p = PartitionedDatabase::new(machines, EngineConfig::duckdb_mem());
+    let fact_name = &gen.target_relation;
+    for (name, t) in &gen.tables {
+        if name.eq_ignore_ascii_case(fact_name) {
+            // Partition on the first column (a join key in our generators).
+            let key = t.meta[0].name.clone();
+            p.partition_table(name, t, &key).expect("partition");
+        } else {
+            p.replicate_table(name, t).expect("replicate");
+        }
+    }
+    p
+}
+
+/// One node split predicate as SQL text.
+#[derive(Clone)]
+struct DistNode {
+    preds: Vec<String>,
+    count: f64,
+    sum: f64,
+    depth: usize,
+}
+
+/// Train a depth-limited decision tree over the cluster, timing the whole
+/// process. Every split evaluation is a distributed group-by aggregation
+/// (executed per machine, shuffled, merged). Returns `(splits, wall)`.
+pub fn train_partitioned_tree(
+    p: &PartitionedDatabase,
+    gen: &Generated,
+    max_depth: usize,
+    min_leaf: f64,
+) -> (usize, Duration) {
+    let t0 = Instant::now();
+    let g = &gen.graph;
+    let fact = gen.target_relation.clone();
+    let target = gen.target_column.clone();
+    // The denormalizing FROM clause (fact joined with every relation,
+    // BFS order so keys are in scope) — the plan Dask-SQL would run.
+    let root = g.rel_id(&fact).expect("fact exists");
+    let mut from = format!("FROM {fact}");
+    for (rel, keys) in g.sampling_order(root).iter().skip(1) {
+        from.push_str(&format!(" JOIN {} USING ({})", g.name(*rel), keys.join(", ")));
+    }
+    let features: Vec<String> = g.all_features().into_iter().map(|(f, _)| f).collect();
+
+    let totals = p
+        .query_merged(
+            &format!("SELECT COUNT(*) AS c, SUM({target}) AS s {from}"),
+            &[],
+            &["c", "s"],
+        )
+        .expect("totals");
+    let c = totals.column(None, "c").unwrap().f64_at(0).unwrap_or(0.0);
+    let s = totals.column(None, "s").unwrap().f64_at(0).unwrap_or(0.0);
+
+    let mut frontier = vec![DistNode {
+        preds: Vec::new(),
+        count: c,
+        sum: s,
+        depth: 0,
+    }];
+    let mut splits = 0;
+    while let Some(node) = frontier.pop() {
+        if node.depth >= max_depth || node.count < 2.0 * min_leaf {
+            continue;
+        }
+        let where_clause = if node.preds.is_empty() {
+            String::new()
+        } else {
+            format!(" WHERE {}", node.preds.join(" AND "))
+        };
+        let mut best: Option<(f64, String, f64, f64, f64)> = None;
+        for f in &features {
+            let sql = format!(
+                "SELECT {f} AS val, COUNT(*) AS c, SUM({target}) AS s {from}{where_clause} GROUP BY {f}"
+            );
+            let merged = p.query_merged(&sql, &["val"], &["c", "s"]).expect("split agg");
+            // Sort by value, prefix-scan, evaluate variance reduction.
+            let mut rows: Vec<(f64, f64, f64)> = (0..merged.num_rows())
+                .filter_map(|i| {
+                    Some((
+                        merged.column(None, "val").ok()?.f64_at(i)?,
+                        merged.column(None, "c").ok()?.f64_at(i)?,
+                        merged.column(None, "s").ok()?.f64_at(i)?,
+                    ))
+                })
+                .collect();
+            rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            let (mut ca, mut sa) = (0.0, 0.0);
+            for (v, cc, ss) in rows {
+                ca += cc;
+                sa += ss;
+                if ca < min_leaf || node.count - ca < min_leaf {
+                    continue;
+                }
+                if let Some(gain) = variance_reduction(node.count, node.sum, ca, sa) {
+                    if gain > 1e-9 && best.as_ref().is_none_or(|b| gain > b.0) {
+                        best = Some((gain, f.clone(), v, ca, sa));
+                    }
+                }
+            }
+        }
+        if let Some((_, f, v, ca, sa)) = best {
+            splits += 1;
+            let mut left = node.preds.clone();
+            left.push(format!("{f} <= {v}"));
+            let mut right = node.preds.clone();
+            right.push(format!("{f} > {v}"));
+            frontier.push(DistNode {
+                preds: left,
+                count: ca,
+                sum: sa,
+                depth: node.depth + 1,
+            });
+            frontier.push(DistNode {
+                preds: right,
+                count: node.count - ca,
+                sum: node.sum - sa,
+                depth: node.depth + 1,
+            });
+        }
+    }
+    (splits, t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinboost_datagen::{tpcds, TpcConfig};
+
+    #[test]
+    fn partitioned_tree_is_machine_count_invariant() {
+        let gen = tpcds(&TpcConfig {
+            scale_factor: 0.3,
+            base_fact_rows: 2000,
+            seed: 3,
+        });
+        let p1 = deploy(&gen, 1);
+        let (s1, _) = train_partitioned_tree(&p1, &gen, 2, 5.0);
+        let p3 = deploy(&gen, 3);
+        let (s3, _) = train_partitioned_tree(&p3, &gen, 2, 5.0);
+        assert_eq!(s1, s3, "split count must not depend on partitioning");
+        assert!(s1 >= 1);
+        assert!(p3.shuffle_bytes.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    }
+}

@@ -1,0 +1,901 @@
+//! Factorized gradient boosting (Section 4, 5.3, 5.4).
+//!
+//! Each iteration trains a tree on the residuals (or gradients) of the
+//! preceding trees, which requires updating `Y` in the *non-materialized*
+//! join result. On snowflake schemas the fact table is 1-1 with `R⋈`, so
+//! residuals live in an annotation column of a lifted fact table and are
+//! updated by one of five methods ([`crate::params::UpdateMethod`]). On
+//! galaxy schemas individual updates are impossible (view-update
+//! side-effects), but the variance semi-ring's
+//! addition-to-multiplication-preserving lift lets us update the
+//! *aggregEates* by `⊗`-ing the tree-cluster fact's annotation with
+//! `lift(−p)` — Clustered Predicate Trees keep the join graph acyclic.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use joinboost_graph::cluster::clusters;
+use joinboost_graph::RelId;
+use joinboost_semiring::Objective;
+use joinboost_sql::ast::Expr;
+
+use crate::dataset::Dataset;
+use crate::error::{Result, TrainError};
+use crate::messages::Factorizer;
+use crate::params::{TrainParams, UpdateMethod};
+use crate::predict;
+use crate::sqlgen::{gradient_sql, hessian_sql, RingKind};
+use crate::trainer::{TrainStats, TreeGrower};
+use crate::tree::{Split, Tree};
+
+/// A trained gradient-boosting model.
+#[derive(Debug, Clone)]
+pub struct GbmModel {
+    pub objective: Objective,
+    pub init_score: f64,
+    pub learning_rate: f64,
+    pub trees: Vec<Tree>,
+    /// Wall-clock spent finding splits (messages + split queries).
+    pub train_time: Duration,
+    /// Wall-clock spent on residual/gradient updates.
+    pub update_time: Duration,
+    pub stats: TrainStats,
+}
+
+impl GbmModel {
+    /// Raw additive score for a materialized feature table.
+    pub fn predict_raw(&self, table: &joinboost_engine::Table) -> Vec<f64> {
+        predict::predict_boosted(&self.trees, self.init_score, self.learning_rate, table)
+    }
+
+    /// Transformed predictions (identity / exp / sigmoid per objective).
+    pub fn predict(&self, table: &joinboost_engine::Table) -> Vec<f64> {
+        self.predict_raw(table)
+            .into_iter()
+            .map(|r| self.objective.transform(r))
+            .collect()
+    }
+}
+
+/// Does the objective have a constant unit Hessian (so the `h` component
+/// never needs materializing — it equals the count)?
+fn unit_hessian(obj: &Objective) -> bool {
+    matches!(
+        obj,
+        Objective::SquaredError
+            | Objective::AbsoluteError
+            | Objective::Huber { .. }
+            | Objective::Quantile { .. }
+            | Objective::Mape
+    )
+}
+
+/// Train a gradient boosting model.
+pub fn train_gbm(set: &Dataset, params: &TrainParams) -> Result<GbmModel> {
+    train_gbm_cb(set, params, |_, _| {})
+}
+
+/// Train with a per-iteration callback `(iteration, model-so-far)` —
+/// used by the experiment harness to record time/accuracy curves.
+pub fn train_gbm_cb(
+    set: &Dataset,
+    params: &TrainParams,
+    mut callback: impl FnMut(usize, &GbmModel),
+) -> Result<GbmModel> {
+    params.validate()?;
+    if params.use_cuboid {
+        return train_cuboid(set, params, &mut callback);
+    }
+    match set.graph.snowflake_fact() {
+        Some(fact) => train_snowflake(set, params, fact, &mut callback),
+        None => train_galaxy(set, params, &mut callback),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram cuboid (Appendix D.3, Figure 20)
+// ---------------------------------------------------------------------------
+
+/// Train over the full-dimensional data cuboid: `GROUP BY` all (binned)
+/// features once, producing a table of per-cell `(count, sum)` semi-ring
+/// annotations that can be orders of magnitude smaller than `R⋈`; all
+/// training queries then run against the cuboid.
+fn train_cuboid(
+    set: &Dataset,
+    params: &TrainParams,
+    callback: &mut impl FnMut(usize, &GbmModel),
+) -> Result<GbmModel> {
+    use joinboost_sql::ast::{Query, SelectItem};
+    if params.objective != Objective::SquaredError {
+        return Err(TrainError::Invalid(
+            "the cuboid optimization supports the rmse objective".into(),
+        ));
+    }
+    // Bin ranges per feature (global MIN/MAX, like LightGBM's binning).
+    let mut group_by = Vec::new();
+    let mut items: Vec<SelectItem> = Vec::new();
+    for (feat, rel) in set.features() {
+        let table = set.graph.name(rel);
+        let sql = format!("SELECT MIN({feat}) AS lo, MAX({feat}) AS hi FROM {table}");
+        let t = set
+            .db
+            .query(&sql)
+            .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+        let lo = t.scalar_f64("lo").unwrap_or(0.0);
+        let hi = t.scalar_f64("hi").unwrap_or(0.0);
+        let width = ((hi - lo) / params.max_bins as f64).max(f64::MIN_POSITIVE);
+        let bin = Expr::func(
+            "FLOOR",
+            vec![Expr::div(
+                Expr::sub(Expr::col(feat.clone()), Expr::float(lo)),
+                Expr::float(width),
+            )],
+        );
+        group_by.push(bin);
+        // Representative value: the max raw value inside the cell.
+        items.push(SelectItem::aliased(
+            Expr::func("MAX", vec![Expr::col(feat.clone())]),
+            feat.clone(),
+        ));
+    }
+    items.push(SelectItem::aliased(Expr::count_star(), "jb_c"));
+    items.push(SelectItem::aliased(
+        Expr::sum(Expr::col(set.target_column.clone())),
+        "jb_s",
+    ));
+    // Join shape reused from feature materialization, but aggregated.
+    let base = crate::predict::features_query(set);
+    let cuboid_q = Query {
+        items,
+        from: base.from,
+        joins: base.joins,
+        group_by,
+        ..Default::default()
+    };
+    let cuboid = set.fresh_table("cuboid");
+    set.db
+        .execute(&format!("CREATE TABLE {cuboid} AS {cuboid_q}"))
+        .map_err(|e| TrainError::Engine(format!("{e} in: {cuboid_q}")))?;
+
+    // Single-relation dataset over the cuboid.
+    let mut g1 = joinboost_graph::JoinGraph::new();
+    let feats: Vec<String> = set.features().into_iter().map(|(f, _)| f).collect();
+    let feat_refs: Vec<&str> = feats.iter().map(String::as_str).collect();
+    g1.add_relation(&cuboid, &feat_refs)?;
+    let sub = Dataset::new(set.db, g1, &cuboid, "jb_s")?;
+
+    // Initial score; fold it into the residual sums (scaled by the cell
+    // counts: Σ(y − init) = s − init·c).
+    let totals = set
+        .db
+        .query(&format!("SELECT SUM(jb_c) AS c, SUM(jb_s) AS s FROM {cuboid}"))
+        .map_err(TrainError::from)?;
+    let c_all = totals.scalar_f64("c").unwrap_or(0.0);
+    let s_all = totals.scalar_f64("s").unwrap_or(0.0);
+    if c_all == 0.0 {
+        return Err(TrainError::Invalid("empty training data".into()));
+    }
+    let init = s_all / c_all;
+    set.db
+        .execute(&format!(
+            "UPDATE {cuboid} SET jb_s = jb_s - {} * jb_c",
+            Expr::float(init)
+        ))
+        .map_err(TrainError::from)?;
+
+    let mut inner_params = params.clone();
+    inner_params.use_cuboid = false;
+    inner_params.max_bins = 0; // features are already binned
+    let mut fx = Factorizer::new(&sub, RingKind::Variance);
+    fx.set_annotation(0, vec![Expr::col("jb_c"), Expr::col("jb_s")]);
+    let columns = set.db.column_names(&cuboid)?;
+    let updater = Updater {
+        method: UpdateMethod::CreateTable,
+        table: cuboid.clone(),
+        columns,
+    };
+    let mut model = GbmModel {
+        objective: params.objective,
+        init_score: init,
+        learning_rate: params.learning_rate,
+        trees: Vec::new(),
+        train_time: Duration::ZERO,
+        update_time: Duration::ZERO,
+        stats: TrainStats::default(),
+    };
+    for iter in 0..params.num_iterations {
+        let t0 = Instant::now();
+        let feats1: Vec<(String, RelId)> = feats.iter().map(|f| (f.clone(), 0usize)).collect();
+        let mut grower = TreeGrower::new(&mut fx, &inner_params, feats1);
+        let mut tree = grower.grow()?;
+        model.stats.merge(&grower.stats);
+        model.train_time += t0.elapsed();
+        let t1 = Instant::now();
+        // Residual update scaled by the cell count:
+        // (c, s) ⊗ lift(−lr·p) = (c, s − lr·p·c).
+        let case_expr = leaf_case_updates_scaled(
+            &sub,
+            0,
+            &tree,
+            params.learning_rate,
+            Expr::col("jb_s"),
+            Some(Expr::col("jb_c")),
+            true,
+        )?;
+        updater.apply(&sub, &[("jb_s".into(), case_expr)], &tree, 0, params)?;
+        fx.bump_epoch(0);
+        model.update_time += t1.elapsed();
+        // Relabel splits with the user-facing relation names for
+        // prediction over raw features.
+        for node in &mut tree.nodes {
+            if let Some(s) = &mut node.split {
+                if let Some(rel) = set.graph.relation_of_feature(&s.feature) {
+                    s.relation = set.graph.name(rel).to_string();
+                }
+            }
+        }
+        model.trees.push(tree);
+        callback(iter, &model);
+    }
+    Ok(model)
+}
+
+// ---------------------------------------------------------------------------
+// Snowflake schemas (Section 4.1)
+// ---------------------------------------------------------------------------
+
+fn train_snowflake(
+    set: &Dataset,
+    params: &TrainParams,
+    fact: RelId,
+    callback: &mut impl FnMut(usize, &GbmModel),
+) -> Result<GbmModel> {
+    let obj = params.objective;
+    let use_variance = obj == Objective::SquaredError;
+    let y_expr = target_expr_on_fact(set, fact)?;
+
+    // Initial score.
+    let init = if use_variance {
+        // Mean over R⋈ via one factorized aggregate.
+        let mut fx0 = Factorizer::new(set, RingKind::Variance);
+        fx0.set_annotation(
+            set.target_rel(),
+            vec![Expr::int(1), Expr::col(set.target_column.clone())],
+        );
+        let (c, s) = fx0.totals(set.target_rel(), &crate::messages::NodeContext::root())?;
+        if c == 0.0 {
+            return Err(TrainError::Invalid("empty training data".into()));
+        }
+        s / c
+    } else {
+        // Median/percentile/log-mean need the y values; the fact table is
+        // 1-1 with R⋈ so we can read them from the (joined) fact.
+        let ys = fetch_target_values(set, fact)?;
+        obj.init_score(&ys)
+    };
+
+    // Lift the fact table.
+    let lifted = set.fresh_table("fact");
+    let mut extras: Vec<(String, Expr)> = Vec::new();
+    let ring = if use_variance {
+        extras.push(("jb_s".into(), Expr::sub(y_expr.clone(), Expr::float(init))));
+        RingKind::Variance
+    } else {
+        extras.push(("jb_y".into(), y_expr.clone()));
+        extras.push(("jb_p".into(), Expr::float(init)));
+        extras.push((
+            "jb_g".into(),
+            gradient_sql(&obj, y_expr.clone(), Expr::float(init)),
+        ));
+        if !unit_hessian(&obj) {
+            extras.push((
+                "jb_h".into(),
+                hessian_sql(&obj, y_expr.clone(), Expr::float(init)),
+            ));
+        }
+        RingKind::Gradient
+    };
+    let external = params.update_method == UpdateMethod::Interop;
+    let with_rid = params.update_method == UpdateMethod::Naive;
+    create_lifted_fact(set, fact, &lifted, &extras, with_rid, external)?;
+
+    let mut fx = Factorizer::new(set, ring);
+    fx.set_table(fact, lifted.clone());
+    let annotation = if use_variance {
+        vec![Expr::int(1), Expr::col("jb_s")]
+    } else if unit_hessian(&obj) {
+        vec![Expr::int(1), Expr::col("jb_g")]
+    } else {
+        vec![Expr::col("jb_h"), Expr::col("jb_g")]
+    };
+    fx.set_annotation(fact, annotation);
+
+    let columns = set.db.column_names(&lifted)?;
+    let updater = Updater {
+        method: params.update_method,
+        table: lifted.clone(),
+        columns,
+    };
+
+    let mut model = GbmModel {
+        objective: obj,
+        init_score: init,
+        learning_rate: params.learning_rate,
+        trees: Vec::new(),
+        train_time: Duration::ZERO,
+        update_time: Duration::ZERO,
+        stats: TrainStats::default(),
+    };
+    for iter in 0..params.num_iterations {
+        let t0 = Instant::now();
+        let mut grower = TreeGrower::new(&mut fx, params, set.features());
+        let mut tree = grower.grow()?;
+        model.stats.merge(&grower.stats);
+        // Leaf renewal (Table 3): percentile-style objectives re-fit each
+        // leaf's prediction on the actual residuals (LightGBM's
+        // RenewTreeOutput); gradients only shape the tree structure.
+        if let Some(q) = renewal_percentile(&obj) {
+            renew_leaves(set, fact, &lifted, &mut tree, q)?;
+        }
+        model.train_time += t0.elapsed();
+
+        // Residual / gradient update.
+        let t1 = Instant::now();
+        if use_variance {
+            let leaf_cases =
+                leaf_case_updates(set, fact, &tree, params.learning_rate, Expr::col("jb_s"), true)?;
+            updater.apply(set, &[("jb_s".into(), leaf_cases)], &tree, fact, params)?;
+        } else {
+            let p_new = leaf_case_updates(
+                set,
+                fact,
+                &tree,
+                params.learning_rate,
+                Expr::col("jb_p"),
+                false,
+            )?;
+            let mut assigns = vec![("jb_p".to_string(), p_new.clone())];
+            assigns.push((
+                "jb_g".into(),
+                gradient_sql(&obj, Expr::col("jb_y"), p_new.clone()),
+            ));
+            if !unit_hessian(&obj) {
+                assigns.push(("jb_h".into(), hessian_sql(&obj, Expr::col("jb_y"), p_new)));
+            }
+            updater.apply(set, &assigns, &tree, fact, params)?;
+        }
+        fx.bump_epoch(fact);
+        model.update_time += t1.elapsed();
+
+        model.trees.push(tree);
+        callback(iter, &model);
+    }
+    Ok(model)
+}
+
+/// Objectives whose optimal leaf is a residual percentile (Table 3's
+/// `median(E)` / `pctl_α(E)` prediction rules).
+fn renewal_percentile(obj: &Objective) -> Option<f64> {
+    match obj {
+        Objective::AbsoluteError | Objective::Mape => Some(0.5),
+        Objective::Quantile { alpha } => Some(*alpha),
+        _ => None,
+    }
+}
+
+/// Re-fit each leaf's value to the given percentile of its residuals
+/// `y − p`, read from the lifted fact table with the leaf's semi-join
+/// predicate.
+fn renew_leaves(
+    set: &Dataset,
+    fact: RelId,
+    lifted: &str,
+    tree: &mut Tree,
+    q: f64,
+) -> Result<()> {
+    for (leaf, path) in tree.leaves_with_paths() {
+        let pred = leaf_predicate_on_fact(set, fact, &path)?;
+        let where_clause = pred.map(|p| format!(" WHERE {p}")).unwrap_or_default();
+        let sql = format!("SELECT jb_y - jb_p AS e FROM {lifted}{where_clause}");
+        let t = set
+            .db
+            .query(&sql)
+            .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+        let mut resid = t
+            .column(None, "e")
+            .map_err(TrainError::from)?
+            .to_f64_vec()
+            .map_err(TrainError::from)?;
+        resid.retain(|v| !v.is_nan());
+        if resid.is_empty() {
+            continue;
+        }
+        resid.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pos = (q.clamp(0.0, 1.0) * (resid.len() - 1) as f64).round() as usize;
+        tree.nodes[leaf].value = resid[pos];
+    }
+    Ok(())
+}
+
+/// If the target lives in a dimension, it must be projected onto the fact
+/// during lifting; within the lifting query the target column is simply in
+/// scope after the joins.
+fn target_expr_on_fact(set: &Dataset, _fact: RelId) -> Result<Expr> {
+    Ok(Expr::col(set.target_column.clone()))
+}
+
+/// `CREATE TABLE lifted AS SELECT fact.*, <extras> FROM fact [JOIN path to
+/// the target relation]`, keeping the 1-1 correspondence with `R⋈`.
+fn create_lifted_fact(
+    set: &Dataset,
+    fact: RelId,
+    lifted: &str,
+    extras: &[(String, Expr)],
+    with_rid: bool,
+    external: bool,
+) -> Result<()> {
+    use joinboost_sql::ast::{Join, JoinKind, Query, SelectItem, TableRef};
+    let g = &set.graph;
+    let fact_name = g.name(fact);
+    let fact_cols = set.db.column_names(fact_name)?;
+    let mut items: Vec<SelectItem> = fact_cols
+        .iter()
+        .map(|c| SelectItem::new(Expr::qcol(fact_name, c.clone())))
+        .collect();
+    for (alias, e) in extras {
+        items.push(SelectItem::aliased(e.clone(), alias.clone()));
+    }
+    let mut q = Query {
+        items,
+        from: Some(TableRef::named(fact_name)),
+        ..Default::default()
+    };
+    if set.target_rel() != fact {
+        // Join along the path to the target relation (left outer joins keep
+        // the 1-1 shape even with missing keys).
+        let path = g
+            .path(fact, set.target_rel())
+            .ok_or_else(|| TrainError::Graph("no path from fact to target".into()))?;
+        for w in path.windows(2) {
+            q.joins.push(Join {
+                kind: JoinKind::Inner,
+                table: TableRef::named(g.name(w[1])),
+                using: g.join_keys(w[0], w[1]).expect("edge").to_vec(),
+                on: None,
+            });
+        }
+    }
+    if external || with_rid {
+        // Build programmatically: run the query, add a row id if needed,
+        // then register as internal or external storage.
+        let mut t = set
+            .db
+            .query(&q.to_string())
+            .map_err(|e| TrainError::Engine(format!("{e} in: {q}")))?;
+        if with_rid {
+            let n = t.num_rows();
+            t.push_column(
+                joinboost_engine::table::ColumnMeta::new("jb_rid"),
+                joinboost_engine::Column::int((0..n as i64).collect()),
+            );
+        }
+        if external {
+            set.db.register_external(lifted, &t);
+        } else {
+            set.db.create_table(lifted, t)?;
+        }
+    } else {
+        set.db
+            .execute(&format!("CREATE TABLE {lifted} AS {q}"))
+            .map_err(|e| TrainError::Engine(format!("{e} in CREATE {lifted}: {q}")))?;
+    }
+    Ok(())
+}
+
+/// Read the target values joined onto the fact table (1-1 with `R⋈`).
+fn fetch_target_values(set: &Dataset, fact: RelId) -> Result<Vec<f64>> {
+    use joinboost_sql::ast::{Join, JoinKind, Query, SelectItem, TableRef};
+    let g = &set.graph;
+    let mut q = Query {
+        items: vec![SelectItem::aliased(
+            Expr::col(set.target_column.clone()),
+            "jb_y",
+        )],
+        from: Some(TableRef::named(g.name(fact))),
+        ..Default::default()
+    };
+    if set.target_rel() != fact {
+        let path = g
+            .path(fact, set.target_rel())
+            .ok_or_else(|| TrainError::Graph("no path from fact to target".into()))?;
+        for w in path.windows(2) {
+            q.joins.push(Join {
+                kind: JoinKind::Inner,
+                table: TableRef::named(g.name(w[1])),
+                using: g.join_keys(w[0], w[1]).expect("edge").to_vec(),
+                on: None,
+            });
+        }
+    }
+    let t = set
+        .db
+        .query(&q.to_string())
+        .map_err(|e| TrainError::Engine(e.to_string()))?;
+    t.column(None, "jb_y")
+        .map_err(TrainError::from)?
+        .to_f64_vec()
+        .map_err(TrainError::from)
+}
+
+/// Translate one leaf's predicate path into a predicate over the fact
+/// table: predicates on the fact apply directly; predicates on other
+/// relations become (nested) `IN (SELECT key FROM dim WHERE ..)`
+/// semi-join filters along the N-to-1 path (Section 4.1).
+pub fn leaf_predicate_on_fact(
+    set: &Dataset,
+    fact: RelId,
+    path_preds: &[(Split, bool)],
+) -> Result<Option<Expr>> {
+    let g = &set.graph;
+    // Group predicate expressions per relation.
+    let mut by_rel: HashMap<RelId, Vec<Expr>> = HashMap::new();
+    for (split, negated) in path_preds {
+        let rel = g.rel_id(&split.relation)?;
+        by_rel
+            .entry(rel)
+            .or_default()
+            .push(crate::messages::Pred::from_split(split, *negated).expr);
+    }
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    for (rel, exprs) in by_rel {
+        let combined = Expr::and_all(exprs).expect("non-empty");
+        if rel == fact {
+            conjuncts.push(combined);
+            continue;
+        }
+        let path = g
+            .path(fact, rel)
+            .ok_or_else(|| TrainError::Graph("predicate relation unreachable".into()))?;
+        // Build the nested IN from the innermost (predicate) relation out.
+        let mut inner = combined;
+        for w in path.windows(2).rev() {
+            let keys = g.join_keys(w[0], w[1]).expect("edge");
+            if keys.len() != 1 {
+                return Err(TrainError::Invalid(
+                    "semi-join predicate pushdown requires single-column join keys".into(),
+                ));
+            }
+            let key = &keys[0];
+            let sub = joinboost_sql::ast::Query {
+                items: vec![joinboost_sql::ast::SelectItem::new(Expr::col(key.clone()))],
+                from: Some(joinboost_sql::ast::TableRef::named(g.name(w[1]))),
+                where_clause: Some(inner),
+                ..Default::default()
+            };
+            inner = Expr::InSubquery {
+                expr: Box::new(Expr::col(key.clone())),
+                query: Box::new(sub),
+                negated: false,
+            };
+        }
+        conjuncts.push(inner);
+    }
+    Ok(Expr::and_all(conjuncts))
+}
+
+/// Build the `CASE WHEN <leaf-1 predicate> THEN base ∓ lr·p₁ ... ELSE
+/// base END` expression updating an annotation column for every leaf.
+/// `subtract` chooses residual (`s − lr·p`) vs prediction (`p + lr·v`).
+fn leaf_case_updates(
+    set: &Dataset,
+    fact: RelId,
+    tree: &Tree,
+    learning_rate: f64,
+    base: Expr,
+    subtract: bool,
+) -> Result<Expr> {
+    leaf_case_updates_scaled(set, fact, tree, learning_rate, base, None, subtract)
+}
+
+/// As [`leaf_case_updates`], with an optional per-row scale factor (the
+/// cell count `c` of pre-aggregated annotations: `s − lr·p·c`).
+fn leaf_case_updates_scaled(
+    set: &Dataset,
+    fact: RelId,
+    tree: &Tree,
+    learning_rate: f64,
+    base: Expr,
+    scale: Option<Expr>,
+    subtract: bool,
+) -> Result<Expr> {
+    let leaves = tree.leaves_with_paths();
+    let mut whens = Vec::new();
+    for (leaf, path) in &leaves {
+        let delta = learning_rate * tree.nodes[*leaf].value;
+        if delta == 0.0 {
+            continue;
+        }
+        let delta_expr = match &scale {
+            Some(s) => Expr::mul(Expr::float(delta), s.clone()),
+            None => Expr::float(delta),
+        };
+        let updated = if subtract {
+            Expr::sub(base.clone(), delta_expr)
+        } else {
+            Expr::add(base.clone(), delta_expr)
+        };
+        match leaf_predicate_on_fact(set, fact, path)? {
+            Some(pred) => whens.push((pred, updated)),
+            None => {
+                // Root-only tree: unconditional update.
+                return Ok(updated);
+            }
+        }
+    }
+    if whens.is_empty() {
+        return Ok(base);
+    }
+    Ok(Expr::Case {
+        whens,
+        else_expr: Some(Box::new(base)),
+    })
+}
+
+/// Executes annotation-column updates with the configured method.
+struct Updater {
+    method: UpdateMethod,
+    table: String,
+    columns: Vec<String>,
+}
+
+impl Updater {
+    /// Apply `assignments` (column → new-value expression over the current
+    /// table) using the configured update method.
+    fn apply(
+        &self,
+        set: &Dataset,
+        assignments: &[(String, Expr)],
+        tree: &Tree,
+        fact: RelId,
+        params: &TrainParams,
+    ) -> Result<()> {
+        let db = set.db;
+        match self.method {
+            UpdateMethod::UpdateInPlace => {
+                // The paper's SET variant: per-leaf UPDATE with semi-join
+                // predicates for the residual column, full-table UPDATE for
+                // derived columns. For simplicity we issue the CASE-typed
+                // full-column UPDATE per assignment (same write volume).
+                for (col, expr) in assignments {
+                    let sql = format!("UPDATE {} SET {col} = {expr}", self.table);
+                    db.execute(&sql)
+                        .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                }
+                let _ = (tree, fact, params);
+                Ok(())
+            }
+            UpdateMethod::CreateTable => {
+                let mut items: Vec<String> = Vec::new();
+                for c in &self.columns {
+                    match assignments.iter().find(|(a, _)| a.eq_ignore_ascii_case(c)) {
+                        Some((a, e)) => items.push(format!("{e} AS {a}")),
+                        None => items.push(c.clone()),
+                    }
+                }
+                let sql = format!(
+                    "CREATE OR REPLACE TABLE {} AS SELECT {} FROM {}",
+                    self.table,
+                    items.join(", "),
+                    self.table
+                );
+                db.execute(&sql)
+                    .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                Ok(())
+            }
+            UpdateMethod::ColumnSwap => {
+                let tmp = set.fresh_table("delta");
+                let items: Vec<String> = assignments
+                    .iter()
+                    .map(|(a, e)| format!("{e} AS {a}"))
+                    .collect();
+                let sql = format!(
+                    "CREATE TABLE {tmp} AS SELECT {} FROM {}",
+                    items.join(", "),
+                    self.table
+                );
+                db.execute(&sql)
+                    .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                for (a, _) in assignments {
+                    let sql = format!("SWAP COLUMN {}.{a} WITH {tmp}.{a}", self.table);
+                    db.execute(&sql)
+                        .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                }
+                db.execute(&format!("DROP TABLE {tmp}"))
+                    .map_err(TrainError::from)?;
+                Ok(())
+            }
+            UpdateMethod::Interop => {
+                // Compute the new columns through the engine, then swap the
+                // array pointers in external storage.
+                let items: Vec<String> = assignments
+                    .iter()
+                    .map(|(a, e)| format!("{e} AS {a}"))
+                    .collect();
+                let sql = format!("SELECT {} FROM {}", items.join(", "), self.table);
+                let t = db
+                    .execute(&sql)
+                    .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                let ext = db.external(&self.table).map_err(TrainError::from)?;
+                for (i, (a, _)) in assignments.iter().enumerate() {
+                    ext.replace_column(a, t.columns[i].clone())
+                        .map_err(TrainError::from)?;
+                }
+                Ok(())
+            }
+            UpdateMethod::Naive => {
+                // Materialize the update relation U (row id → new values),
+                // then rebuild the fact by joining it back (Section 5.3's
+                // straw man).
+                let u = set.fresh_table("u");
+                let items: Vec<String> = assignments
+                    .iter()
+                    .map(|(a, e)| format!("{e} AS jb_new_{a}"))
+                    .collect();
+                let sql = format!(
+                    "CREATE TABLE {u} AS SELECT jb_rid, {} FROM {}",
+                    items.join(", "),
+                    self.table
+                );
+                db.execute(&sql)
+                    .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                let mut out_items: Vec<String> = Vec::new();
+                for c in &self.columns {
+                    match assignments.iter().find(|(a, _)| a.eq_ignore_ascii_case(c)) {
+                        Some((a, _)) => out_items.push(format!("jb_new_{a} AS {a}")),
+                        None => out_items.push(c.clone()),
+                    }
+                }
+                let sql = format!(
+                    "CREATE OR REPLACE TABLE {} AS SELECT {} FROM {} JOIN {u} USING (jb_rid)",
+                    self.table,
+                    out_items.join(", "),
+                    self.table
+                );
+                db.execute(&sql)
+                    .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+                db.execute(&format!("DROP TABLE {u}")).map_err(TrainError::from)?;
+                Ok(())
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Galaxy schemas (Section 4.2)
+// ---------------------------------------------------------------------------
+
+fn train_galaxy(
+    set: &Dataset,
+    params: &TrainParams,
+    callback: &mut impl FnMut(usize, &GbmModel),
+) -> Result<GbmModel> {
+    if !params.objective.supports_galaxy() {
+        return Err(TrainError::Invalid(format!(
+            "objective {} requires a snowflake schema; only rmse factorizes over galaxy schemas",
+            params.objective.name()
+        )));
+    }
+    if !matches!(
+        params.update_method,
+        UpdateMethod::UpdateInPlace | UpdateMethod::CreateTable | UpdateMethod::ColumnSwap
+    ) {
+        return Err(TrainError::Invalid(
+            "galaxy training supports UpdateInPlace, CreateTable and ColumnSwap".into(),
+        ));
+    }
+    let g = &set.graph;
+    let cluster_list = clusters(g);
+    if cluster_list.is_empty() {
+        return Err(TrainError::Graph("no CPT clusters found".into()));
+    }
+    // Initial score via one factorized aggregate.
+    let mut fx0 = Factorizer::new(set, RingKind::Variance);
+    fx0.set_annotation(
+        set.target_rel(),
+        vec![Expr::int(1), Expr::col(set.target_column.clone())],
+    );
+    let (c, s) = fx0.totals(set.target_rel(), &crate::messages::NodeContext::root())?;
+    if c == 0.0 {
+        return Err(TrainError::Invalid("empty training data".into()));
+    }
+    let init = s / c;
+    drop(fx0);
+
+    // Lift: the target relation carries (1, y − init); every cluster fact
+    // carries (1, s) with s starting at 0 (or combined if it is the target).
+    let mut fx = Factorizer::new(set, RingKind::Variance);
+    let mut lifted_of: HashMap<RelId, String> = HashMap::new();
+    let target = set.target_rel();
+    {
+        let lifted = set.fresh_table("tgt");
+        let resid = Expr::sub(Expr::col(set.target_column.clone()), Expr::float(init));
+        let sql = format!(
+            "CREATE TABLE {lifted} AS SELECT *, {resid} AS jb_s FROM {}",
+            g.name(target)
+        );
+        set.db
+            .execute(&sql)
+            .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+        fx.set_table(target, lifted.clone());
+        fx.set_annotation(target, vec![Expr::int(1), Expr::col("jb_s")]);
+        lifted_of.insert(target, lifted);
+    }
+    for cl in &cluster_list {
+        if cl.fact == target || lifted_of.contains_key(&cl.fact) {
+            continue;
+        }
+        let lifted = set.fresh_table("cf");
+        let sql = format!(
+            "CREATE TABLE {lifted} AS SELECT *, 0.0 AS jb_s FROM {}",
+            g.name(cl.fact)
+        );
+        set.db
+            .execute(&sql)
+            .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+        fx.set_table(cl.fact, lifted.clone());
+        fx.set_annotation(cl.fact, vec![Expr::int(1), Expr::col("jb_s")]);
+        lifted_of.insert(cl.fact, lifted);
+    }
+
+    let cluster_members: Vec<Vec<RelId>> =
+        cluster_list.iter().map(|c| c.members.clone()).collect();
+    let mut model = GbmModel {
+        objective: params.objective,
+        init_score: init,
+        learning_rate: params.learning_rate,
+        trees: Vec::new(),
+        train_time: Duration::ZERO,
+        update_time: Duration::ZERO,
+        stats: TrainStats::default(),
+    };
+    for iter in 0..params.num_iterations {
+        let t0 = Instant::now();
+        let mut grower = TreeGrower::new(&mut fx, params, set.features());
+        grower.cpt_clusters = Some(cluster_members.clone());
+        let tree = grower.grow()?;
+        let active = grower.active_cluster;
+        model.stats.merge(&grower.stats);
+        model.train_time += t0.elapsed();
+
+        let t1 = Instant::now();
+        // Choose the cluster to update: the tree's active cluster, or the
+        // target's cluster for a stump with no split.
+        let cluster_idx = active.unwrap_or_else(|| {
+            cluster_list
+                .iter()
+                .position(|c| c.contains(target))
+                .unwrap_or(0)
+        });
+        let cfact = cluster_list[cluster_idx].fact;
+        let ctable = lifted_of
+            .get(&cfact)
+            .cloned()
+            .ok_or_else(|| TrainError::Graph("cluster fact not lifted".into()))?;
+        // `(c,s) ⊗ lift(−lr·p) = (c, s − lr·p·c)`; base rows have c = 1.
+        let case_expr =
+            leaf_case_updates(set, cfact, &tree, params.learning_rate, Expr::col("jb_s"), true)?;
+        let columns = set.db.column_names(&ctable)?;
+        let updater = Updater {
+            method: params.update_method,
+            table: ctable,
+            columns,
+        };
+        updater.apply(set, &[("jb_s".into(), case_expr)], &tree, cfact, params)?;
+        fx.bump_epoch(cfact);
+        model.update_time += t1.elapsed();
+
+        model.trees.push(tree);
+        callback(iter, &model);
+    }
+    Ok(model)
+}

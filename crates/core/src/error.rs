@@ -1,0 +1,40 @@
+//! Training errors.
+
+use std::fmt;
+
+pub type Result<T> = std::result::Result<T, TrainError>;
+
+/// Errors raised while preparing or training a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Problem with the join graph (cyclic, disconnected, bad reference).
+    Graph(String),
+    /// Problem reported by the DBMS backend.
+    Engine(String),
+    /// Invalid parameters or dataset/objective combination.
+    Invalid(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::Graph(m) => write!(f, "join graph error: {m}"),
+            TrainError::Engine(m) => write!(f, "engine error: {m}"),
+            TrainError::Invalid(m) => write!(f, "invalid configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {}
+
+impl From<joinboost_engine::EngineError> for TrainError {
+    fn from(e: joinboost_engine::EngineError) -> Self {
+        TrainError::Engine(e.to_string())
+    }
+}
+
+impl From<joinboost_graph::GraphError> for TrainError {
+    fn from(e: joinboost_graph::GraphError) -> Self {
+        TrainError::Graph(e.to_string())
+    }
+}

@@ -1,0 +1,69 @@
+//! # JoinBoost: grow trees over normalized data using only SQL
+//!
+//! A Rust reproduction of the VLDB 2023 paper. JoinBoost trains decision
+//! trees, random forests and gradient-boosted trees over a *normalized*
+//! database without ever materializing the join: the training algorithm
+//! runs in Rust (like the paper's Python driver) and compiles its
+//! computationally heavy step — evaluating split criteria — into plain
+//! SPJA SQL executed by a DBMS backend (here, `joinboost-engine`).
+//!
+//! ```no_run
+//! use joinboost::{Dataset, TrainParams, train_gbm};
+//! use joinboost_engine::Database;
+//! use joinboost_graph::JoinGraph;
+//!
+//! let db = Database::in_memory();
+//! // ... load `sales` (fact, with target net_profit) and `dates` (dim) ...
+//! let mut graph = JoinGraph::new();
+//! graph.add_relation("sales", &[]).unwrap();
+//! graph.add_relation("dates", &["holiday", "weekend"]).unwrap();
+//! graph.add_edge("sales", "dates", &["date_id"]).unwrap();
+//! let dataset = Dataset::new(&db, graph, "sales", "net_profit").unwrap();
+//! let params = TrainParams::default();
+//! let model = train_gbm(&dataset, &params).unwrap();
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`dataset`] — binding a [`joinboost_graph::JoinGraph`] to database
+//!   tables; feature kinds; lifted (annotated) table creation. Training
+//!   never modifies user data: all writes go to `jb_`-prefixed temp tables.
+//! * [`sqlgen`] — symbolic semi-ring algebra → SQL expressions; split
+//!   criteria queries (paper Example 2); gradient/Hessian SQL for every
+//!   objective of Table 3.
+//! * [`messages`] — factorized message passing with identity-message and
+//!   semi-join optimizations, plus the cross-node message cache
+//!   (Section 5.5.1).
+//! * [`trainer`] — Algorithm 1 (best-first / depth-wise decision tree
+//!   growth) over factorized split evaluation.
+//! * [`boosting`] — factorized gradient boosting: residual updates on
+//!   snowflake schemas (UPDATE / CREATE TABLE / column swap / dataframe
+//!   interop — Sections 4.1, 5.3, 5.4) and galaxy schemas via update
+//!   relations and Clustered Predicate Trees (Section 4.2).
+//! * [`forest`] — random forests with fact-table / ancestral sampling
+//!   (Section 5.5.2) and tree-parallel training.
+//! * [`sampling`] — ancestral sampling over the join graph.
+//! * [`scheduler`] — inter-query parallelism: dependency-tracked FIFO run
+//!   queue over worker threads (Section 5.5.3).
+//! * [`tree`], [`predict`] — the returned models and their application.
+
+pub mod boosting;
+pub mod dataset;
+pub mod error;
+pub mod forest;
+pub mod messages;
+pub mod params;
+pub mod predict;
+pub mod sampling;
+pub mod scheduler;
+pub mod sqlgen;
+pub mod trainer;
+pub mod tree;
+
+pub use boosting::{train_gbm, train_gbm_cb, GbmModel};
+pub use dataset::{Dataset, FeatureKind};
+pub use error::{Result, TrainError};
+pub use forest::{train_random_forest, RfModel};
+pub use params::{Growth, TrainParams, UpdateMethod};
+pub use trainer::{train_decision_tree, TrainStats};
+pub use tree::{Split, SplitCondition, Tree};

@@ -1,0 +1,289 @@
+//! Ancestral sampling over the join graph (Section 5.5.2).
+//!
+//! Random forests need uniform, independent samples of the *join result*
+//! `R⋈` without materializing it. Naively sampling each relation is
+//! neither uniform nor join-safe. Ancestral sampling treats `R⋈` as a
+//! probability table (each tuple mass `1/|R⋈|`), samples the root
+//! relation by its marginal probability — the number of join tuples each
+//! root row extends to, computed by COUNT semi-ring message passing — and
+//! walks the join graph sampling each next relation conditionally.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use joinboost_engine::{Column, Database, Datum, Table};
+use joinboost_graph::{JoinGraph, RelId};
+
+use crate::error::{Result, TrainError};
+
+/// Per-relation data prepared for sampling.
+struct RelData {
+    table: Table,
+    /// COUNT-semiring weight per row: the number of `R⋈` tuples this row
+    /// extends to within its subtree.
+    weights: Vec<f64>,
+    /// Children in the sampling tree, with rows grouped by join key.
+    children: Vec<ChildIndex>,
+}
+
+struct ChildIndex {
+    rel: RelId,
+    /// Key columns in the *parent* table.
+    parent_keys: Vec<usize>,
+    /// Join-key value → child row indices.
+    index: HashMap<Vec<String>, Vec<u32>>,
+}
+
+fn key_of(table: &Table, cols: &[usize], row: usize) -> Vec<String> {
+    cols.iter()
+        .map(|&c| table.columns[c].get(row).to_string())
+        .collect()
+}
+
+/// Draw `n` tuples of `R⋈` uniformly (with replacement) by ancestral
+/// sampling from `root`. Returns a table whose columns are the union of
+/// all relations' columns (join keys deduplicated, first occurrence wins).
+pub fn ancestral_sample(
+    db: &Database,
+    graph: &JoinGraph,
+    root: RelId,
+    n: usize,
+    seed: u64,
+) -> Result<Table> {
+    graph.validate_tree()?;
+    // Load snapshots and build the BFS tree from root.
+    let nrel = graph.num_relations();
+    let mut tables: Vec<Option<Table>> = (0..nrel).map(|_| None).collect();
+    for (rel, info) in graph.relations() {
+        tables[rel] = Some(db.snapshot(&info.name)?);
+    }
+    let order = graph.sampling_order(root);
+    let mut parent_of: HashMap<RelId, RelId> = HashMap::new();
+    {
+        let mut seen = vec![root];
+        for (rel, _) in order.iter().skip(1) {
+            // Parent = the already-seen neighbor.
+            let p = graph
+                .neighbors(*rel)
+                .into_iter()
+                .map(|(v, _)| v)
+                .find(|v| seen.contains(v))
+                .expect("BFS order has a seen parent");
+            parent_of.insert(*rel, p);
+            seen.push(*rel);
+        }
+    }
+    // Children lists.
+    let mut children_of: Vec<Vec<RelId>> = vec![Vec::new(); nrel];
+    for (&c, &p) in &parent_of {
+        children_of[p].push(c);
+    }
+    // Bottom-up COUNT message passing: weight of a row = Π over children
+    // of (Σ weights of matching child rows).
+    let mut data: Vec<Option<RelData>> = (0..nrel).map(|_| None).collect();
+    for (rel, _) in order.iter().rev() {
+        let table = tables[*rel].take().expect("loaded");
+        let nrows = table.num_rows();
+        let mut weights = vec![1.0f64; nrows];
+        let mut child_indexes = Vec::new();
+        for &c in &children_of[*rel] {
+            let cdata = data[c].as_ref().expect("children processed first");
+            let keys = graph.join_keys(*rel, c).expect("edge");
+            let parent_keys: Vec<usize> = keys
+                .iter()
+                .map(|k| table.resolve(None, k).map_err(TrainError::from))
+                .collect::<Result<_>>()?;
+            let child_keys: Vec<usize> = keys
+                .iter()
+                .map(|k| cdata.table.resolve(None, k).map_err(TrainError::from))
+                .collect::<Result<_>>()?;
+            // Group child rows by key with summed weights.
+            let mut index: HashMap<Vec<String>, Vec<u32>> = HashMap::new();
+            let mut sums: HashMap<Vec<String>, f64> = HashMap::new();
+            for i in 0..cdata.table.num_rows() {
+                let k = key_of(&cdata.table, &child_keys, i);
+                index.entry(k.clone()).or_default().push(i as u32);
+                *sums.entry(k).or_insert(0.0) += cdata.weights[i];
+            }
+            for (i, w) in weights.iter_mut().enumerate() {
+                let k = key_of(&table, &parent_keys, i);
+                *w *= sums.get(&k).copied().unwrap_or(0.0);
+            }
+            child_indexes.push(ChildIndex {
+                rel: c,
+                parent_keys,
+                index,
+            });
+        }
+        data[*rel] = Some(RelData {
+            table,
+            weights,
+            children: child_indexes,
+        });
+    }
+    // Sample.
+    let root_data = data[root].as_ref().expect("root prepared");
+    let total: f64 = root_data.weights.iter().sum();
+    if total <= 0.0 {
+        return Err(TrainError::Invalid("empty join result".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Output schema: union of columns, first occurrence per name.
+    let mut out_names: Vec<String> = Vec::new();
+    let mut out_sources: Vec<(RelId, usize)> = Vec::new();
+    for (rel, _) in &order {
+        let t = &data[*rel].as_ref().expect("prepared").table;
+        for (ci, m) in t.meta.iter().enumerate() {
+            if !out_names.iter().any(|n| n.eq_ignore_ascii_case(&m.name)) {
+                out_names.push(m.name.clone());
+                out_sources.push((*rel, ci));
+            }
+        }
+    }
+    let mut rows: Vec<Vec<Datum>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        // Chosen row per relation.
+        let mut chosen: HashMap<RelId, usize> = HashMap::new();
+        let r = sample_weighted(&mut rng, &root_data.weights, total);
+        chosen.insert(root, r);
+        // Walk down the tree.
+        let mut stack = vec![root];
+        while let Some(rel) = stack.pop() {
+            let rd = data[rel].as_ref().expect("prepared");
+            let row = chosen[&rel];
+            for child in &rd.children {
+                let key = key_of(&rd.table, &child.parent_keys, row);
+                let cdata = data[child.rel].as_ref().expect("prepared");
+                let cands = child
+                    .index
+                    .get(&key)
+                    .ok_or_else(|| TrainError::Invalid("dangling join key during sampling".into()))?;
+                let ws: Vec<f64> = cands.iter().map(|&i| cdata.weights[i as usize]).collect();
+                let wtotal: f64 = ws.iter().sum();
+                let pick = cands[sample_weighted(&mut rng, &ws, wtotal)] as usize;
+                chosen.insert(child.rel, pick);
+                stack.push(child.rel);
+            }
+        }
+        rows.push(
+            out_sources
+                .iter()
+                .map(|&(rel, ci)| {
+                    let rd = data[rel].as_ref().expect("prepared");
+                    rd.table.columns[ci].get(chosen[&rel])
+                })
+                .collect(),
+        );
+    }
+    // Assemble the output table column-wise.
+    let mut out = Table::new();
+    for (j, name) in out_names.iter().enumerate() {
+        let col: Vec<Datum> = rows.iter().map(|r| r[j].clone()).collect();
+        out.push_column(
+            joinboost_engine::table::ColumnMeta::new(name.clone()),
+            Column::from_datums(&col),
+        );
+    }
+    Ok(out)
+}
+
+fn sample_weighted(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
+    let mut x = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinboost_engine::Column;
+    use joinboost_graph::Multiplicity;
+
+    /// R(A,B) — S(A,C): A=1 extends to 1×2=2 join tuples, A=2 to 2×1=2.
+    fn setup() -> (Database, JoinGraph) {
+        let db = Database::in_memory();
+        db.create_table(
+            "r",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 2, 2])),
+                ("b", Column::int(vec![10, 20, 21])),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "s",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 1, 2])),
+                ("c", Column::int(vec![100, 101, 102])),
+            ]),
+        )
+        .unwrap();
+        let mut g = JoinGraph::new();
+        g.add_relation("r", &["b"]).unwrap();
+        g.add_relation("s", &["c"]).unwrap();
+        g.add_edge_with("r", "s", &["a"], Multiplicity::ManyToMany)
+            .unwrap();
+        (db, g)
+    }
+
+    #[test]
+    fn sample_rows_are_valid_join_tuples() {
+        let (db, g) = setup();
+        let t = ancestral_sample(&db, &g, 0, 200, 7).unwrap();
+        assert_eq!(t.num_rows(), 200);
+        // Valid (b, c) combinations: b=10 with c∈{100,101}; b∈{20,21} with c=102.
+        for i in 0..t.num_rows() {
+            let b = t.column(None, "b").unwrap().get(i).as_i64().unwrap();
+            let c = t.column(None, "c").unwrap().get(i).as_i64().unwrap();
+            if b == 10 {
+                assert!(c == 100 || c == 101);
+            } else {
+                assert_eq!(c, 102);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform_over_join_tuples() {
+        let (db, g) = setup();
+        // |R⋈| = 4 tuples, each probability 1/4.
+        let n = 8000;
+        let t = ancestral_sample(&db, &g, 0, n, 123).unwrap();
+        let mut counts: HashMap<(i64, i64), usize> = HashMap::new();
+        for i in 0..t.num_rows() {
+            let b = t.column(None, "b").unwrap().get(i).as_i64().unwrap();
+            let c = t.column(None, "c").unwrap().get(i).as_i64().unwrap();
+            *counts.entry((b, c)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4, "all join tuples reachable");
+        for (&k, &cnt) in &counts {
+            let p = cnt as f64 / n as f64;
+            assert!(
+                (p - 0.25).abs() < 0.03,
+                "tuple {k:?} frequency {p} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn root_choice_does_not_bias() {
+        let (db, g) = setup();
+        let t = ancestral_sample(&db, &g, 1, 8000, 5).unwrap();
+        let mut b10 = 0;
+        for i in 0..t.num_rows() {
+            if t.column(None, "b").unwrap().get(i).as_i64() == Some(10) {
+                b10 += 1;
+            }
+        }
+        // b=10 covers 2 of 4 join tuples → ~0.5.
+        let p = b10 as f64 / 8000.0;
+        assert!((p - 0.5).abs() < 0.03, "p = {p}");
+    }
+}

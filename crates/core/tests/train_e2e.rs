@@ -1,0 +1,348 @@
+//! End-to-end training tests over synthetic workloads.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use joinboost::predict::{materialize_features, targets};
+use joinboost::{
+    train_decision_tree, train_gbm, train_random_forest, Dataset, TrainParams, UpdateMethod,
+};
+use joinboost_datagen::{favorita, imdb_galaxy, FavoritaConfig, ImdbConfig};
+use joinboost_engine::{Database, EngineConfig};
+use joinboost_semiring::loss::rmse;
+use joinboost_semiring::Objective;
+
+fn favorita_db(fact_rows: usize, dim_rows: usize) -> (Database, joinboost_datagen::favorita::Generated) {
+    let gen = favorita(&FavoritaConfig {
+        fact_rows,
+        dim_rows,
+        noise: 1.0,
+        ..Default::default()
+    });
+    let db = Database::in_memory();
+    gen.load_into(&db).unwrap();
+    (db, gen)
+}
+
+fn eval_rmse_gbm(set: &Dataset, model: &joinboost::GbmModel) -> f64 {
+    let t = materialize_features(set).unwrap();
+    let ys = targets(&t).unwrap();
+    let ps = model.predict(&t);
+    rmse(&ys, &ps)
+}
+
+#[test]
+fn decision_tree_beats_the_mean_predictor() {
+    let (db, gen) = favorita_db(3000, 30);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_leaves = 16;
+    let (tree, stats) = train_decision_tree(&set, &params).unwrap();
+    assert!(tree.num_leaves() > 1, "tree must actually split");
+    assert!(stats.split_queries > 0);
+
+    let t = materialize_features(&set).unwrap();
+    let ys = targets(&t).unwrap();
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let base = rmse(&ys, &vec![mean; ys.len()]);
+    let preds: Vec<f64> = (0..t.num_rows())
+        .map(|i| {
+            tree.predict(&joinboost::predict::TableRow {
+                table: &t,
+                index: i,
+            })
+        })
+        .collect();
+    let tree_rmse = rmse(&ys, &preds);
+    assert!(
+        tree_rmse < 0.8 * base,
+        "tree rmse {tree_rmse} vs baseline {base}"
+    );
+}
+
+#[test]
+fn decision_tree_leaf_weights_sum_to_total() {
+    let (db, gen) = favorita_db(1000, 10);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let params = TrainParams::default();
+    let (tree, _) = train_decision_tree(&set, &params).unwrap();
+    let leaf_total: f64 = tree
+        .nodes
+        .iter()
+        .filter(|n| n.split.is_none())
+        .map(|n| n.weight)
+        .sum();
+    assert_eq!(leaf_total, 1000.0, "leaves partition all rows");
+    assert!(tree.num_leaves() <= params.num_leaves);
+}
+
+#[test]
+fn gbm_rmse_decreases_with_iterations() {
+    let (db, gen) = favorita_db(2000, 20);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 20;
+    params.learning_rate = 0.3;
+    let model = train_gbm(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 20);
+
+    let t = materialize_features(&set).unwrap();
+    let ys = targets(&t).unwrap();
+    // Error after 1 tree vs after all trees.
+    let short = joinboost::GbmModel {
+        trees: model.trees[..1].to_vec(),
+        ..model.clone()
+    };
+    let r1 = rmse(&ys, &short.predict(&t));
+    let rn = rmse(&ys, &model.predict(&t));
+    assert!(rn < r1 * 0.8, "rmse must drop: 1 tree {r1}, 20 trees {rn}");
+}
+
+#[test]
+fn gbm_update_methods_produce_identical_models() {
+    // The four portable update methods must be pure implementation
+    // choices: same trees, same predictions.
+    let gen = favorita(&FavoritaConfig {
+        fact_rows: 1200,
+        dim_rows: 12,
+        ..Default::default()
+    });
+    let mut reference: Option<joinboost::GbmModel> = None;
+    for method in [
+        UpdateMethod::CreateTable,
+        UpdateMethod::UpdateInPlace,
+        UpdateMethod::Naive,
+        UpdateMethod::Interop,
+        UpdateMethod::ColumnSwap,
+    ] {
+        let config = if method == UpdateMethod::ColumnSwap {
+            EngineConfig::d_swap()
+        } else {
+            EngineConfig::duckdb_mem()
+        };
+        let db = Database::new(config);
+        gen.load_into(&db).unwrap();
+        let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let mut params = TrainParams::default();
+        params.num_iterations = 5;
+        params.update_method = method;
+        let model = train_gbm(&set, &params).unwrap();
+        match &reference {
+            None => reference = Some(model),
+            Some(r) => {
+                assert_eq!(
+                    r.trees, model.trees,
+                    "method {method:?} diverged from CreateTable"
+                );
+                assert!((r.init_score - model.init_score).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn gbm_column_swap_requires_capable_backend() {
+    let (db, gen) = favorita_db(200, 5);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 1;
+    params.update_method = UpdateMethod::ColumnSwap;
+    // Default in-memory engine has no swap support.
+    assert!(train_gbm(&set, &params).is_err());
+}
+
+#[test]
+fn gbm_l1_and_huber_objectives_train() {
+    let (db, gen) = favorita_db(1500, 15);
+    for objective in [
+        Objective::AbsoluteError,
+        Objective::Huber { delta: 50.0 },
+        Objective::Fair { c: 10.0 },
+        Objective::Quantile { alpha: 0.5 },
+    ] {
+        let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let mut params = TrainParams::default();
+        params.objective = objective;
+        params.num_iterations = 15;
+        params.learning_rate = 0.5;
+        let model = train_gbm(&set, &params).unwrap();
+        let t = materialize_features(&set).unwrap();
+        let ys = targets(&t).unwrap();
+        let init_loss: f64 = ys.iter().map(|&y| objective.loss(y, model.init_score)).sum();
+        let ps = model.predict_raw(&t);
+        let final_loss: f64 = ys.iter().zip(&ps).map(|(&y, &p)| objective.loss(y, p)).sum();
+        assert!(
+            final_loss < init_loss,
+            "{}: loss must decrease ({init_loss} -> {final_loss})",
+            objective.name()
+        );
+    }
+}
+
+#[test]
+fn galaxy_gbm_trains_with_cpt() {
+    let gen = imdb_galaxy(&ImdbConfig {
+        persons: 40,
+        movies: 30,
+        cast_rows: 800,
+        person_info_rows: 120,
+        movie_info_rows: 90,
+        seed: 42,
+    });
+    let db = Database::in_memory();
+    gen.load_into(&db).unwrap();
+    let set = Dataset::new(&db, gen.graph.clone(), "cast_info", "rating").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 8;
+    params.learning_rate = 0.3;
+    params.num_leaves = 4;
+    params.update_method = UpdateMethod::CreateTable;
+    let model = train_gbm(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 8);
+    // Every tree respects CPT: all non-root splits are in the root's
+    // cluster.
+    let clusters = joinboost_graph::cluster::clusters(&set.graph);
+    for tree in &model.trees {
+        let Some(root_split) = &tree.nodes[0].split else {
+            continue;
+        };
+        let root_rel = set.graph.rel_id(&root_split.relation).unwrap();
+        let cluster = clusters.iter().find(|c| c.contains(root_rel)).unwrap();
+        for node in &tree.nodes {
+            if let Some(s) = &node.split {
+                let rel = set.graph.rel_id(&s.relation).unwrap();
+                assert!(
+                    cluster.contains(rel),
+                    "split on {} escapes the {} cluster",
+                    s.feature,
+                    set.graph.name(cluster.fact)
+                );
+            }
+        }
+    }
+    // Training loss must drop relative to the constant predictor.
+    let t = materialize_features(&set).unwrap();
+    let ys = targets(&t).unwrap();
+    let base = rmse(&ys, &vec![model.init_score; ys.len()]);
+    let r = rmse(&ys, &model.predict(&t));
+    assert!(r < base, "galaxy GBM must improve: base {base}, got {r}");
+}
+
+#[test]
+fn galaxy_rejects_non_rmse_objectives() {
+    let gen = imdb_galaxy(&ImdbConfig {
+        cast_rows: 100,
+        ..Default::default()
+    });
+    let db = Database::in_memory();
+    gen.load_into(&db).unwrap();
+    let set = Dataset::new(&db, gen.graph.clone(), "cast_info", "rating").unwrap();
+    let mut params = TrainParams::default();
+    params.objective = Objective::AbsoluteError;
+    assert!(train_gbm(&set, &params).is_err());
+}
+
+#[test]
+fn random_forest_trains_and_predicts() {
+    let (db, gen) = favorita_db(2000, 20);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 10;
+    params.bagging_fraction = 0.5;
+    params.feature_fraction = 0.8;
+    params.num_leaves = 8;
+    let model = train_random_forest(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 10);
+
+    let t = materialize_features(&set).unwrap();
+    let ys = targets(&t).unwrap();
+    let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+    let base = rmse(&ys, &vec![mean; ys.len()]);
+    let r = rmse(&ys, &model.predict(&t));
+    assert!(r < base, "forest must beat the mean: {r} vs {base}");
+}
+
+#[test]
+fn random_forest_parallel_matches_sequential() {
+    let (db, gen) = favorita_db(800, 10);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 4;
+    params.bagging_fraction = 0.5;
+    let seq = train_random_forest(&set, &params).unwrap();
+    params.threads = 4;
+    let set2 = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let par = train_random_forest(&set2, &params).unwrap();
+    assert_eq!(seq.trees, par.trees, "parallelism must not change the model");
+}
+
+#[test]
+fn random_forest_on_galaxy_uses_ancestral_sampling() {
+    let gen = imdb_galaxy(&ImdbConfig {
+        persons: 25,
+        movies: 20,
+        cast_rows: 300,
+        person_info_rows: 60,
+        movie_info_rows: 50,
+        seed: 1,
+    });
+    let db = Database::in_memory();
+    gen.load_into(&db).unwrap();
+    let set = Dataset::new(&db, gen.graph.clone(), "cast_info", "rating").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 3;
+    params.bagging_fraction = 0.05;
+    params.num_leaves = 4;
+    let model = train_random_forest(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 3);
+}
+
+#[test]
+fn temp_tables_cleaned_after_training() {
+    let (db, gen) = favorita_db(500, 10);
+    {
+        let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let mut params = TrainParams::default();
+        params.num_iterations = 3;
+        let _ = train_gbm(&set, &params).unwrap();
+    }
+    // Only the 6 user tables survive.
+    assert_eq!(db.table_names().len(), 6, "tables: {:?}", db.table_names());
+}
+
+#[test]
+fn histogram_binning_trains_with_coarser_splits() {
+    let (db, gen) = favorita_db(1500, 40);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 5;
+    params.max_bins = 5;
+    let model = train_gbm(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 5);
+    let t = materialize_features(&set).unwrap();
+    let ys = targets(&t).unwrap();
+    let base = rmse(&ys, &vec![model.init_score; ys.len()]);
+    let r = rmse(&ys, &model.predict(&t));
+    assert!(r < base);
+}
+
+#[test]
+fn cuboid_training_approximates_binned_training() {
+    let (db, gen) = favorita_db(2000, 30);
+    let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let mut params = TrainParams::default();
+    params.num_iterations = 8;
+    params.max_bins = 5;
+    params.use_cuboid = true;
+    let model = train_gbm(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 8);
+    let r_cuboid = eval_rmse_gbm(&set, &model);
+    let base = {
+        let t = materialize_features(&set).unwrap();
+        let ys = targets(&t).unwrap();
+        rmse(&ys, &vec![model.init_score; ys.len()])
+    };
+    assert!(r_cuboid < base, "cuboid GBM must improve: {r_cuboid} vs {base}");
+    // The cuboid is much smaller than the fact table.
+    // (5 features × 5 bins bounds it at 5^5 cells, but in practice far
+    // fewer are populated than fact rows here.)
+}

@@ -1,0 +1,216 @@
+//! Favorita-like star schema (paper Section 6, Figure 7).
+
+use joinboost_engine::{Column, Database, Table};
+use joinboost_graph::JoinGraph;
+use rand::Rng;
+
+use crate::{imputed_feature, rng};
+
+/// A generated database: tables, join graph and target binding.
+pub struct Generated {
+    pub tables: Vec<(String, Table)>,
+    pub graph: JoinGraph,
+    pub target_relation: String,
+    pub target_column: String,
+}
+
+impl Generated {
+    /// Load every table into a database.
+    pub fn load_into(&self, db: &Database) -> joinboost_engine::Result<()> {
+        for (name, t) in &self.tables {
+            db.create_table(name, t.clone())?;
+        }
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, t)| t)
+    }
+}
+
+/// Configuration for the Favorita-like generator.
+#[derive(Debug, Clone)]
+pub struct FavoritaConfig {
+    /// Rows in the `sales` fact table (paper: 80 M; default scaled down).
+    pub fact_rows: usize,
+    /// Rows per dimension table (paper dims are <2 MB each).
+    pub dim_rows: usize,
+    /// Additional imputed features per dimension beyond the predictive one
+    /// (to sweep feature counts, Figure 10).
+    pub extra_features_per_dim: usize,
+    /// Uniform noise amplitude added to the target.
+    pub noise: f64,
+    pub seed: u64,
+}
+
+impl Default for FavoritaConfig {
+    fn default() -> Self {
+        FavoritaConfig {
+            fact_rows: 10_000,
+            dim_rows: 100,
+            extra_features_per_dim: 0,
+            noise: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Dimension names of the Favorita schema.
+pub const DIMS: [&str; 5] = ["items", "stores", "trans", "oil", "dates"];
+
+/// Generate a Favorita-like star with imputed features and the target of
+/// footnote 7:
+/// `y = f_items·log(f_items) + log(f_oil) − 10·f_dates − 10·f_stores + f_trans²`.
+pub fn favorita(cfg: &FavoritaConfig) -> Generated {
+    let mut r = rng(cfg.seed);
+    let dn = cfg.dim_rows.max(1);
+    // Dimension tables: key + predictive feature + extras.
+    let mut dim_features: Vec<Vec<i64>> = Vec::with_capacity(DIMS.len());
+    let mut tables: Vec<(String, Table)> = Vec::new();
+    for dim in DIMS {
+        let keys: Vec<i64> = (0..dn as i64).collect();
+        let f: Vec<i64> = (0..dn).map(|_| imputed_feature(&mut r, 1000)).collect();
+        let mut t = Table::from_columns(vec![
+            (&format!("{dim}_id"), Column::int(keys)),
+            (&format!("f_{dim}"), Column::int(f.clone())),
+        ]);
+        for j in 0..cfg.extra_features_per_dim {
+            let fx: Vec<i64> = (0..dn).map(|_| imputed_feature(&mut r, 1000)).collect();
+            t.push_column(
+                joinboost_engine::table::ColumnMeta::new(format!("f_{dim}_x{j}")),
+                Column::int(fx),
+            );
+        }
+        dim_features.push(f);
+        tables.push((dim.to_string(), t));
+    }
+    // Fact table.
+    let n = cfg.fact_rows;
+    let mut fks: Vec<Vec<i64>> = vec![Vec::with_capacity(n); DIMS.len()];
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut fvals = [0f64; 5];
+        for (d, fk) in fks.iter_mut().enumerate() {
+            let k = r.random_range(0..dn);
+            fk.push(k as i64);
+            fvals[d] = dim_features[d][k] as f64;
+        }
+        let (f_items, f_stores, f_trans, f_oil, f_dates) =
+            (fvals[0], fvals[1], fvals[2], fvals[3], fvals[4]);
+        // Footnote 7 target (scaled so terms are comparable) + noise.
+        let target = f_items * f_items.ln() + f_oil.ln() - 10.0 * f_dates - 10.0 * f_stores
+            + (f_trans / 100.0) * (f_trans / 100.0);
+        y.push(target + cfg.noise * (r.random::<f64>() - 0.5));
+    }
+    let mut fact = Table::new();
+    for (d, dim) in DIMS.iter().enumerate() {
+        fact.push_column(
+            joinboost_engine::table::ColumnMeta::new(format!("{dim}_id")),
+            Column::int(std::mem::take(&mut fks[d])),
+        );
+    }
+    fact.push_column(
+        joinboost_engine::table::ColumnMeta::new("net_profit"),
+        Column::float(y),
+    );
+    tables.push(("sales".to_string(), fact));
+
+    // Join graph.
+    let mut graph = JoinGraph::new();
+    graph.add_relation("sales", &[]).expect("fresh graph");
+    for (d, dim) in DIMS.iter().enumerate() {
+        let mut feats: Vec<String> = vec![format!("f_{dim}")];
+        for j in 0..cfg.extra_features_per_dim {
+            feats.push(format!("f_{dim}_x{j}"));
+        }
+        let feat_refs: Vec<&str> = feats.iter().map(String::as_str).collect();
+        graph.add_relation(dim, &feat_refs).expect("fresh graph");
+        graph
+            .add_edge("sales", dim, &[&format!("{dim}_id")])
+            .expect("relations exist");
+        let _ = d;
+    }
+    Generated {
+        tables,
+        graph,
+        target_relation: "sales".to_string(),
+        target_column: "net_profit".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_consistent_star() {
+        let g = favorita(&FavoritaConfig {
+            fact_rows: 500,
+            dim_rows: 20,
+            ..Default::default()
+        });
+        assert_eq!(g.tables.len(), 6);
+        let sales = g.table("sales").unwrap();
+        assert_eq!(sales.num_rows(), 500);
+        // All FKs resolve.
+        for dim in DIMS {
+            let fk = sales.column(None, &format!("{dim}_id")).unwrap();
+            for i in 0..fk.len() {
+                let v = fk.get(i).as_i64().unwrap();
+                assert!((0..20).contains(&v));
+            }
+        }
+        assert_eq!(g.graph.snowflake_fact(), Some(0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = favorita(&FavoritaConfig::default());
+        let b = favorita(&FavoritaConfig::default());
+        assert_eq!(a.table("sales"), b.table("sales"));
+        let c = favorita(&FavoritaConfig {
+            seed: 7,
+            ..Default::default()
+        });
+        assert_ne!(a.table("sales"), c.table("sales"));
+    }
+
+    #[test]
+    fn extra_features_change_schema_and_graph() {
+        let g = favorita(&FavoritaConfig {
+            fact_rows: 10,
+            dim_rows: 5,
+            extra_features_per_dim: 3,
+            ..Default::default()
+        });
+        assert_eq!(g.graph.all_features().len(), 5 * 4);
+        let items = g.table("items").unwrap();
+        assert_eq!(items.num_columns(), 2 + 3);
+    }
+
+    #[test]
+    fn target_is_predictable_from_features() {
+        // With zero noise, equal feature vectors give equal targets.
+        let g = favorita(&FavoritaConfig {
+            fact_rows: 2_000,
+            dim_rows: 3,
+            noise: 0.0,
+            ..Default::default()
+        });
+        let sales = g.table("sales").unwrap();
+        use std::collections::HashMap;
+        let mut seen: HashMap<Vec<i64>, f64> = HashMap::new();
+        for i in 0..sales.num_rows() {
+            let key: Vec<i64> = (0..5)
+                .map(|c| sales.columns[c].get(i).as_i64().unwrap())
+                .collect();
+            let y = sales.columns[5].f64_at(i).unwrap();
+            if let Some(prev) = seen.insert(key, y) {
+                assert!((prev - y).abs() < 1e-9);
+            }
+        }
+    }
+}

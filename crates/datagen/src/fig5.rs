@@ -1,0 +1,114 @@
+//! The residual-update microbenchmark workload (paper Section 5.3.2,
+//! Figure 5): a synthetic fact table `F(s, d, c1..ck)` and per-leaf
+//! semi-join messages `m_i(d)` covering disjoint ranges of the join key.
+
+use joinboost_engine::{Column, Table};
+use rand::Rng;
+
+use crate::rng;
+
+/// Configuration for the Figure-5 workload.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Fact rows (paper: 100 M; scaled down by default).
+    pub rows: usize,
+    /// Join-key domain (paper: `d ∈ [1, 10K]`).
+    pub key_domain: i64,
+    /// Extra payload columns `c1..ck` duplicated by CREATE-style updates.
+    pub extra_columns: usize,
+    /// Simulated tree leaves (paper: 8).
+    pub num_leaves: usize,
+    pub seed: u64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Fig5Config {
+            rows: 100_000,
+            key_domain: 10_000,
+            extra_columns: 0,
+            num_leaves: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Build the fact table `F(s, d, c1..ck)`.
+pub fn fig5_fact_table(cfg: &Fig5Config) -> Table {
+    let mut r = rng(cfg.seed);
+    let s: Vec<f64> = (0..cfg.rows).map(|_| r.random::<f64>() * 100.0).collect();
+    let d: Vec<i64> = (0..cfg.rows)
+        .map(|_| r.random_range(1..=cfg.key_domain))
+        .collect();
+    let mut t = Table::from_columns(vec![("s", Column::float(s)), ("d", Column::int(d))]);
+    for k in 0..cfg.extra_columns {
+        let c: Vec<f64> = (0..cfg.rows).map(|_| r.random::<f64>()).collect();
+        t.push_column(
+            joinboost_engine::table::ColumnMeta::new(format!("c{}", k + 1)),
+            Column::float(c),
+        );
+    }
+    t
+}
+
+/// Per-leaf semi-join messages: leaf `i` (1-based) matches key values in
+/// `(range·(i−1), range·i]` where `range = key_domain / num_leaves`.
+pub fn fig5_messages(cfg: &Fig5Config) -> Vec<Table> {
+    let range = cfg.key_domain / cfg.num_leaves as i64;
+    (0..cfg.num_leaves)
+        .map(|i| {
+            let lo = range * i as i64 + 1;
+            let hi = range * (i as i64 + 1);
+            Table::from_columns(vec![("d", Column::int((lo..=hi).collect()))])
+        })
+        .collect()
+}
+
+/// Random leaf predictions, one per leaf.
+pub fn fig5_leaf_predictions(cfg: &Fig5Config) -> Vec<f64> {
+    let mut r = rng(cfg.seed.wrapping_add(1));
+    (0..cfg.num_leaves).map(|_| r.random::<f64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_table_shape() {
+        let cfg = Fig5Config {
+            rows: 1000,
+            extra_columns: 5,
+            ..Default::default()
+        };
+        let t = fig5_fact_table(&cfg);
+        assert_eq!(t.num_rows(), 1000);
+        assert_eq!(t.num_columns(), 7);
+        let d = t.column(None, "d").unwrap();
+        for i in 0..d.len() {
+            let v = d.get(i).as_i64().unwrap();
+            assert!((1..=cfg.key_domain).contains(&v));
+        }
+    }
+
+    #[test]
+    fn messages_partition_the_key_domain() {
+        let cfg = Fig5Config::default();
+        let msgs = fig5_messages(&cfg);
+        assert_eq!(msgs.len(), 8);
+        let total: usize = msgs.iter().map(Table::num_rows).sum();
+        assert_eq!(total, cfg.key_domain as usize);
+        // Disjoint ranges.
+        assert_eq!(msgs[0].columns[0].get(0).as_i64(), Some(1));
+        assert_eq!(
+            msgs[1].columns[0].get(0).as_i64(),
+            Some(cfg.key_domain / 8 + 1)
+        );
+    }
+
+    #[test]
+    fn predictions_per_leaf() {
+        let cfg = Fig5Config::default();
+        assert_eq!(fig5_leaf_predictions(&cfg).len(), cfg.num_leaves);
+    }
+}

@@ -1,0 +1,196 @@
+//! IMDB-like galaxy schema (paper Figure 3 / Section 6.2).
+//!
+//! Multiple fact tables with M-N relationships through shared dimensions:
+//! materializing the full join is prohibitive (the real IMDB join exceeds
+//! 1 TB from 1.2 GB of base data), which is exactly why gradient boosting
+//! needs Clustered Predicate Trees here.
+
+use joinboost_engine::{Column, Table};
+use joinboost_graph::JoinGraph;
+use rand::Rng;
+
+use crate::favorita::Generated;
+use crate::{imputed_feature, rng};
+
+/// Configuration for the IMDB-like galaxy.
+#[derive(Debug, Clone)]
+pub struct ImdbConfig {
+    pub persons: usize,
+    pub movies: usize,
+    /// Rows in the `cast_info` fact (holds the target).
+    pub cast_rows: usize,
+    /// Rows in the `person_info` fact (several per person).
+    pub person_info_rows: usize,
+    /// Rows in the `movie_info` fact (several per movie).
+    pub movie_info_rows: usize,
+    pub seed: u64,
+}
+
+impl Default for ImdbConfig {
+    fn default() -> Self {
+        ImdbConfig {
+            persons: 100,
+            movies: 80,
+            cast_rows: 4_000,
+            person_info_rows: 400,
+            movie_info_rows: 300,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate the galaxy. Relations:
+///
+/// * `person(person_id, gender)` — shared dimension,
+/// * `movie(movie_id, year)` — shared dimension,
+/// * `cast_info(person_id, movie_id, role, rating)` — fact, target
+///   `rating`,
+/// * `person_info(person_id, age)` — fact (M rows per person),
+/// * `movie_info(movie_id, budget)` — fact (M rows per movie).
+///
+/// Clusters (CPT): `{cast_info, person, movie}`, `{person_info, person}`,
+/// `{movie_info, movie}`.
+pub fn imdb_galaxy(cfg: &ImdbConfig) -> Generated {
+    let mut r = rng(cfg.seed);
+    let mut tables = Vec::new();
+    let genders: Vec<i64> = (0..cfg.persons).map(|_| r.random_range(0..2)).collect();
+    tables.push((
+        "person".to_string(),
+        Table::from_columns(vec![
+            ("person_id", Column::int((0..cfg.persons as i64).collect())),
+            ("gender", Column::int(genders.clone())),
+        ]),
+    ));
+    let years: Vec<i64> = (0..cfg.movies)
+        .map(|_| r.random_range(1950..2023))
+        .collect();
+    tables.push((
+        "movie".to_string(),
+        Table::from_columns(vec![
+            ("movie_id", Column::int((0..cfg.movies as i64).collect())),
+            ("year", Column::int(years.clone())),
+        ]),
+    ));
+    // person_info / movie_info facts: multiple rows per key (the M side).
+    let pi_keys: Vec<i64> = (0..cfg.person_info_rows)
+        .map(|_| r.random_range(0..cfg.persons as i64))
+        .collect();
+    let pi_age: Vec<i64> = (0..cfg.person_info_rows)
+        .map(|_| r.random_range(18..80))
+        .collect();
+    tables.push((
+        "person_info".to_string(),
+        Table::from_columns(vec![
+            ("person_id", Column::int(pi_keys)),
+            ("age", Column::int(pi_age)),
+        ]),
+    ));
+    let mi_keys: Vec<i64> = (0..cfg.movie_info_rows)
+        .map(|_| r.random_range(0..cfg.movies as i64))
+        .collect();
+    let mi_budget: Vec<i64> = (0..cfg.movie_info_rows)
+        .map(|_| imputed_feature(&mut r, 1000))
+        .collect();
+    tables.push((
+        "movie_info".to_string(),
+        Table::from_columns(vec![
+            ("movie_id", Column::int(mi_keys)),
+            ("budget", Column::int(mi_budget)),
+        ]),
+    ));
+    // cast_info fact with the target.
+    let mut p = Vec::with_capacity(cfg.cast_rows);
+    let mut m = Vec::with_capacity(cfg.cast_rows);
+    let mut role = Vec::with_capacity(cfg.cast_rows);
+    let mut rating = Vec::with_capacity(cfg.cast_rows);
+    for _ in 0..cfg.cast_rows {
+        let pi = r.random_range(0..cfg.persons);
+        let mi = r.random_range(0..cfg.movies);
+        let ro = r.random_range(1..=10i64);
+        p.push(pi as i64);
+        m.push(mi as i64);
+        role.push(ro);
+        let y = 5.0 + 0.3 * ro as f64 + 0.01 * (years[mi] - 1980) as f64
+            - 0.5 * genders[pi] as f64
+            + 0.2 * r.random::<f64>();
+        rating.push(y);
+    }
+    tables.push((
+        "cast_info".to_string(),
+        Table::from_columns(vec![
+            ("person_id", Column::int(p)),
+            ("movie_id", Column::int(m)),
+            ("role", Column::int(role)),
+            ("rating", Column::float(rating)),
+        ]),
+    ));
+
+    let mut graph = JoinGraph::new();
+    graph.add_relation("cast_info", &["role"]).expect("fresh");
+    graph.add_relation("person", &["gender"]).expect("fresh");
+    graph.add_relation("movie", &["year"]).expect("fresh");
+    graph.add_relation("person_info", &["age"]).expect("fresh");
+    graph.add_relation("movie_info", &["budget"]).expect("fresh");
+    // Fact → dim edges are N-to-1 by construction.
+    graph.add_edge("cast_info", "person", &["person_id"]).expect("rels");
+    graph.add_edge("cast_info", "movie", &["movie_id"]).expect("rels");
+    graph.add_edge("person_info", "person", &["person_id"]).expect("rels");
+    graph.add_edge("movie_info", "movie", &["movie_id"]).expect("rels");
+    Generated {
+        tables,
+        graph,
+        target_relation: "cast_info".to_string(),
+        target_column: "rating".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinboost_graph::cluster::clusters;
+
+    #[test]
+    fn galaxy_is_not_a_snowflake() {
+        let g = imdb_galaxy(&ImdbConfig::default());
+        assert_eq!(g.graph.snowflake_fact(), None);
+        assert!(!g.graph.is_cyclic());
+        assert!(g.graph.is_connected());
+    }
+
+    #[test]
+    fn cpt_clusters_match_figure_3_shape() {
+        let g = imdb_galaxy(&ImdbConfig::default());
+        let cs = clusters(&g.graph);
+        assert_eq!(cs.len(), 3);
+        let cast = g.graph.rel_id("cast_info").unwrap();
+        let c = cs.iter().find(|c| c.fact == cast).unwrap();
+        assert_eq!(c.members.len(), 3, "cast_info + person + movie");
+        // person is shared between the cast_info and person_info clusters.
+        let person = g.graph.rel_id("person").unwrap();
+        assert_eq!(cs.iter().filter(|c| c.contains(person)).count(), 2);
+    }
+
+    #[test]
+    fn facts_have_expected_cardinalities() {
+        let cfg = ImdbConfig {
+            cast_rows: 123,
+            ..Default::default()
+        };
+        let g = imdb_galaxy(&cfg);
+        assert_eq!(g.table("cast_info").unwrap().num_rows(), 123);
+        assert_eq!(g.table("person").unwrap().num_rows(), cfg.persons);
+    }
+
+    #[test]
+    fn join_blowup_exists() {
+        // The defining property of the galaxy: |R⋈| ≫ any base table.
+        let cfg = ImdbConfig::default();
+        let g = imdb_galaxy(&cfg);
+        // Average person_info rows per person × average movie_info rows
+        // per movie multiply each cast row.
+        let blowup = (cfg.person_info_rows as f64 / cfg.persons as f64)
+            * (cfg.movie_info_rows as f64 / cfg.movies as f64);
+        assert!(blowup * cfg.cast_rows as f64 > 2.0 * cfg.cast_rows as f64);
+        let _ = g;
+    }
+}

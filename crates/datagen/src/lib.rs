@@ -1,0 +1,47 @@
+//! Synthetic workload generators for the JoinBoost reproduction.
+//!
+//! The paper evaluates on Favorita, TPC-DS/TPC-H and IMDB. Those datasets
+//! are not redistributable at full scale, so this crate generates
+//! scaled-down synthetic databases with the same schema *shapes*,
+//! key-cardinality structure and target-imputation procedure the paper
+//! describes (Section 6, "Preprocess"):
+//!
+//! * [`favorita()`](favorita::favorita) — a Favorita-like star schema: one `sales` fact table
+//!   with N-to-1 edges to 5 small dimensions, one imputed feature
+//!   (uniform in `[1, 1000]`) per dimension, and the target imputed as
+//!   `y = f_item·log(f_items) + log(f_oil) − 10·f_dates − 10·f_stores
+//!   + f_trans²` (paper footnote 7) plus noise;
+//! * [`tpcds`] / [`tpch`] — snowflake schemas with a scale factor
+//!   controlling the fact cardinality (TPC-DS-like has a deeper
+//!   dimension chain; TPC-H-like has two *large* dimensions, the property
+//!   that makes TPC-H slower for message passing, Appendix C.1);
+//! * [`imdb`] — an IMDB-like galaxy schema: multiple fact tables with
+//!   M-N relationships, forming the 2-cluster miniature of the paper's
+//!   Figure 3;
+//! * [`fig5`] — the synthetic fact table `F(s, d, c1..ck)` of the
+//!   residual-update pilot study (Section 5.3.2).
+//!
+//! All generators are deterministic given a seed.
+
+pub mod favorita;
+pub mod fig5;
+pub mod imdb;
+pub mod tpc;
+
+pub use favorita::{favorita, FavoritaConfig};
+pub use fig5::{fig5_fact_table, Fig5Config};
+pub use imdb::{imdb_galaxy, ImdbConfig};
+pub use tpc::{tpcds, tpch, TpcConfig};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic RNG helper shared by the generators.
+pub(crate) fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform integer feature in `[1, hi]` (the paper imputes `[1, 1000]`).
+pub(crate) fn imputed_feature(rng: &mut StdRng, hi: i64) -> i64 {
+    rng.random_range(1..=hi)
+}

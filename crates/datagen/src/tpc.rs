@@ -1,0 +1,254 @@
+//! TPC-DS-like and TPC-H-like snowflake generators (scale-factor sweeps
+//! for Figures 11–13 and Appendix C.1 / Figure 17).
+
+use joinboost_engine::{Column, Table};
+use joinboost_graph::JoinGraph;
+use rand::Rng;
+
+use crate::favorita::Generated;
+use crate::{imputed_feature, rng};
+
+/// Scale configuration. `scale_factor = 1.0` ≈ `base_fact_rows` fact rows;
+/// the paper sweeps SF 10→1000 on real TPC data, we sweep proportionally
+/// smaller synthetic data (documented in EXPERIMENTS.md).
+#[derive(Debug, Clone)]
+pub struct TpcConfig {
+    pub scale_factor: f64,
+    /// Fact rows at SF = 1.
+    pub base_fact_rows: usize,
+    pub seed: u64,
+}
+
+impl Default for TpcConfig {
+    fn default() -> Self {
+        TpcConfig {
+            scale_factor: 1.0,
+            base_fact_rows: 5_000,
+            seed: 42,
+        }
+    }
+}
+
+fn dim_table(r: &mut rand::rngs::StdRng, key: &str, feats: &[&str], rows: usize) -> Table {
+    let mut t = Table::from_columns(vec![(key, Column::int((0..rows as i64).collect()))]);
+    for f in feats {
+        let vals: Vec<i64> = (0..rows).map(|_| imputed_feature(r, 1000)).collect();
+        t.push_column(
+            joinboost_engine::table::ColumnMeta::new(f.to_string()),
+            Column::int(vals),
+        );
+    }
+    t
+}
+
+/// TPC-DS-like snowflake: `store_sales` fact with small dimensions
+/// (`date_dim` chaining to `holiday_dim`, plus `item`, `store`,
+/// `customer` chaining to `demographics`). Deep N-to-1 chains are what
+/// make this a *snowflake* rather than a plain star.
+pub fn tpcds(cfg: &TpcConfig) -> Generated {
+    let mut r = rng(cfg.seed);
+    let n = ((cfg.base_fact_rows as f64) * cfg.scale_factor).round() as usize;
+    let n = n.max(10);
+    let dn = 200usize;
+    let chain = 50usize;
+    let mut tables = Vec::new();
+    // date_dim → holiday_dim chain.
+    let mut date_dim = dim_table(&mut r, "date_id", &["f_date"], dn);
+    date_dim.push_column(
+        joinboost_engine::table::ColumnMeta::new("holiday_id"),
+        Column::int((0..dn).map(|i| (i % chain) as i64).collect()),
+    );
+    tables.push(("date_dim".to_string(), date_dim));
+    tables.push((
+        "holiday_dim".to_string(),
+        dim_table(&mut r, "holiday_id", &["f_holiday"], chain),
+    ));
+    tables.push(("item".to_string(), dim_table(&mut r, "item_id", &["f_item"], dn)));
+    tables.push((
+        "store".to_string(),
+        dim_table(&mut r, "store_id", &["f_store"], dn),
+    ));
+    let mut customer = dim_table(&mut r, "customer_id", &["f_customer"], dn);
+    customer.push_column(
+        joinboost_engine::table::ColumnMeta::new("demo_id"),
+        Column::int((0..dn).map(|i| (i % chain) as i64).collect()),
+    );
+    tables.push(("customer".to_string(), customer));
+    tables.push((
+        "demographics".to_string(),
+        dim_table(&mut r, "demo_id", &["f_demo"], chain),
+    ));
+    // Fact.
+    let mut cols: Vec<Vec<i64>> = (0..4).map(|_| Vec::with_capacity(n)).collect();
+    let mut y = Vec::with_capacity(n);
+    let lookup = |tables: &[(String, Table)], name: &str, key: usize, feat: &str| -> f64 {
+        let t = &tables.iter().find(|(n, _)| n == name).expect("table").1;
+        let c = t.column(None, feat).expect("feature");
+        c.f64_at(key).expect("valid")
+    };
+    for _ in 0..n {
+        let d = r.random_range(0..dn);
+        let i = r.random_range(0..dn);
+        let s = r.random_range(0..dn);
+        let c = r.random_range(0..dn);
+        cols[0].push(d as i64);
+        cols[1].push(i as i64);
+        cols[2].push(s as i64);
+        cols[3].push(c as i64);
+        let f_date = lookup(&tables, "date_dim", d, "f_date");
+        let f_item = lookup(&tables, "item", i, "f_item");
+        let f_store = lookup(&tables, "store", s, "f_store");
+        let f_cust = lookup(&tables, "customer", c, "f_customer");
+        y.push(2.0 * f_item - f_store + 0.5 * f_cust + f_date.ln() * 10.0 + r.random::<f64>());
+    }
+    let fact = Table::from_columns(vec![
+        ("date_id", Column::int(std::mem::take(&mut cols[0]))),
+        ("item_id", Column::int(std::mem::take(&mut cols[1]))),
+        ("store_id", Column::int(std::mem::take(&mut cols[2]))),
+        ("customer_id", Column::int(std::mem::take(&mut cols[3]))),
+        ("net_paid", Column::float(y)),
+    ]);
+    tables.push(("store_sales".to_string(), fact));
+
+    let mut graph = JoinGraph::new();
+    graph.add_relation("store_sales", &[]).expect("fresh");
+    graph.add_relation("date_dim", &["f_date"]).expect("fresh");
+    graph.add_relation("holiday_dim", &["f_holiday"]).expect("fresh");
+    graph.add_relation("item", &["f_item"]).expect("fresh");
+    graph.add_relation("store", &["f_store"]).expect("fresh");
+    graph.add_relation("customer", &["f_customer"]).expect("fresh");
+    graph.add_relation("demographics", &["f_demo"]).expect("fresh");
+    graph.add_edge("store_sales", "date_dim", &["date_id"]).expect("rels");
+    graph.add_edge("date_dim", "holiday_dim", &["holiday_id"]).expect("rels");
+    graph.add_edge("store_sales", "item", &["item_id"]).expect("rels");
+    graph.add_edge("store_sales", "store", &["store_id"]).expect("rels");
+    graph
+        .add_edge("store_sales", "customer", &["customer_id"])
+        .expect("rels");
+    graph.add_edge("customer", "demographics", &["demo_id"]).expect("rels");
+    Generated {
+        tables,
+        graph,
+        target_relation: "store_sales".to_string(),
+        target_column: "net_paid".to_string(),
+    }
+}
+
+/// TPC-H-like snowflake: `lineitem` fact with two *large* dimensions
+/// (`orders` at n/4 rows, `partsupp` at n/5) plus a small `supplier`.
+/// Large dimensions make fact-side messages expensive — the property the
+/// paper observes slows TPC-H (Appendix C.1).
+pub fn tpch(cfg: &TpcConfig) -> Generated {
+    let mut r = rng(cfg.seed);
+    let n = (((cfg.base_fact_rows as f64) * cfg.scale_factor).round() as usize).max(20);
+    let orders_n = (n / 4).max(2);
+    let ps_n = (n / 5).max(2);
+    let supp_n = 50usize;
+    let mut tables = Vec::new();
+    tables.push((
+        "orders".to_string(),
+        dim_table(&mut r, "order_id", &["f_order"], orders_n),
+    ));
+    tables.push((
+        "partsupp".to_string(),
+        dim_table(&mut r, "ps_id", &["f_ps"], ps_n),
+    ));
+    tables.push((
+        "supplier".to_string(),
+        dim_table(&mut r, "supp_id", &["f_supp"], supp_n),
+    ));
+    let mut ok = Vec::with_capacity(n);
+    let mut pk = Vec::with_capacity(n);
+    let mut sk = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    let feat = |tables: &[(String, Table)], name: &str, key: usize, f: &str| -> f64 {
+        tables
+            .iter()
+            .find(|(n, _)| n == name)
+            .expect("table")
+            .1
+            .column(None, f)
+            .expect("feature")
+            .f64_at(key)
+            .expect("valid")
+    };
+    for _ in 0..n {
+        let o = r.random_range(0..orders_n);
+        let p = r.random_range(0..ps_n);
+        let s = r.random_range(0..supp_n);
+        ok.push(o as i64);
+        pk.push(p as i64);
+        sk.push(s as i64);
+        let fo = feat(&tables, "orders", o, "f_order");
+        let fp = feat(&tables, "partsupp", p, "f_ps");
+        let fs = feat(&tables, "supplier", s, "f_supp");
+        y.push(fo - 0.5 * fp + 3.0 * fs + r.random::<f64>());
+    }
+    let fact = Table::from_columns(vec![
+        ("order_id", Column::int(ok)),
+        ("ps_id", Column::int(pk)),
+        ("supp_id", Column::int(sk)),
+        ("extendedprice", Column::float(y)),
+    ]);
+    tables.push(("lineitem".to_string(), fact));
+    let mut graph = JoinGraph::new();
+    graph.add_relation("lineitem", &[]).expect("fresh");
+    graph.add_relation("orders", &["f_order"]).expect("fresh");
+    graph.add_relation("partsupp", &["f_ps"]).expect("fresh");
+    graph.add_relation("supplier", &["f_supp"]).expect("fresh");
+    graph.add_edge("lineitem", "orders", &["order_id"]).expect("rels");
+    graph.add_edge("lineitem", "partsupp", &["ps_id"]).expect("rels");
+    graph.add_edge("lineitem", "supplier", &["supp_id"]).expect("rels");
+    Generated {
+        tables,
+        graph,
+        target_relation: "lineitem".to_string(),
+        target_column: "extendedprice".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpcds_scales_with_sf() {
+        let small = tpcds(&TpcConfig {
+            scale_factor: 1.0,
+            base_fact_rows: 1000,
+            seed: 1,
+        });
+        let big = tpcds(&TpcConfig {
+            scale_factor: 3.0,
+            base_fact_rows: 1000,
+            seed: 1,
+        });
+        assert_eq!(small.table("store_sales").unwrap().num_rows(), 1000);
+        assert_eq!(big.table("store_sales").unwrap().num_rows(), 3000);
+    }
+
+    #[test]
+    fn tpcds_is_snowflake_with_chains() {
+        let g = tpcds(&TpcConfig::default());
+        let fact = g.graph.rel_id("store_sales").unwrap();
+        assert_eq!(g.graph.snowflake_fact(), Some(fact));
+        assert_eq!(g.graph.num_relations(), 7);
+        assert_eq!(g.graph.all_features().len(), 6);
+        // Chained keys resolve.
+        let dd = g.table("date_dim").unwrap();
+        assert!(dd.resolve(None, "holiday_id").is_ok());
+    }
+
+    #[test]
+    fn tpch_has_large_dimensions() {
+        let g = tpch(&TpcConfig {
+            scale_factor: 1.0,
+            base_fact_rows: 4000,
+            seed: 2,
+        });
+        assert_eq!(g.table("lineitem").unwrap().num_rows(), 4000);
+        assert_eq!(g.table("orders").unwrap().num_rows(), 1000);
+        assert_eq!(g.table("partsupp").unwrap().num_rows(), 800);
+        assert_eq!(g.graph.snowflake_fact(), Some(0));
+    }
+}

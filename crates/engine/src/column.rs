@@ -1,0 +1,367 @@
+//! Columnar storage: typed vectors with optional validity bitmaps and
+//! per-column string dictionaries.
+
+use crate::datum::{DataType, Datum};
+
+/// Physical column data. Strings are dictionary-encoded: `codes[i]` indexes
+/// into `dict`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str { dict: Vec<String>, codes: Vec<u32> },
+}
+
+/// A column: data plus an optional validity mask (`None` = no NULLs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    pub data: ColumnData,
+    pub validity: Option<Vec<bool>>,
+}
+
+/// Hashable per-row key for joins and group-by.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum HKey {
+    Null,
+    Int(i64),
+    /// f64 bit pattern (canonicalized: -0.0 → 0.0, NaNs collapse).
+    Float(u64),
+    Str(String),
+}
+
+impl Column {
+    pub fn int(values: Vec<i64>) -> Column {
+        Column {
+            data: ColumnData::Int(values),
+            validity: None,
+        }
+    }
+
+    pub fn float(values: Vec<f64>) -> Column {
+        Column {
+            data: ColumnData::Float(values),
+            validity: None,
+        }
+    }
+
+    pub fn str(values: Vec<String>) -> Column {
+        let mut dict: Vec<String> = Vec::new();
+        let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for v in values {
+            let code = *index.entry(v.clone()).or_insert_with(|| {
+                dict.push(v);
+                (dict.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        Column {
+            data: ColumnData::Str { dict, codes },
+            validity: None,
+        }
+    }
+
+    /// Build a column from row values, inferring the type (Float if any
+    /// float present, else Int; Str if any string). All-NULL defaults to
+    /// Float.
+    pub fn from_datums(values: &[Datum]) -> Column {
+        let mut has_float = false;
+        let mut has_str = false;
+        let mut has_null = false;
+        for v in values {
+            match v {
+                Datum::Float(_) => has_float = true,
+                Datum::Str(_) => has_str = true,
+                Datum::Null => has_null = true,
+                Datum::Int(_) => {}
+            }
+        }
+        let validity = if has_null {
+            Some(values.iter().map(|v| !v.is_null()).collect())
+        } else {
+            None
+        };
+        let data = if has_str {
+            let mut dict: Vec<String> = Vec::new();
+            let mut index: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
+            let mut codes = Vec::with_capacity(values.len());
+            for v in values {
+                match v {
+                    Datum::Str(s) => {
+                        let code = *index.entry(s.as_str()).or_insert_with(|| {
+                            dict.push(s.clone());
+                            (dict.len() - 1) as u32
+                        });
+                        codes.push(code);
+                    }
+                    _ => codes.push(0),
+                }
+            }
+            if dict.is_empty() {
+                dict.push(String::new());
+            }
+            ColumnData::Str { dict, codes }
+        } else if has_float || values.is_empty() || values.iter().all(Datum::is_null) {
+            ColumnData::Float(
+                values
+                    .iter()
+                    .map(|v| v.as_f64().unwrap_or(0.0))
+                    .collect(),
+            )
+        } else {
+            ColumnData::Int(values.iter().map(|v| v.as_i64().unwrap_or(0)).collect())
+        };
+        Column { data, validity }
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str { codes, .. } => codes.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str { .. } => DataType::Str,
+        }
+    }
+
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().is_none_or(|v| v[i])
+    }
+
+    pub fn null_count(&self) -> usize {
+        self.validity
+            .as_ref()
+            .map_or(0, |v| v.iter().filter(|b| !**b).count())
+    }
+
+    pub fn get(&self, i: usize) -> Datum {
+        if !self.is_valid(i) {
+            return Datum::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Datum::Int(v[i]),
+            ColumnData::Float(v) => Datum::Float(v[i]),
+            ColumnData::Str { dict, codes } => Datum::Str(dict[codes[i] as usize].clone()),
+        }
+    }
+
+    /// Numeric value at `i` (NULL → None, strings → None).
+    pub fn f64_at(&self, i: usize) -> Option<f64> {
+        if !self.is_valid(i) {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Int(v) => Some(v[i] as f64),
+            ColumnData::Float(v) => Some(v[i]),
+            ColumnData::Str { .. } => None,
+        }
+    }
+
+    /// Hash key at row `i`, suitable for joins / group-by.
+    pub fn hkey(&self, i: usize) -> HKey {
+        if !self.is_valid(i) {
+            return HKey::Null;
+        }
+        match &self.data {
+            ColumnData::Int(v) => HKey::Int(v[i]),
+            ColumnData::Float(v) => {
+                let x = if v[i] == 0.0 { 0.0 } else { v[i] };
+                HKey::Float(x.to_bits())
+            }
+            ColumnData::Str { dict, codes } => HKey::Str(dict[codes[i] as usize].clone()),
+        }
+    }
+
+    /// Gather rows by index, producing a new column.
+    pub fn take(&self, indices: &[u32]) -> Column {
+        let validity = self
+            .validity
+            .as_ref()
+            .map(|v| indices.iter().map(|&i| v[i as usize]).collect());
+        let data = match &self.data {
+            ColumnData::Int(v) => {
+                ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Float(v) => {
+                ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
+            }
+            ColumnData::Str { dict, codes } => ColumnData::Str {
+                dict: dict.clone(),
+                codes: indices.iter().map(|&i| codes[i as usize]).collect(),
+            },
+        };
+        Column { data, validity }
+    }
+
+    /// Gather with optional indices; `None` produces NULL (outer joins).
+    pub fn take_nullable(&self, indices: &[Option<u32>]) -> Column {
+        let mut validity = Vec::with_capacity(indices.len());
+        for &ix in indices {
+            validity.push(match ix {
+                Some(i) => self.is_valid(i as usize),
+                None => false,
+            });
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(
+                indices
+                    .iter()
+                    .map(|ix| ix.map_or(0, |i| v[i as usize]))
+                    .collect(),
+            ),
+            ColumnData::Float(v) => ColumnData::Float(
+                indices
+                    .iter()
+                    .map(|ix| ix.map_or(0.0, |i| v[i as usize]))
+                    .collect(),
+            ),
+            ColumnData::Str { dict, codes } => ColumnData::Str {
+                dict: dict.clone(),
+                codes: indices
+                    .iter()
+                    .map(|ix| ix.map_or(0, |i| codes[i as usize]))
+                    .collect(),
+            },
+        };
+        Column {
+            data,
+            validity: Some(validity),
+        }
+    }
+
+    /// Keep only rows where `mask[i]` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let mut indices = Vec::with_capacity(mask.iter().filter(|b| **b).count());
+        for (i, &keep) in mask.iter().enumerate() {
+            if keep {
+                indices.push(i as u32);
+            }
+        }
+        self.take(&indices)
+    }
+
+    /// Coerce to a `Vec<f64>` (NULL → NaN). Errors on string columns.
+    pub fn to_f64_vec(&self) -> Result<Vec<f64>, crate::error::EngineError> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        match &self.data {
+            ColumnData::Int(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    out.push(if self.is_valid(i) { x as f64 } else { f64::NAN });
+                }
+            }
+            ColumnData::Float(v) => {
+                for (i, &x) in v.iter().enumerate() {
+                    out.push(if self.is_valid(i) { x } else { f64::NAN });
+                }
+            }
+            ColumnData::Str { .. } => {
+                return Err(crate::error::EngineError::TypeMismatch(
+                    "cannot coerce string column to f64".into(),
+                ))
+            }
+        }
+        Ok(out)
+    }
+
+    /// Borrow the i64 data if this is an Int column with no NULLs.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match (&self.data, &self.validity) {
+            (ColumnData::Int(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow the f64 data if this is a Float column with no NULLs.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match (&self.data, &self.validity) {
+            (ColumnData::Float(v), None) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Rough heap size in bytes (for memory-cap simulation).
+    pub fn byte_size(&self) -> usize {
+        let base = match &self.data {
+            ColumnData::Int(v) => v.len() * 8,
+            ColumnData::Float(v) => v.len() * 8,
+            ColumnData::Str { dict, codes } => {
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
+            }
+        };
+        base + self.validity.as_ref().map_or(0, |v| v.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_dictionary_dedup() {
+        let c = Column::str(vec!["a".into(), "b".into(), "a".into()]);
+        match &c.data {
+            ColumnData::Str { dict, codes } => {
+                assert_eq!(dict.len(), 2);
+                assert_eq!(codes, &vec![0, 1, 0]);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(c.get(2), Datum::Str("a".into()));
+    }
+
+    #[test]
+    fn from_datums_infers_types() {
+        let c = Column::from_datums(&[Datum::Int(1), Datum::Int(2)]);
+        assert_eq!(c.dtype(), DataType::Int);
+        let c = Column::from_datums(&[Datum::Int(1), Datum::Float(2.0)]);
+        assert_eq!(c.dtype(), DataType::Float);
+        let c = Column::from_datums(&[Datum::Null, Datum::Int(2)]);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Datum::Null);
+    }
+
+    #[test]
+    fn take_and_filter() {
+        let c = Column::int(vec![10, 20, 30, 40]);
+        let t = c.take(&[3, 0]);
+        assert_eq!(t.get(0), Datum::Int(40));
+        assert_eq!(t.get(1), Datum::Int(10));
+        let f = c.filter(&[true, false, true, false]);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.get(1), Datum::Int(30));
+    }
+
+    #[test]
+    fn take_nullable_produces_nulls() {
+        let c = Column::float(vec![1.0, 2.0]);
+        let t = c.take_nullable(&[Some(1), None]);
+        assert_eq!(t.get(0), Datum::Float(2.0));
+        assert_eq!(t.get(1), Datum::Null);
+    }
+
+    #[test]
+    fn hkey_canonicalizes_negative_zero() {
+        let c = Column::float(vec![0.0, -0.0]);
+        assert_eq!(c.hkey(0), c.hkey(1));
+    }
+
+    #[test]
+    fn to_f64_nulls_become_nan() {
+        let c = Column::from_datums(&[Datum::Float(1.0), Datum::Null]);
+        let v = c.to_f64_vec().unwrap();
+        assert_eq!(v[0], 1.0);
+        assert!(v[1].is_nan());
+    }
+}

@@ -1,0 +1,148 @@
+//! Scalar values and data types.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Column data types. Strings are dictionary-encoded in storage
+/// (the paper dictionary-encodes strings to 32-bit integers as well).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Int,
+    Float,
+    Str,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => f.write_str("INT"),
+            DataType::Float => f.write_str("FLOAT"),
+            DataType::Str => f.write_str("STR"),
+        }
+    }
+}
+
+/// A single scalar value (row-mode execution, constants, query results).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Null,
+}
+
+impl Datum {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Datum::Null)
+    }
+
+    /// Numeric view (integers widen to f64); `None` for NULL/strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Datum::Int(v) => Some(*v as f64),
+            Datum::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Datum::Int(v) => Some(*v),
+            Datum::Float(v) => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Datum::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for predicate results: non-zero numeric is true;
+    /// NULL is false (SQL three-valued logic collapses to false at the
+    /// filter boundary, which is all this engine needs).
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            Datum::Int(v) => *v != 0,
+            Datum::Float(v) => *v != 0.0,
+            Datum::Str(_) => false,
+            Datum::Null => false,
+        }
+    }
+
+    /// SQL comparison: NULLs sort last and compare equal to each other
+    /// (grouping semantics); cross numeric types compare by value.
+    pub fn sql_cmp(&self, other: &Datum) -> Ordering {
+        use Datum::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            (Str(a), Str(b)) => a.cmp(b),
+            (a, b) => {
+                let (x, y) = (a.as_f64(), b.as_f64());
+                match (x, y) {
+                    (Some(x), Some(y)) => x.partial_cmp(&y).unwrap_or(Ordering::Equal),
+                    _ => Ordering::Equal,
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(v) => write!(f, "{v}"),
+            Datum::Float(v) => write!(f, "{v}"),
+            Datum::Str(s) => write!(f, "{s}"),
+            Datum::Null => f.write_str("NULL"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(v: i64) -> Self {
+        Datum::Int(v)
+    }
+}
+
+impl From<f64> for Datum {
+    fn from(v: f64) -> Self {
+        Datum::Float(v)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(v: &str) -> Self {
+        Datum::Str(v.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Datum::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Datum::Float(2.5).as_i64(), Some(2));
+        assert_eq!(Datum::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Datum::Int(1).is_truthy());
+        assert!(!Datum::Int(0).is_truthy());
+        assert!(!Datum::Null.is_truthy());
+    }
+
+    #[test]
+    fn comparison_null_last() {
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Int(1)), Ordering::Greater);
+        assert_eq!(Datum::Int(1).sql_cmp(&Datum::Float(1.5)), Ordering::Less);
+        assert_eq!(Datum::Null.sql_cmp(&Datum::Null), Ordering::Equal);
+    }
+}

@@ -1,0 +1,866 @@
+//! The database: catalog, configuration and statement execution.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use joinboost_sql::ast::{Expr, Statement};
+use joinboost_sql::parse_statement;
+
+use crate::column::Column;
+use crate::compress::{compress, decompress, CompressedColumn};
+use crate::error::{EngineError, Result};
+use crate::exec::Executor;
+use crate::expr::{eval, eval_row, EvalContext};
+use crate::interop::ExternalTable;
+use crate::table::{ColumnMeta, Table};
+use crate::wal::Wal;
+
+/// Columnar vs row-oriented execution (the paper's `X-col` vs `X-row`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    Columnar,
+    Row,
+}
+
+/// In-memory vs disk-backed storage. Disk-backed configurations pay for a
+/// write-ahead log on every write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageMode {
+    Memory,
+    Disk,
+}
+
+/// Engine configuration. The named constructors correspond to the DBMS
+/// backends of the paper's evaluation (Section 6.3, Figure 15).
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    pub exec: ExecMode,
+    pub storage: StorageMode,
+    /// Write-ahead logging of updates and created tables.
+    pub wal: bool,
+    /// MVCC-style versioning: updates first copy the before-image of each
+    /// touched column into an undo buffer.
+    pub mvcc: bool,
+    /// Run-length compress stored tables; updates pay decompress+recompress.
+    pub compression: bool,
+    /// Whether the `SWAP COLUMN` extension is available (`D-Swap`).
+    pub allow_swap: bool,
+    /// Where to put the WAL file in disk mode (`None` → temp dir).
+    pub wal_path: Option<PathBuf>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self::duckdb_mem()
+    }
+}
+
+impl EngineConfig {
+    /// `D-mem`: in-memory columnar engine, MVCC + compression, no WAL.
+    pub fn duckdb_mem() -> Self {
+        EngineConfig {
+            exec: ExecMode::Columnar,
+            storage: StorageMode::Memory,
+            wal: false,
+            mvcc: true,
+            compression: true,
+            allow_swap: false,
+            wal_path: None,
+        }
+    }
+
+    /// `D-disk`: disk-backed columnar engine (WAL on writes).
+    pub fn duckdb_disk() -> Self {
+        EngineConfig {
+            storage: StorageMode::Disk,
+            wal: true,
+            ..Self::duckdb_mem()
+        }
+    }
+
+    /// `X-col`: commercial column store — disk-based, aggressive
+    /// compression, WAL and versioning.
+    pub fn dbms_x_col() -> Self {
+        EngineConfig {
+            storage: StorageMode::Disk,
+            wal: true,
+            ..Self::duckdb_mem()
+        }
+    }
+
+    /// `X-row`: commercial row store — row execution, no columnar
+    /// compression, WAL and versioning.
+    pub fn dbms_x_row() -> Self {
+        EngineConfig {
+            exec: ExecMode::Row,
+            storage: StorageMode::Disk,
+            wal: true,
+            mvcc: true,
+            compression: false,
+            allow_swap: false,
+            wal_path: None,
+        }
+    }
+
+    /// `D-Swap`: in-memory columnar engine with the column-swap extension.
+    pub fn d_swap() -> Self {
+        EngineConfig {
+            allow_swap: true,
+            ..Self::duckdb_mem()
+        }
+    }
+}
+
+/// Execution statistics (observable costs of the DBMS mechanisms).
+#[derive(Debug, Clone, Default)]
+pub struct DbStats {
+    pub queries: u64,
+    pub statements: u64,
+    pub wal_bytes: u64,
+    pub wal_records: u64,
+    pub undo_bytes: u64,
+    pub undo_versions: u64,
+    pub interop_bytes_copied: u64,
+    pub compressed_bytes_written: u64,
+    pub swaps: u64,
+}
+
+enum Stored {
+    Plain(Arc<Table>),
+    Compressed(Arc<CompressedTable>),
+    External(Arc<ExternalTable>),
+}
+
+struct CompressedTable {
+    meta: Vec<ColumnMeta>,
+    columns: Vec<CompressedColumn>,
+}
+
+/// Cap on retained MVCC before-images (older versions are garbage
+/// collected, as a real MVCC engine eventually does).
+const UNDO_CAP_BYTES: usize = 64 << 20;
+
+/// An embedded SQL database.
+pub struct Database {
+    config: EngineConfig,
+    catalog: RwLock<HashMap<String, Stored>>,
+    wal: Mutex<Wal>,
+    undo: Mutex<UndoLog>,
+    stats: Mutex<DbStats>,
+}
+
+#[derive(Default)]
+struct UndoLog {
+    versions: Vec<(String, Column)>,
+    bytes: usize,
+}
+
+impl Database {
+    /// Open a database with the given configuration.
+    pub fn new(config: EngineConfig) -> Database {
+        let wal = if config.wal {
+            let path = config.wal_path.clone().unwrap_or_else(|| {
+                std::env::temp_dir().join(format!(
+                    "jb_wal_{}_{:x}.log",
+                    std::process::id(),
+                    &config as *const _ as usize
+                ))
+            });
+            Wal::open(&path).unwrap_or_else(|_| Wal::disabled())
+        } else {
+            Wal::disabled()
+        };
+        Database {
+            config,
+            catalog: RwLock::new(HashMap::new()),
+            wal: Mutex::new(wal),
+            undo: Mutex::new(UndoLog::default()),
+            stats: Mutex::new(DbStats::default()),
+        }
+    }
+
+    /// In-memory columnar database with default (DuckDB-like) settings.
+    pub fn in_memory() -> Database {
+        Database::new(EngineConfig::duckdb_mem())
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    pub fn stats(&self) -> DbStats {
+        let mut s = self.stats.lock().clone();
+        let wal = self.wal.lock();
+        s.wal_bytes = wal.bytes_logged;
+        s.wal_records = wal.records;
+        s
+    }
+
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = DbStats::default();
+    }
+
+    // ---- programmatic catalog API -----------------------------------------
+
+    /// Register a table built in Rust (bulk load).
+    pub fn create_table(&self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut cat = self.catalog.write();
+        if cat.contains_key(&key) {
+            return Err(EngineError::TableExists(name.to_string()));
+        }
+        cat.insert(key, self.store(table));
+        Ok(())
+    }
+
+    /// Register (or replace) a table held in external dataframe storage
+    /// (the `DP` backend's fact table).
+    pub fn register_external(&self, name: &str, table: &Table) {
+        let key = name.to_ascii_lowercase();
+        self.catalog
+            .write()
+            .insert(key, Stored::External(Arc::new(ExternalTable::from_table(table))));
+    }
+
+    /// Access an external table's handle for O(1) column replacement.
+    pub fn external(&self, name: &str) -> Result<Arc<ExternalTable>> {
+        match self.catalog.read().get(&name.to_ascii_lowercase()) {
+            Some(Stored::External(e)) => Ok(Arc::clone(e)),
+            Some(_) => Err(EngineError::Other(format!("{name} is not external"))),
+            None => Err(EngineError::UnknownTable(name.to_string())),
+        }
+    }
+
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.catalog.write().remove(&key).is_none() {
+            return Err(EngineError::UnknownTable(name.to_string()));
+        }
+        if self.config.wal {
+            self.wal.lock().log_drop_table(name)?;
+        }
+        Ok(())
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.catalog.read().contains_key(&name.to_ascii_lowercase())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.catalog.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Approximate stored size of a table in bytes.
+    pub fn table_byte_size(&self, name: &str) -> Result<usize> {
+        match self.catalog.read().get(&name.to_ascii_lowercase()) {
+            Some(Stored::Plain(t)) => Ok(t.byte_size()),
+            Some(Stored::Compressed(c)) => {
+                Ok(c.columns.iter().map(CompressedColumn::byte_size).sum())
+            }
+            Some(Stored::External(e)) => Ok(e.copy_in().0.byte_size()),
+            None => Err(EngineError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Column names of a table (schema lookup, no data copied).
+    pub fn column_names(&self, name: &str) -> Result<Vec<String>> {
+        match self.catalog.read().get(&name.to_ascii_lowercase()) {
+            Some(Stored::Plain(t)) => Ok(t.meta.iter().map(|m| m.name.clone()).collect()),
+            Some(Stored::Compressed(c)) => Ok(c.meta.iter().map(|m| m.name.clone()).collect()),
+            Some(Stored::External(e)) => Ok(e.column_names().to_vec()),
+            None => Err(EngineError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Data type of one column (schema lookup).
+    pub fn column_dtype(&self, table: &str, column: &str) -> Result<crate::datum::DataType> {
+        match self.catalog.read().get(&table.to_ascii_lowercase()) {
+            Some(Stored::Plain(t)) => {
+                let i = t.resolve(None, column)?;
+                Ok(t.columns[i].dtype())
+            }
+            Some(Stored::Compressed(c)) => {
+                let i = c
+                    .meta
+                    .iter()
+                    .position(|m| m.name.eq_ignore_ascii_case(column))
+                    .ok_or_else(|| EngineError::UnknownColumn(column.to_string()))?;
+                Ok(c.columns[i].dtype)
+            }
+            Some(Stored::External(e)) => {
+                let arc = e.column_arc(column)?;
+                Ok(arc.dtype())
+            }
+            None => Err(EngineError::UnknownTable(table.to_string())),
+        }
+    }
+
+    pub fn row_count(&self, name: &str) -> Result<usize> {
+        match self.catalog.read().get(&name.to_ascii_lowercase()) {
+            Some(Stored::Plain(t)) => Ok(t.num_rows()),
+            Some(Stored::Compressed(c)) => Ok(c.columns.first().map_or(0, |cc| cc.len)),
+            Some(Stored::External(e)) => Ok(e.num_rows()),
+            None => Err(EngineError::UnknownTable(name.to_string())),
+        }
+    }
+
+    /// Materialize a scan snapshot of a table (decompressing or copying in
+    /// from external storage as the configuration dictates).
+    pub fn snapshot(&self, name: &str) -> Result<Table> {
+        let cat = self.catalog.read();
+        match cat.get(&name.to_ascii_lowercase()) {
+            Some(Stored::Plain(t)) => Ok((**t).clone()),
+            Some(Stored::Compressed(c)) => {
+                let mut t = Table::new();
+                for (m, cc) in c.meta.iter().zip(&c.columns) {
+                    t.push_column(m.clone(), decompress(cc));
+                }
+                Ok(t)
+            }
+            Some(Stored::External(e)) => {
+                let (t, bytes) = e.copy_in();
+                drop(cat);
+                self.stats.lock().interop_bytes_copied += bytes as u64;
+                Ok(t)
+            }
+            None => Err(EngineError::UnknownTable(name.to_string())),
+        }
+    }
+
+    fn store(&self, table: Table) -> Stored {
+        if self.config.compression {
+            let mut cols = Vec::with_capacity(table.columns.len());
+            let mut bytes = 0usize;
+            for c in &table.columns {
+                let cc = compress(c);
+                bytes += cc.byte_size();
+                cols.push(cc);
+            }
+            self.stats.lock().compressed_bytes_written += bytes as u64;
+            Stored::Compressed(Arc::new(CompressedTable {
+                meta: table.meta,
+                columns: cols,
+            }))
+        } else {
+            Stored::Plain(Arc::new(table))
+        }
+    }
+
+    // ---- SQL entry points --------------------------------------------------
+
+    /// Execute one SQL statement; `SELECT` returns its result, other
+    /// statements return an empty table.
+    pub fn execute(&self, sql: &str) -> Result<Table> {
+        let stmt = parse_statement(sql)?;
+        self.execute_statement(&stmt)
+    }
+
+    /// Convenience alias for `SELECT` statements.
+    pub fn query(&self, sql: &str) -> Result<Table> {
+        self.execute(sql)
+    }
+
+    /// Execute a pre-parsed statement.
+    pub fn execute_statement(&self, stmt: &Statement) -> Result<Table> {
+        self.stats.lock().statements += 1;
+        match stmt {
+            Statement::Select(q) => {
+                self.stats.lock().queries += 1;
+                Executor::new(self).query(q)
+            }
+            Statement::CreateTableAs {
+                name,
+                query,
+                or_replace,
+            } => {
+                self.stats.lock().queries += 1;
+                let result = Executor::new(self).query(query)?.unqualified();
+                let key = name.to_ascii_lowercase();
+                {
+                    let cat = self.catalog.read();
+                    if cat.contains_key(&key) && !or_replace {
+                        return Err(EngineError::TableExists(name.clone()));
+                    }
+                }
+                if self.config.wal {
+                    self.wal.lock().log_create_table(name, &result.columns)?;
+                }
+                let stored = self.store(result);
+                self.catalog.write().insert(key, stored);
+                Ok(Table::new())
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                self.update(table, assignments, where_clause.as_ref())?;
+                Ok(Table::new())
+            }
+            Statement::DropTable { name, if_exists } => {
+                if *if_exists && !self.has_table(name) {
+                    return Ok(Table::new());
+                }
+                self.drop_table(name)?;
+                Ok(Table::new())
+            }
+            Statement::SwapColumn {
+                table_a,
+                column_a,
+                table_b,
+                column_b,
+            } => {
+                self.swap_column(table_a, column_a, table_b, column_b)?;
+                Ok(Table::new())
+            }
+        }
+    }
+
+    fn update(
+        &self,
+        table: &str,
+        assignments: &[(String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<()> {
+        // Snapshot pays decompression (compressed storage) or copy-in
+        // (external storage); the write below pays WAL + undo + recompress.
+        let current = self.snapshot(table)?;
+        let n = current.num_rows();
+        let executor = Executor::new(self);
+        let ctx = EvalContext::new(&executor);
+        let mask: Vec<bool> = match where_clause {
+            Some(pred) => match self.config.exec {
+                ExecMode::Columnar => {
+                    let c = eval(pred, &current, &ctx)?;
+                    (0..n).map(|i| c.get(i).is_truthy()).collect()
+                }
+                ExecMode::Row => {
+                    let mut m = Vec::with_capacity(n);
+                    for i in 0..n {
+                        m.push(eval_row(pred, &current, i, &ctx)?.is_truthy());
+                    }
+                    m
+                }
+            },
+            None => vec![true; n],
+        };
+        let mut updated = current.clone();
+        for (col_name, expr) in assignments {
+            let idx = current.resolve(None, col_name)?;
+            // MVCC: copy the before-image into the undo buffer.
+            if self.config.mvcc {
+                let before = current.columns[idx].clone();
+                let bytes = before.byte_size();
+                let mut undo = self.undo.lock();
+                undo.versions.push((format!("{table}.{col_name}"), before));
+                undo.bytes += bytes;
+                while undo.bytes > UNDO_CAP_BYTES && !undo.versions.is_empty() {
+                    let (_, old) = undo.versions.remove(0);
+                    undo.bytes -= old.byte_size();
+                }
+                let mut stats = self.stats.lock();
+                stats.undo_bytes += bytes as u64;
+                stats.undo_versions += 1;
+            }
+            let new_vals = match self.config.exec {
+                ExecMode::Columnar => eval(expr, &current, &ctx)?,
+                ExecMode::Row => {
+                    let mut vals = Vec::with_capacity(n);
+                    for i in 0..n {
+                        vals.push(eval_row(expr, &current, i, &ctx)?);
+                    }
+                    Column::from_datums(&vals)
+                }
+            };
+            // Merge: masked rows take the new value, others keep the old.
+            let mut merged = Vec::with_capacity(n);
+            let old = &current.columns[idx];
+            for (i, &hit) in mask.iter().enumerate() {
+                merged.push(if hit { new_vals.get(i) } else { old.get(i) });
+            }
+            let merged_col = Column::from_datums(&merged);
+            if self.config.wal {
+                self.wal.lock().log_update_column(table, col_name, &merged_col)?;
+            }
+            updated.columns[idx] = merged_col;
+        }
+        let key = table.to_ascii_lowercase();
+        let was_external = matches!(self.catalog.read().get(&key), Some(Stored::External(_)));
+        if was_external {
+            self.catalog
+                .write()
+                .insert(key, Stored::External(Arc::new(ExternalTable::from_table(&updated))));
+        } else {
+            let stored = self.store(updated);
+            self.catalog.write().insert(key, stored);
+        }
+        Ok(())
+    }
+
+    fn swap_column(&self, ta: &str, ca: &str, tb: &str, cb: &str) -> Result<()> {
+        if !self.config.allow_swap {
+            return Err(EngineError::Other(
+                "column swap is not supported by this backend configuration".into(),
+            ));
+        }
+        let (ka, kb) = (ta.to_ascii_lowercase(), tb.to_ascii_lowercase());
+        let mut cat = self.catalog.write();
+        if !cat.contains_key(&ka) {
+            return Err(EngineError::UnknownTable(ta.to_string()));
+        }
+        if !cat.contains_key(&kb) {
+            return Err(EngineError::UnknownTable(tb.to_string()));
+        }
+        // External ⇄ external: swap Arc pointers.
+        if let (Some(Stored::External(ea)), Some(Stored::External(eb))) = (cat.get(&ka), cat.get(&kb))
+        {
+            let (ea, eb) = (Arc::clone(ea), Arc::clone(eb));
+            drop(cat);
+            let a = ea.column_arc(ca)?;
+            let b = eb.column_arc(cb)?;
+            ea.replace_column(ca, (*b).clone())?;
+            eb.replace_column(cb, (*a).clone())?;
+            self.stats.lock().swaps += 1;
+            return Ok(());
+        }
+        // Same-representation in-catalog swap: pull both columns out and
+        // exchange them. This is a schema-level pointer move — O(1) in the
+        // number of rows (Vec moves are three words).
+        let col_a = take_column(cat.get_mut(&ka).expect("checked"), ca)?;
+        let col_b = match take_column(cat.get_mut(&kb).expect("checked"), cb) {
+            Ok(c) => c,
+            Err(e) => {
+                // Restore A before bailing out.
+                put_column(cat.get_mut(&ka).expect("checked"), ca, col_a)?;
+                return Err(e);
+            }
+        };
+        put_column(cat.get_mut(&ka).expect("checked"), ca, col_b)?;
+        put_column(cat.get_mut(&kb).expect("checked"), cb, col_a)?;
+        self.stats.lock().swaps += 1;
+        Ok(())
+    }
+}
+
+/// Either a plain or a compressed column, moved between tables by swap.
+enum AnyColumn {
+    Plain(Column),
+    Compressed(CompressedColumn),
+}
+
+fn take_column(stored: &mut Stored, name: &str) -> Result<AnyColumn> {
+    match stored {
+        Stored::Plain(t) => {
+            let t = Arc::make_mut(t);
+            let idx = t.resolve(None, name)?;
+            // Leave a zero-length placeholder; put_column will replace it.
+            let col = std::mem::replace(&mut t.columns[idx], Column::int(vec![]));
+            Ok(AnyColumn::Plain(col))
+        }
+        Stored::Compressed(c) => {
+            let c = Arc::make_mut(c);
+            let idx = c
+                .meta
+                .iter()
+                .position(|m| m.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))?;
+            let placeholder = compress(&Column::int(vec![]));
+            let col = std::mem::replace(&mut c.columns[idx], placeholder);
+            Ok(AnyColumn::Compressed(col))
+        }
+        Stored::External(e) => {
+            let arc = e.column_arc(name)?;
+            Ok(AnyColumn::Plain((*arc).clone()))
+        }
+    }
+}
+
+fn put_column(stored: &mut Stored, name: &str, col: AnyColumn) -> Result<()> {
+    match stored {
+        Stored::Plain(t) => {
+            let t = Arc::make_mut(t);
+            let idx = t.resolve(None, name)?;
+            t.columns[idx] = match col {
+                AnyColumn::Plain(c) => c,
+                AnyColumn::Compressed(cc) => decompress(&cc),
+            };
+            Ok(())
+        }
+        Stored::Compressed(c) => {
+            let c = Arc::make_mut(c);
+            let idx = c
+                .meta
+                .iter()
+                .position(|m| m.name.eq_ignore_ascii_case(name))
+                .ok_or_else(|| EngineError::UnknownColumn(name.to_string()))?;
+            c.columns[idx] = match col {
+                AnyColumn::Compressed(cc) => cc,
+                AnyColumn::Plain(p) => compress(&p),
+            };
+            Ok(())
+        }
+        Stored::External(e) => {
+            let c = match col {
+                AnyColumn::Plain(c) => c,
+                AnyColumn::Compressed(cc) => decompress(&cc),
+            };
+            e.replace_column(name, c)
+        }
+    }
+}
+
+impl Clone for CompressedTable {
+    fn clone(&self) -> Self {
+        CompressedTable {
+            meta: self.meta.clone(),
+            columns: self.columns.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::Datum;
+
+    fn db_with_r() -> Database {
+        let db = Database::in_memory();
+        db.create_table(
+            "r",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 1, 2, 2])),
+                ("y", Column::float(vec![2.0, 3.0, 1.0, 2.0])),
+            ]),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn select_group_by_aggregates() {
+        let db = db_with_r();
+        let t = db
+            .query("SELECT a, SUM(y) AS s, COUNT(*) AS c FROM r GROUP BY a ORDER BY a")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column(None, "s").unwrap().get(0), Datum::Float(5.0));
+        assert_eq!(t.column(None, "c").unwrap().get(1), Datum::Int(2));
+    }
+
+    #[test]
+    fn global_aggregate_and_arithmetic_over_aggs() {
+        let db = db_with_r();
+        // variance = Q - S^2/C over all of r
+        let t = db
+            .query("SELECT SUM(y * y) - SUM(y) * SUM(y) / COUNT(*) AS v FROM r")
+            .unwrap();
+        let v = t.scalar_f64("v").unwrap();
+        assert!((v - 2.0).abs() < 1e-9, "got {v}");
+    }
+
+    #[test]
+    fn create_table_as_and_reuse() {
+        let db = db_with_r();
+        db.execute("CREATE TABLE agg AS SELECT a, SUM(y) AS s FROM r GROUP BY a")
+            .unwrap();
+        let t = db.query("SELECT SUM(s) AS total FROM agg").unwrap();
+        assert_eq!(t.scalar_f64("total").unwrap(), 8.0);
+        assert!(db.execute("CREATE TABLE agg AS SELECT 1 AS x").is_err());
+        db.execute("CREATE OR REPLACE TABLE agg AS SELECT 1 AS x")
+            .unwrap();
+        assert_eq!(db.row_count("agg").unwrap(), 1);
+    }
+
+    #[test]
+    fn update_with_predicate() {
+        let db = db_with_r();
+        db.execute("UPDATE r SET y = y - 1.0 WHERE a = 1").unwrap();
+        let t = db.query("SELECT SUM(y) AS s FROM r").unwrap();
+        assert_eq!(t.scalar_f64("s").unwrap(), 6.0);
+        let stats = db.stats();
+        assert_eq!(stats.undo_versions, 1, "MVCC before-image recorded");
+    }
+
+    #[test]
+    fn update_with_in_subquery() {
+        let db = db_with_r();
+        db.create_table(
+            "m",
+            Table::from_columns(vec![("a", Column::int(vec![2]))]),
+        )
+        .unwrap();
+        db.execute("UPDATE r SET y = 0.0 WHERE a IN (SELECT a FROM m)")
+            .unwrap();
+        let t = db.query("SELECT SUM(y) AS s FROM r").unwrap();
+        assert_eq!(t.scalar_f64("s").unwrap(), 5.0);
+    }
+
+    #[test]
+    fn swap_column_requires_capability() {
+        let db = db_with_r();
+        db.execute("CREATE TABLE r2 AS SELECT a, y + 1.0 AS y FROM r")
+            .unwrap();
+        assert!(db.execute("SWAP COLUMN r.y WITH r2.y").is_err());
+
+        let db2 = Database::new(EngineConfig::d_swap());
+        db2.create_table(
+            "f",
+            Table::from_columns(vec![("s", Column::float(vec![1.0, 2.0]))]),
+        )
+        .unwrap();
+        db2.create_table(
+            "f2",
+            Table::from_columns(vec![("s", Column::float(vec![10.0, 20.0]))]),
+        )
+        .unwrap();
+        db2.execute("SWAP COLUMN f.s WITH f2.s").unwrap();
+        assert_eq!(
+            db2.query("SELECT SUM(s) AS s FROM f").unwrap().scalar_f64("s").unwrap(),
+            30.0
+        );
+        assert_eq!(db2.stats().swaps, 1);
+    }
+
+    #[test]
+    fn join_via_sql() {
+        let db = db_with_r();
+        db.create_table(
+            "d",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 2])),
+                ("grp", Column::int(vec![10, 20])),
+            ]),
+        )
+        .unwrap();
+        let t = db
+            .query("SELECT grp, SUM(y) AS s FROM r JOIN d USING (a) GROUP BY grp ORDER BY grp")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column(None, "s").unwrap().get(0), Datum::Float(5.0));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched() {
+        let db = Database::in_memory();
+        db.create_table(
+            "l",
+            Table::from_columns(vec![("k", Column::int(vec![1, 2, 3]))]),
+        )
+        .unwrap();
+        db.create_table(
+            "rr",
+            Table::from_columns(vec![
+                ("k", Column::int(vec![1])),
+                ("v", Column::int(vec![100])),
+            ]),
+        )
+        .unwrap();
+        let t = db
+            .query("SELECT k, v FROM l LEFT JOIN rr USING (k) ORDER BY k")
+            .unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column(None, "v").unwrap().get(0), Datum::Int(100));
+        assert_eq!(t.column(None, "v").unwrap().get(2), Datum::Null);
+    }
+
+    #[test]
+    fn semi_join_filters_without_duplicating() {
+        let db = Database::in_memory();
+        db.create_table(
+            "l",
+            Table::from_columns(vec![("k", Column::int(vec![1, 2, 3]))]),
+        )
+        .unwrap();
+        db.create_table(
+            "rr",
+            Table::from_columns(vec![("k", Column::int(vec![1, 1, 2]))]),
+        )
+        .unwrap();
+        let t = db
+            .query("SELECT k FROM l SEMI JOIN rr USING (k) ORDER BY k")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2, "duplicates on the right do not multiply");
+    }
+
+    #[test]
+    fn window_over_grouped_subquery_matches_paper_example() {
+        // Example 2 shape: prefix sums over per-value aggregates.
+        let db = db_with_r();
+        let t = db
+            .query(
+                "SELECT a, SUM(c) OVER (ORDER BY a) AS cc, SUM(s) OVER (ORDER BY a) AS ss \
+                 FROM (SELECT a, SUM(y) AS s, COUNT(*) AS c FROM r GROUP BY a) AS g ORDER BY a",
+            )
+            .unwrap();
+        assert_eq!(t.column(None, "cc").unwrap().get(1), Datum::Float(4.0));
+        assert_eq!(t.column(None, "ss").unwrap().get(1), Datum::Float(8.0));
+    }
+
+    #[test]
+    fn row_mode_same_results() {
+        let db = Database::new(EngineConfig::dbms_x_row());
+        db.create_table(
+            "r",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 1, 2, 2])),
+                ("y", Column::float(vec![2.0, 3.0, 1.0, 2.0])),
+            ]),
+        )
+        .unwrap();
+        let t = db
+            .query("SELECT a, SUM(y) AS s FROM r WHERE y > 1.0 GROUP BY a ORDER BY a")
+            .unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column(None, "s").unwrap().get(0), Datum::Float(5.0));
+        assert_eq!(t.column(None, "s").unwrap().get(1), Datum::Float(2.0));
+    }
+
+    #[test]
+    fn external_table_scan_and_replace() {
+        let db = Database::in_memory();
+        let f = Table::from_columns(vec![
+            ("a", Column::int(vec![1, 2])),
+            ("s", Column::float(vec![1.0, 2.0])),
+        ]);
+        db.register_external("f", &f);
+        let t = db.query("SELECT SUM(s) AS s FROM f").unwrap();
+        assert_eq!(t.scalar_f64("s").unwrap(), 3.0);
+        assert!(db.stats().interop_bytes_copied > 0);
+        db.external("f")
+            .unwrap()
+            .replace_column("s", Column::float(vec![5.0, 5.0]))
+            .unwrap();
+        let t = db.query("SELECT SUM(s) AS s FROM f").unwrap();
+        assert_eq!(t.scalar_f64("s").unwrap(), 10.0);
+    }
+
+    #[test]
+    fn drop_table_if_exists() {
+        let db = db_with_r();
+        db.execute("DROP TABLE IF EXISTS nope").unwrap();
+        db.execute("DROP TABLE r").unwrap();
+        assert!(!db.has_table("r"));
+        assert!(db.execute("DROP TABLE r").is_err());
+    }
+
+    #[test]
+    fn order_by_desc_limit_and_null_last() {
+        let db = db_with_r();
+        // NULL criteria (e.g. division by zero at the boundary split) must
+        // sort last even in DESC order, so LIMIT 1 picks the real value.
+        let t = db
+            .query(
+                "SELECT a, CASE WHEN a = 1 THEN NULL ELSE 5.0 END AS crit \
+                 FROM r GROUP BY a ORDER BY crit DESC LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.column(None, "crit").unwrap().get(0), Datum::Float(5.0));
+        assert_eq!(t.column(None, "a").unwrap().get(0), Datum::Int(2));
+    }
+}

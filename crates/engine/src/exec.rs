@@ -1,0 +1,707 @@
+//! Query execution: joins, filters, grouping/aggregation, window functions,
+//! ordering. One materializing operator at a time — the same execution
+//! style the paper's generated SPJA queries assume.
+
+use std::collections::HashMap;
+
+use joinboost_sql::ast::{Expr, Join, JoinKind, Query, TableRef};
+
+use crate::column::{Column, HKey};
+use crate::datum::Datum;
+use crate::db::{Database, ExecMode};
+use crate::error::{EngineError, Result};
+use crate::expr::{eval, eval_row, EvalContext, SubqueryRunner};
+use crate::table::{ColumnMeta, Table};
+
+/// Aggregate function names.
+const AGGS: [&str; 5] = ["SUM", "COUNT", "AVG", "MIN", "MAX"];
+
+/// Executes queries against a [`Database`].
+pub struct Executor<'a> {
+    pub db: &'a Database,
+    pub mode: ExecMode,
+}
+
+impl SubqueryRunner for Executor<'_> {
+    fn run_subquery(&self, q: &Query) -> Result<Table> {
+        self.query(q)
+    }
+}
+
+impl<'a> Executor<'a> {
+    pub fn new(db: &'a Database) -> Self {
+        let mode = db.config().exec;
+        Executor { db, mode }
+    }
+
+    /// Execute a `SELECT` query to a materialized table.
+    pub fn query(&self, q: &Query) -> Result<Table> {
+        let ctx = EvalContext::new(self);
+        self.query_with_ctx(q, &ctx)
+    }
+
+    fn query_with_ctx(&self, q: &Query, ctx: &EvalContext) -> Result<Table> {
+        // FROM + JOINs.
+        let mut input = match &q.from {
+            Some(tref) => self.table_ref(tref)?,
+            None => dummy_table(),
+        };
+        for j in &q.joins {
+            input = self.join(input, j, ctx)?;
+        }
+        // WHERE.
+        if let Some(pred) = &q.where_clause {
+            let mask = self.predicate_mask(pred, &input, ctx)?;
+            input = input.filter(&mask);
+        }
+        // Aggregation or plain projection.
+        let has_agg = !q.group_by.is_empty()
+            || q.items.iter().any(|it| contains_aggregate(&it.expr));
+        let mut output = if has_agg {
+            self.aggregate(q, &input, ctx)?
+        } else {
+            self.project(q, &input, ctx)?
+        };
+        // ORDER BY (resolved against the projection first, then the input).
+        if !q.order_by.is_empty() {
+            let n = output.num_rows();
+            let mut sort_cols: Vec<Column> = Vec::with_capacity(q.order_by.len());
+            for item in &q.order_by {
+                let col = match eval(&item.expr, &output, ctx) {
+                    Ok(c) => c,
+                    Err(_) if !has_agg => eval(&item.expr, &input, ctx)?,
+                    Err(e) => return Err(e),
+                };
+                if col.len() != n {
+                    return Err(EngineError::Other("ORDER BY arity mismatch".into()));
+                }
+                sort_cols.push(col);
+            }
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.sort_by(|&x, &y| {
+                for (c, item) in sort_cols.iter().zip(&q.order_by) {
+                    let (a, b) = (c.get(x as usize), c.get(y as usize));
+                    // NULLs always sort last, regardless of direction.
+                    let ord = match (a.is_null(), b.is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) => std::cmp::Ordering::Greater,
+                        (false, true) => std::cmp::Ordering::Less,
+                        (false, false) => {
+                            let o = a.sql_cmp(&b);
+                            if item.desc {
+                                o.reverse()
+                            } else {
+                                o
+                            }
+                        }
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            output = output.take(&perm);
+        }
+        // LIMIT.
+        if let Some(l) = q.limit {
+            let keep = (l as usize).min(output.num_rows());
+            let idx: Vec<u32> = (0..keep as u32).collect();
+            output = output.take(&idx);
+        }
+        Ok(output)
+    }
+
+    fn table_ref(&self, tref: &TableRef) -> Result<Table> {
+        match tref {
+            TableRef::Named { name, alias } => {
+                let t = self.db.snapshot(name)?;
+                let binding = alias.as_deref().unwrap_or(name);
+                Ok(t.with_qualifier(binding))
+            }
+            TableRef::Subquery { query, alias } => {
+                let t = self.query(query)?;
+                match alias {
+                    Some(a) => Ok(t.unqualified().with_qualifier(a)),
+                    None => Ok(t.unqualified()),
+                }
+            }
+        }
+    }
+
+    fn predicate_mask(&self, pred: &Expr, table: &Table, ctx: &EvalContext) -> Result<Vec<bool>> {
+        let n = table.num_rows();
+        match self.mode {
+            ExecMode::Columnar => {
+                let c = eval(pred, table, ctx)?;
+                Ok((0..n).map(|i| c.get(i).is_truthy()).collect())
+            }
+            ExecMode::Row => {
+                let mut mask = Vec::with_capacity(n);
+                for i in 0..n {
+                    mask.push(eval_row(pred, table, i, ctx)?.is_truthy());
+                }
+                Ok(mask)
+            }
+        }
+    }
+
+    // ---- joins -----------------------------------------------------------
+
+    fn join(&self, left: Table, join: &Join, ctx: &EvalContext) -> Result<Table> {
+        let right = self.table_ref(&join.table)?;
+        if join.using.is_empty() {
+            return self.nested_loop_join(left, right, join, ctx);
+        }
+        let lkeys: Vec<usize> = join
+            .using
+            .iter()
+            .map(|k| left.resolve(None, k))
+            .collect::<Result<_>>()?;
+        let rkeys: Vec<usize> = join
+            .using
+            .iter()
+            .map(|k| right.resolve(None, k))
+            .collect::<Result<_>>()?;
+        // Build hash table on the right side.
+        let rn = right.num_rows();
+        let mut rindex: HashMap<Vec<HKey>, Vec<u32>> = HashMap::with_capacity(rn);
+        'rows: for i in 0..rn {
+            let mut key = Vec::with_capacity(rkeys.len());
+            for &k in &rkeys {
+                if !right.columns[k].is_valid(i) {
+                    continue 'rows; // NULL keys never match
+                }
+                key.push(right.columns[k].hkey(i));
+            }
+            rindex.entry(key).or_default().push(i as u32);
+        }
+        let ln = left.num_rows();
+        let mut lidx: Vec<u32> = Vec::with_capacity(ln);
+        let mut ridx: Vec<Option<u32>> = Vec::with_capacity(ln);
+        let mut rmatched = vec![false; rn];
+        let mut key = Vec::with_capacity(lkeys.len());
+        for i in 0..ln {
+            key.clear();
+            let mut has_null = false;
+            for &k in &lkeys {
+                if !left.columns[k].is_valid(i) {
+                    has_null = true;
+                    break;
+                }
+                key.push(left.columns[k].hkey(i));
+            }
+            let matches = if has_null { None } else { rindex.get(&key) };
+            match (join.kind, matches) {
+                (JoinKind::Inner, Some(rows)) => {
+                    for &r in rows {
+                        lidx.push(i as u32);
+                        ridx.push(Some(r));
+                        rmatched[r as usize] = true;
+                    }
+                }
+                (JoinKind::Inner, None) => {}
+                (JoinKind::Left | JoinKind::Full, Some(rows)) => {
+                    for &r in rows {
+                        lidx.push(i as u32);
+                        ridx.push(Some(r));
+                        rmatched[r as usize] = true;
+                    }
+                }
+                (JoinKind::Left | JoinKind::Full, None) => {
+                    lidx.push(i as u32);
+                    ridx.push(None);
+                }
+                (JoinKind::Semi, Some(rows)) => {
+                    if !rows.is_empty() {
+                        lidx.push(i as u32);
+                        ridx.push(None);
+                    }
+                }
+                (JoinKind::Semi, None) => {}
+            }
+        }
+        if join.kind == JoinKind::Semi {
+            // Semi join: left columns only, annotations unchanged.
+            let mut out = left.take(&lidx);
+            if let Some(on) = &join.on {
+                let mask = self.predicate_mask(on, &out, ctx)?;
+                out = out.filter(&mask);
+            }
+            return Ok(out);
+        }
+        let mut out = assemble_join(&left, &right, &join.using, &lkeys, &rkeys, &lidx, &ridx);
+        if join.kind == JoinKind::Full {
+            // Append unmatched right rows (left side NULL).
+            let extra: Vec<u32> = (0..rn as u32).filter(|&r| !rmatched[r as usize]).collect();
+            if !extra.is_empty() {
+                let extra_tbl = assemble_right_only(&left, &right, &join.using, &rkeys, &extra);
+                out = concat_tables(out, extra_tbl)?;
+            }
+        }
+        if let Some(on) = &join.on {
+            if join.kind == JoinKind::Inner {
+                let mask = self.predicate_mask(on, &out, ctx)?;
+                out = out.filter(&mask);
+            } else {
+                return Err(EngineError::Other(
+                    "ON predicates are only supported on inner/semi joins".into(),
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn nested_loop_join(
+        &self,
+        left: Table,
+        right: Table,
+        join: &Join,
+        ctx: &EvalContext,
+    ) -> Result<Table> {
+        if join.kind != JoinKind::Inner {
+            return Err(EngineError::Other(
+                "only inner joins may omit USING keys".into(),
+            ));
+        }
+        let (ln, rn) = (left.num_rows(), right.num_rows());
+        let mut lidx = Vec::with_capacity(ln * rn.min(4));
+        let mut ridx = Vec::with_capacity(ln * rn.min(4));
+        for i in 0..ln as u32 {
+            for j in 0..rn as u32 {
+                lidx.push(i);
+                ridx.push(Some(j));
+            }
+        }
+        let mut out = assemble_join(&left, &right, &[], &[], &[], &lidx, &ridx);
+        if let Some(on) = &join.on {
+            let mask = self.predicate_mask(on, &out, ctx)?;
+            out = out.filter(&mask);
+        }
+        Ok(out)
+    }
+
+    // ---- projection / aggregation -----------------------------------------
+
+    fn project(&self, q: &Query, input: &Table, ctx: &EvalContext) -> Result<Table> {
+        let mut out = Table::new();
+        for (i, item) in q.items.iter().enumerate() {
+            if matches!(item.expr, Expr::Wildcard) {
+                for (m, c) in input.meta.iter().zip(&input.columns) {
+                    if m.name.starts_with("__") {
+                        continue;
+                    }
+                    out.push_column(ColumnMeta::new(m.name.clone()), c.clone());
+                }
+                continue;
+            }
+            let col = match self.mode {
+                ExecMode::Columnar => eval(&item.expr, input, ctx)?,
+                ExecMode::Row => {
+                    let n = input.num_rows();
+                    let mut vals = Vec::with_capacity(n);
+                    for r in 0..n {
+                        vals.push(eval_row(&item.expr, input, r, ctx)?);
+                    }
+                    Column::from_datums(&vals)
+                }
+            };
+            out.push_column(ColumnMeta::new(item_name(item, i)), col);
+        }
+        Ok(out)
+    }
+
+    fn aggregate(&self, q: &Query, input: &Table, ctx: &EvalContext) -> Result<Table> {
+        let n = input.num_rows();
+        // 1. Group ids.
+        let key_cols: Vec<Column> = q
+            .group_by
+            .iter()
+            .map(|e| eval(e, input, ctx))
+            .collect::<Result<_>>()?;
+        let (gids, num_groups, rep_rows) = if key_cols.is_empty() {
+            (vec![0u32; n], 1usize, vec![0u32])
+        } else {
+            let mut map: HashMap<Vec<HKey>, u32> = HashMap::new();
+            let mut gids = Vec::with_capacity(n);
+            let mut reps: Vec<u32> = Vec::new();
+            for i in 0..n {
+                let key: Vec<HKey> = key_cols.iter().map(|c| c.hkey(i)).collect();
+                let next = map.len() as u32;
+                let g = *map.entry(key).or_insert_with(|| {
+                    reps.push(i as u32);
+                    next
+                });
+                gids.push(g);
+            }
+            let g = map.len();
+            (gids, g, reps)
+        };
+        // 2. Collect unique aggregate calls from the select list.
+        let mut aggs: Vec<Expr> = Vec::new();
+        for item in &q.items {
+            collect_aggregates(&item.expr, &mut aggs);
+        }
+        // 3. Compute each aggregate per group.
+        let mut agg_cols: Vec<Column> = Vec::with_capacity(aggs.len());
+        for agg in &aggs {
+            agg_cols.push(self.compute_aggregate(agg, input, &gids, num_groups, ctx)?);
+        }
+        // 4. Synthetic table: group keys (named __key{i}) + aggregates.
+        let mut synth = Table::new();
+        for (i, kc) in key_cols.iter().enumerate() {
+            synth.push_column(ColumnMeta::new(format!("__key{i}")), kc.take(&rep_rows));
+        }
+        for (i, ac) in agg_cols.into_iter().enumerate() {
+            synth.push_column(ColumnMeta::new(format!("__agg{i}")), ac);
+        }
+        // 5. Rewrite select items over the synthetic table and evaluate.
+        let mut out = Table::new();
+        for (i, item) in q.items.iter().enumerate() {
+            let rewritten = rewrite_post_agg(&item.expr, &q.group_by, &aggs)?;
+            let col = eval(&rewritten, &synth, ctx)?;
+            out.push_column(ColumnMeta::new(item_name(item, i)), col);
+        }
+        Ok(out)
+    }
+
+    fn compute_aggregate(
+        &self,
+        agg: &Expr,
+        input: &Table,
+        gids: &[u32],
+        num_groups: usize,
+        ctx: &EvalContext,
+    ) -> Result<Column> {
+        let Expr::Func { name, args } = agg else {
+            return Err(EngineError::Other("not an aggregate".into()));
+        };
+        let n = input.num_rows();
+        let is_count_star = name == "COUNT" && matches!(args.first(), Some(Expr::Wildcard));
+        let arg_col: Option<Column> = if is_count_star {
+            None
+        } else {
+            let a = args.first().ok_or_else(|| {
+                EngineError::Other(format!("aggregate {name} requires an argument"))
+            })?;
+            Some(match self.mode {
+                ExecMode::Columnar => eval(a, input, ctx)?,
+                ExecMode::Row => {
+                    let mut vals = Vec::with_capacity(n);
+                    for r in 0..n {
+                        vals.push(eval_row(a, input, r, ctx)?);
+                    }
+                    Column::from_datums(&vals)
+                }
+            })
+        };
+        match name.as_str() {
+            "COUNT" => {
+                let mut counts = vec![0i64; num_groups];
+                match &arg_col {
+                    None => {
+                        for &g in gids {
+                            counts[g as usize] += 1;
+                        }
+                    }
+                    Some(c) => {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if c.is_valid(i) {
+                                counts[g as usize] += 1;
+                            }
+                        }
+                    }
+                }
+                Ok(Column::int(counts))
+            }
+            "SUM" | "AVG" => {
+                let c = arg_col.expect("checked above");
+                let int_input = c.as_i64_slice().is_some() && name == "SUM";
+                let vals = c.to_f64_vec()?;
+                let mut sums = vec![0.0f64; num_groups];
+                let mut counts = vec![0i64; num_groups];
+                for (i, &g) in gids.iter().enumerate() {
+                    let v = vals[i];
+                    if !v.is_nan() {
+                        sums[g as usize] += v;
+                        counts[g as usize] += 1;
+                    }
+                }
+                if name == "AVG" {
+                    let out: Vec<Datum> = sums
+                        .iter()
+                        .zip(&counts)
+                        .map(|(&s, &c)| {
+                            if c == 0 {
+                                Datum::Null
+                            } else {
+                                Datum::Float(s / c as f64)
+                            }
+                        })
+                        .collect();
+                    return Ok(Column::from_datums(&out));
+                }
+                if int_input {
+                    let out: Vec<Datum> = sums
+                        .iter()
+                        .zip(&counts)
+                        .map(|(&s, &c)| {
+                            if c == 0 {
+                                Datum::Null
+                            } else {
+                                Datum::Int(s as i64)
+                            }
+                        })
+                        .collect();
+                    Ok(Column::from_datums(&out))
+                } else {
+                    let out: Vec<Datum> = sums
+                        .iter()
+                        .zip(&counts)
+                        .map(|(&s, &c)| if c == 0 { Datum::Null } else { Datum::Float(s) })
+                        .collect();
+                    Ok(Column::from_datums(&out))
+                }
+            }
+            "MIN" | "MAX" => {
+                let c = arg_col.expect("checked above");
+                let mut best: Vec<Datum> = vec![Datum::Null; num_groups];
+                for (i, &g) in gids.iter().enumerate() {
+                    if !c.is_valid(i) {
+                        continue;
+                    }
+                    let v = c.get(i);
+                    let replace = match &best[g as usize] {
+                        Datum::Null => true,
+                        cur => {
+                            let ord = v.sql_cmp(cur);
+                            if name == "MIN" {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if replace {
+                        best[g as usize] = v;
+                    }
+                }
+                Ok(Column::from_datums(&best))
+            }
+            other => Err(EngineError::Other(format!("unknown aggregate {other}"))),
+        }
+    }
+}
+
+/// `true` if the expression contains an aggregate function call.
+pub fn contains_aggregate(e: &Expr) -> bool {
+    match e {
+        Expr::Func { name, args } => {
+            AGGS.contains(&name.as_str()) || args.iter().any(contains_aggregate)
+        }
+        Expr::Binary { left, right, .. } => contains_aggregate(left) || contains_aggregate(right),
+        Expr::Unary { expr, .. } => contains_aggregate(expr),
+        Expr::Case { whens, else_expr } => {
+            whens
+                .iter()
+                .any(|(c, t)| contains_aggregate(c) || contains_aggregate(t))
+                || else_expr.as_deref().is_some_and(contains_aggregate)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate(expr) || list.iter().any(contains_aggregate)
+        }
+        Expr::IsNull { expr, .. } => contains_aggregate(expr),
+        Expr::InSubquery { expr, .. } => contains_aggregate(expr),
+        _ => false,
+    }
+}
+
+fn collect_aggregates(e: &Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Func { name, args } if AGGS.contains(&name.as_str()) => {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+            // Aggregates cannot nest; no need to recurse into args.
+            let _ = args;
+        }
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_aggregates(a, out);
+            }
+        }
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::Unary { expr, .. } => collect_aggregates(expr, out),
+        Expr::Case { whens, else_expr } => {
+            for (c, t) in whens {
+                collect_aggregates(c, out);
+                collect_aggregates(t, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for i in list {
+                collect_aggregates(i, out);
+            }
+        }
+        Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        _ => {}
+    }
+}
+
+/// Rewrite a post-aggregation expression: group-by expressions become
+/// `__key{i}` references, aggregate calls become `__agg{i}` references.
+fn rewrite_post_agg(e: &Expr, keys: &[Expr], aggs: &[Expr]) -> Result<Expr> {
+    if let Some(i) = keys.iter().position(|k| k == e) {
+        return Ok(Expr::col(format!("__key{i}")));
+    }
+    if let Some(i) = aggs.iter().position(|a| a == e) {
+        return Ok(Expr::col(format!("__agg{i}")));
+    }
+    match e {
+        Expr::Literal(_) => Ok(e.clone()),
+        Expr::Binary { op, left, right } => Ok(Expr::Binary {
+            op: *op,
+            left: Box::new(rewrite_post_agg(left, keys, aggs)?),
+            right: Box::new(rewrite_post_agg(right, keys, aggs)?),
+        }),
+        Expr::Unary { op, expr } => Ok(Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_post_agg(expr, keys, aggs)?),
+        }),
+        Expr::Func { name, args } => Ok(Expr::Func {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_post_agg(a, keys, aggs))
+                .collect::<Result<_>>()?,
+        }),
+        Expr::Case { whens, else_expr } => Ok(Expr::Case {
+            whens: whens
+                .iter()
+                .map(|(c, t)| {
+                    Ok((
+                        rewrite_post_agg(c, keys, aggs)?,
+                        rewrite_post_agg(t, keys, aggs)?,
+                    ))
+                })
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(e) => Some(Box::new(rewrite_post_agg(e, keys, aggs)?)),
+                None => None,
+            },
+        }),
+        Expr::Column { .. } => Err(EngineError::Other(format!(
+            "column {e} must appear in GROUP BY or inside an aggregate"
+        ))),
+        other => Err(EngineError::Other(format!(
+            "unsupported post-aggregation expression {other}"
+        ))),
+    }
+}
+
+fn item_name(item: &joinboost_sql::ast::SelectItem, index: usize) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    match &item.expr {
+        Expr::Column { name, .. } => name.clone(),
+        _ => format!("col{index}"),
+    }
+}
+
+fn dummy_table() -> Table {
+    Table::from_columns(vec![("__dummy", Column::int(vec![0]))])
+}
+
+/// Assemble a join result: all left columns, merged USING keys, and right
+/// columns minus the key columns.
+fn assemble_join(
+    left: &Table,
+    right: &Table,
+    using: &[String],
+    lkeys: &[usize],
+    rkeys: &[usize],
+    lidx: &[u32],
+    ridx: &[Option<u32>],
+) -> Table {
+    let _ = using;
+    let mut out = Table::new();
+    for (ci, (m, c)) in left.meta.iter().zip(&left.columns).enumerate() {
+        if lkeys.contains(&ci) {
+            // Merged key column: take from left (NULL rows only arise in
+            // FULL-join right-extension, handled separately).
+            out.push_column(m.clone(), c.take(lidx));
+        } else {
+            out.push_column(m.clone(), c.take(lidx));
+        }
+    }
+    for (ci, (m, c)) in right.meta.iter().zip(&right.columns).enumerate() {
+        if rkeys.contains(&ci) {
+            continue; // USING merges key columns
+        }
+        out.push_column(m.clone(), c.take_nullable(ridx));
+    }
+    out
+}
+
+/// Rows of a FULL join that exist only on the right: left columns are NULL
+/// except the merged key columns, which take the right values.
+fn assemble_right_only(
+    left: &Table,
+    right: &Table,
+    using: &[String],
+    rkeys: &[usize],
+    extra: &[u32],
+) -> Table {
+    let mut out = Table::new();
+    let nulls: Vec<Option<u32>> = vec![None; extra.len()];
+    for (ci, (m, c)) in left.meta.iter().zip(&left.columns).enumerate() {
+        let key_pos = using
+            .iter()
+            .position(|k| m.name.eq_ignore_ascii_case(k))
+            .filter(|_| {
+                // Only the actual key column instance merges.
+                left.resolve(None, &m.name).map(|r| r == ci).unwrap_or(false)
+            });
+        match key_pos {
+            Some(kp) => {
+                let rc = &right.columns[rkeys[kp]];
+                out.push_column(m.clone(), rc.take(extra));
+            }
+            None => out.push_column(m.clone(), c.take_nullable(&nulls)),
+        }
+    }
+    for (ci, (m, c)) in right.meta.iter().zip(&right.columns).enumerate() {
+        if rkeys.contains(&ci) {
+            continue;
+        }
+        out.push_column(m.clone(), c.take(extra));
+    }
+    out
+}
+
+/// Vertically concatenate two tables with identical layouts.
+fn concat_tables(a: Table, b: Table) -> Result<Table> {
+    if a.num_columns() != b.num_columns() {
+        return Err(EngineError::Other("concat layout mismatch".into()));
+    }
+    let mut out = Table::new();
+    for ((m, ca), cb) in a.meta.iter().zip(&a.columns).zip(&b.columns) {
+        let mut vals: Vec<Datum> = Vec::with_capacity(ca.len() + cb.len());
+        for i in 0..ca.len() {
+            vals.push(ca.get(i));
+        }
+        for i in 0..cb.len() {
+            vals.push(cb.get(i));
+        }
+        out.push_column(m.clone(), Column::from_datums(&vals));
+    }
+    Ok(out)
+}

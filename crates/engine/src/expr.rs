@@ -1,0 +1,724 @@
+//! Expression evaluation: vectorized (columnar) and tuple-at-a-time (row
+//! mode, used to model row-oriented engines like `X-row` in the paper).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+
+use joinboost_sql::ast::{BinaryOp, Expr, Query, UnaryOp, Value};
+
+use crate::column::{Column, ColumnData, HKey};
+use crate::datum::Datum;
+use crate::error::{EngineError, Result};
+use crate::table::Table;
+
+/// Something that can execute a subquery (implemented by the executor;
+/// needed for `IN (SELECT ..)` predicates).
+pub trait SubqueryRunner {
+    fn run_subquery(&self, q: &Query) -> Result<Table>;
+}
+
+/// Evaluation context: the subquery runner plus per-statement caches so
+/// that `IN (SELECT ..)` subqueries and window columns are computed once.
+pub struct EvalContext<'a> {
+    pub runner: &'a dyn SubqueryRunner,
+    subquery_sets: RefCell<HashMap<usize, Rc<HashSet<HKey>>>>,
+    window_cols: RefCell<HashMap<usize, Rc<Column>>>,
+}
+
+impl<'a> EvalContext<'a> {
+    pub fn new(runner: &'a dyn SubqueryRunner) -> Self {
+        EvalContext {
+            runner,
+            subquery_sets: RefCell::new(HashMap::new()),
+            window_cols: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn subquery_set(&self, q: &Query) -> Result<Rc<HashSet<HKey>>> {
+        let key = q as *const Query as usize;
+        if let Some(s) = self.subquery_sets.borrow().get(&key) {
+            return Ok(Rc::clone(s));
+        }
+        let t = self.runner.run_subquery(q)?;
+        if t.num_columns() != 1 {
+            return Err(EngineError::Other(
+                "IN subquery must return exactly one column".into(),
+            ));
+        }
+        let col = &t.columns[0];
+        let mut set = HashSet::with_capacity(col.len());
+        for i in 0..col.len() {
+            if col.is_valid(i) {
+                set.insert(col.hkey(i));
+            }
+        }
+        let rc = Rc::new(set);
+        self.subquery_sets.borrow_mut().insert(key, Rc::clone(&rc));
+        Ok(rc)
+    }
+
+    fn window_column(&self, expr: &Expr, table: &Table) -> Result<Rc<Column>> {
+        let key = expr as *const Expr as usize;
+        if let Some(c) = self.window_cols.borrow().get(&key) {
+            return Ok(Rc::clone(c));
+        }
+        let Expr::WindowSum { arg, order_by } = expr else {
+            return Err(EngineError::Other("not a window expression".into()));
+        };
+        let vals = eval(arg, table, self)?.to_f64_vec()?;
+        let keys = eval(order_by, table, self)?;
+        let n = vals.len();
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        perm.sort_by(|&a, &b| keys.get(a as usize).sql_cmp(&keys.get(b as usize)));
+        let mut out = vec![0.0f64; n];
+        let mut acc = 0.0;
+        for &i in &perm {
+            let v = vals[i as usize];
+            if !v.is_nan() {
+                acc += v;
+            }
+            out[i as usize] = acc;
+        }
+        let rc = Rc::new(Column::float(out));
+        self.window_cols.borrow_mut().insert(key, Rc::clone(&rc));
+        Ok(rc)
+    }
+}
+
+/// Vectorized evaluation of `expr` over all rows of `table`.
+pub fn eval(expr: &Expr, table: &Table, ctx: &EvalContext) -> Result<Column> {
+    let n = table.num_rows();
+    match expr {
+        Expr::Column { table: q, name } => Ok(table.column(q.as_deref(), name)?.clone()),
+        Expr::Literal(v) => Ok(broadcast_literal(v, n)),
+        Expr::Binary { op, left, right } => {
+            let l = eval(left, table, ctx)?;
+            let r = eval(right, table, ctx)?;
+            eval_binary(*op, &l, &r)
+        }
+        Expr::Unary { op, expr } => {
+            let c = eval(expr, table, ctx)?;
+            eval_unary(*op, &c)
+        }
+        Expr::Func { name, args } => {
+            let cols: Vec<Column> = args
+                .iter()
+                .map(|a| eval(a, table, ctx))
+                .collect::<Result<_>>()?;
+            eval_scalar_func(name, &cols, n)
+        }
+        Expr::Wildcard => Err(EngineError::Other(
+            "* is only valid in COUNT(*) or as a select item".into(),
+        )),
+        Expr::WindowSum { .. } => Ok((*ctx.window_column(expr, table)?).clone()),
+        Expr::Case { whens, else_expr } => {
+            let mut out: Vec<Datum> = match else_expr {
+                Some(e) => {
+                    let c = eval(e, table, ctx)?;
+                    (0..n).map(|i| c.get(i)).collect()
+                }
+                None => vec![Datum::Null; n],
+            };
+            let mut decided = vec![false; n];
+            for (cond, then) in whens {
+                let cmask = eval(cond, table, ctx)?;
+                let tvals = eval(then, table, ctx)?;
+                for i in 0..n {
+                    if !decided[i] && cmask.get(i).is_truthy() {
+                        out[i] = tvals.get(i);
+                        decided[i] = true;
+                    }
+                }
+            }
+            Ok(Column::from_datums(&out))
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            let set = ctx.subquery_set(query)?;
+            let c = eval(expr, table, ctx)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !c.is_valid(i) {
+                    out.push(0);
+                    continue;
+                }
+                let hit = set.contains(&c.hkey(i));
+                out.push((hit != *negated) as i64);
+            }
+            Ok(Column::int(out))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let c = eval(expr, table, ctx)?;
+            let mut set = HashSet::with_capacity(list.len());
+            for item in list {
+                let lc = eval(item, table, ctx)?;
+                if lc.len() != n && lc.len() != 1 {
+                    return Err(EngineError::Other("IN list item arity".into()));
+                }
+                if lc.is_valid(0) {
+                    set.insert(lc.hkey(0));
+                }
+            }
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                if !c.is_valid(i) {
+                    out.push(0);
+                    continue;
+                }
+                out.push((set.contains(&c.hkey(i)) != *negated) as i64);
+            }
+            Ok(Column::int(out))
+        }
+        Expr::IsNull { expr, negated } => {
+            let c = eval(expr, table, ctx)?;
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push((c.is_valid(i) == *negated) as i64);
+            }
+            Ok(Column::int(out))
+        }
+    }
+}
+
+fn broadcast_literal(v: &Value, n: usize) -> Column {
+    match v {
+        Value::Int(x) => Column::int(vec![*x; n]),
+        Value::Float(x) => Column::float(vec![*x; n]),
+        Value::Str(s) => Column::str(vec![s.clone(); n]),
+        Value::Null => Column {
+            data: ColumnData::Float(vec![0.0; n]),
+            validity: Some(vec![false; n]),
+        },
+    }
+}
+
+fn eval_unary(op: UnaryOp, c: &Column) -> Result<Column> {
+    let n = c.len();
+    match op {
+        UnaryOp::Neg => match (&c.data, &c.validity) {
+            (ColumnData::Int(v), None) => Ok(Column::int(v.iter().map(|x| -x).collect())),
+            (ColumnData::Float(v), None) => Ok(Column::float(v.iter().map(|x| -x).collect())),
+            _ => {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(match c.get(i) {
+                        Datum::Int(x) => Datum::Int(-x),
+                        Datum::Float(x) => Datum::Float(-x),
+                        Datum::Null => Datum::Null,
+                        Datum::Str(_) => {
+                            return Err(EngineError::TypeMismatch("negate string".into()))
+                        }
+                    });
+                }
+                Ok(Column::from_datums(&out))
+            }
+        },
+        UnaryOp::Not => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push((!c.get(i).is_truthy()) as i64);
+            }
+            Ok(Column::int(out))
+        }
+    }
+}
+
+fn eval_binary(op: BinaryOp, l: &Column, r: &Column) -> Result<Column> {
+    use BinaryOp::*;
+    let n = l.len().max(r.len());
+    // Fast path: dense numeric arithmetic over f64.
+    if matches!(op, Add | Sub | Mul | Div) {
+        // Integer-preserving path for Int ⊕ Int (except Div).
+        if let (Some(a), Some(b)) = (l.as_i64_slice(), r.as_i64_slice()) {
+            if op != Div {
+                let out: Vec<i64> = a
+                    .iter()
+                    .zip(b)
+                    .map(|(&x, &y)| match op {
+                        Add => x.wrapping_add(y),
+                        Sub => x.wrapping_sub(y),
+                        Mul => x.wrapping_mul(y),
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                return Ok(Column::int(out));
+            }
+        }
+        if l.validity.is_none()
+            && r.validity.is_none()
+            && !matches!(l.data, ColumnData::Str { .. })
+            && !matches!(r.data, ColumnData::Str { .. })
+            && op != Div
+        {
+            let a = l.to_f64_vec()?;
+            let b = r.to_f64_vec()?;
+            let out: Vec<f64> = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return Ok(Column::float(out));
+        }
+        // General arithmetic with NULL propagation; division by zero → NULL.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = l.f64_at(i.min(l.len() - 1));
+            let b = r.f64_at(i.min(r.len() - 1));
+            out.push(match (a, b) {
+                (Some(x), Some(y)) => match op {
+                    Add => Datum::Float(x + y),
+                    Sub => Datum::Float(x - y),
+                    Mul => Datum::Float(x * y),
+                    Div => {
+                        if y == 0.0 {
+                            Datum::Null
+                        } else {
+                            Datum::Float(x / y)
+                        }
+                    }
+                    _ => unreachable!(),
+                },
+                _ => Datum::Null,
+            });
+        }
+        return Ok(Column::from_datums(&out));
+    }
+    if matches!(op, And | Or) {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let a = l.get(i).is_truthy();
+            let b = r.get(i).is_truthy();
+            out.push(match op {
+                And => (a && b) as i64,
+                Or => (a || b) as i64,
+                _ => unreachable!(),
+            });
+        }
+        return Ok(Column::int(out));
+    }
+    // Comparisons.
+    let mut out = Vec::with_capacity(n);
+    let str_l = matches!(l.data, ColumnData::Str { .. });
+    let str_r = matches!(r.data, ColumnData::Str { .. });
+    for i in 0..n {
+        let li = i.min(l.len() - 1);
+        let ri = i.min(r.len() - 1);
+        if !l.is_valid(li) || !r.is_valid(ri) {
+            out.push(Datum::Null);
+            continue;
+        }
+        let ord = if str_l && str_r {
+            l.get(li).as_str().unwrap().cmp(r.get(ri).as_str().unwrap())
+        } else if str_l || str_r {
+            return Err(EngineError::TypeMismatch(
+                "cannot compare string with number".into(),
+            ));
+        } else {
+            let x = l.f64_at(li).expect("valid numeric");
+            let y = r.f64_at(ri).expect("valid numeric");
+            x.partial_cmp(&y).unwrap_or(std::cmp::Ordering::Equal)
+        };
+        use std::cmp::Ordering::*;
+        let b = match op {
+            Eq => ord == Equal,
+            Neq => ord != Equal,
+            Lt => ord == Less,
+            LtEq => ord != Greater,
+            Gt => ord == Greater,
+            GtEq => ord != Less,
+            _ => unreachable!(),
+        };
+        out.push(Datum::Int(b as i64));
+    }
+    Ok(Column::from_datums(&out))
+}
+
+fn eval_scalar_func(name: &str, args: &[Column], n: usize) -> Result<Column> {
+    let unary_math = |f: fn(f64) -> f64| -> Result<Column> {
+        let c = &args[0];
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(match c.f64_at(i) {
+                Some(x) => {
+                    let y = f(x);
+                    if y.is_finite() {
+                        Datum::Float(y)
+                    } else {
+                        Datum::Null
+                    }
+                }
+                None => Datum::Null,
+            });
+        }
+        Ok(Column::from_datums(&out))
+    };
+    match name {
+        "ABS" => unary_math(f64::abs),
+        "LOG" | "LN" => unary_math(f64::ln),
+        "EXP" => unary_math(f64::exp),
+        "SQRT" => unary_math(f64::sqrt),
+        "FLOOR" => unary_math(f64::floor),
+        "CEIL" => unary_math(f64::ceil),
+        "SIGN" => unary_math(f64::signum),
+        "POW" | "POWER" => {
+            if args.len() != 2 {
+                return Err(EngineError::Other("POW takes 2 arguments".into()));
+            }
+            let (a, b) = (&args[0], &args[1]);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(match (a.f64_at(i), b.f64_at(i)) {
+                    (Some(x), Some(y)) => Datum::Float(x.powf(y)),
+                    _ => Datum::Null,
+                });
+            }
+            Ok(Column::from_datums(&out))
+        }
+        "LEAST" | "GREATEST" => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut acc: Option<f64> = None;
+                for c in args {
+                    if let Some(x) = c.f64_at(i) {
+                        acc = Some(match acc {
+                            None => x,
+                            Some(a) => {
+                                if name == "LEAST" {
+                                    a.min(x)
+                                } else {
+                                    a.max(x)
+                                }
+                            }
+                        });
+                    }
+                }
+                out.push(acc.map_or(Datum::Null, Datum::Float));
+            }
+            Ok(Column::from_datums(&out))
+        }
+        "COALESCE" => {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                let mut v = Datum::Null;
+                for c in args {
+                    if c.is_valid(i.min(c.len().saturating_sub(1))) {
+                        v = c.get(i.min(c.len() - 1));
+                        break;
+                    }
+                }
+                out.push(v);
+            }
+            Ok(Column::from_datums(&out))
+        }
+        "SUM" | "COUNT" | "AVG" | "MIN" | "MAX" => Err(EngineError::Other(format!(
+            "aggregate {name} in scalar context (missing GROUP BY rewrite?)"
+        ))),
+        other => Err(EngineError::Other(format!("unknown function {other}"))),
+    }
+}
+
+/// Tuple-at-a-time evaluation (row-oriented engine mode). Semantically
+/// identical to [`eval`] but dispatches per row through [`Datum`] values,
+/// which is what makes row engines slower on analytical scans.
+pub fn eval_row(expr: &Expr, table: &Table, row: usize, ctx: &EvalContext) -> Result<Datum> {
+    match expr {
+        Expr::Column { table: q, name } => Ok(table.column(q.as_deref(), name)?.get(row)),
+        Expr::Literal(v) => Ok(match v {
+            Value::Int(x) => Datum::Int(*x),
+            Value::Float(x) => Datum::Float(*x),
+            Value::Str(s) => Datum::Str(s.clone()),
+            Value::Null => Datum::Null,
+        }),
+        Expr::Binary { op, left, right } => {
+            let l = eval_row(left, table, row, ctx)?;
+            let r = eval_row(right, table, row, ctx)?;
+            datum_binary(*op, &l, &r)
+        }
+        Expr::Unary { op, expr } => {
+            let v = eval_row(expr, table, row, ctx)?;
+            match op {
+                UnaryOp::Neg => match v {
+                    Datum::Int(x) => Ok(Datum::Int(-x)),
+                    Datum::Float(x) => Ok(Datum::Float(-x)),
+                    Datum::Null => Ok(Datum::Null),
+                    Datum::Str(_) => Err(EngineError::TypeMismatch("negate string".into())),
+                },
+                UnaryOp::Not => Ok(Datum::Int((!v.is_truthy()) as i64)),
+            }
+        }
+        Expr::Func { name, args } => {
+            let vals: Vec<Datum> = args
+                .iter()
+                .map(|a| eval_row(a, table, row, ctx))
+                .collect::<Result<_>>()?;
+            let cols: Vec<Column> = vals
+                .iter()
+                .map(|v| Column::from_datums(std::slice::from_ref(v)))
+                .collect();
+            let c = eval_scalar_func(name, &cols, 1)?;
+            Ok(c.get(0))
+        }
+        Expr::WindowSum { .. } => {
+            let col = ctx.window_column(expr, table)?;
+            Ok(col.get(row))
+        }
+        Expr::Case { whens, else_expr } => {
+            for (cond, then) in whens {
+                if eval_row(cond, table, row, ctx)?.is_truthy() {
+                    return eval_row(then, table, row, ctx);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_row(e, table, row, ctx),
+                None => Ok(Datum::Null),
+            }
+        }
+        Expr::InSubquery {
+            expr,
+            query,
+            negated,
+        } => {
+            let set = ctx.subquery_set(query)?;
+            let v = eval_row(expr, table, row, ctx)?;
+            if v.is_null() {
+                return Ok(Datum::Int(0));
+            }
+            let key = datum_hkey(&v);
+            Ok(Datum::Int((set.contains(&key) != *negated) as i64))
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_row(expr, table, row, ctx)?;
+            if v.is_null() {
+                return Ok(Datum::Int(0));
+            }
+            let mut hit = false;
+            for item in list {
+                let w = eval_row(item, table, row, ctx)?;
+                if v.sql_cmp(&w) == std::cmp::Ordering::Equal && !w.is_null() {
+                    hit = true;
+                    break;
+                }
+            }
+            Ok(Datum::Int((hit != *negated) as i64))
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_row(expr, table, row, ctx)?;
+            Ok(Datum::Int((v.is_null() != *negated) as i64))
+        }
+        Expr::Wildcard => Err(EngineError::Other("* in scalar context".into())),
+    }
+}
+
+fn datum_hkey(d: &Datum) -> HKey {
+    match d {
+        Datum::Null => HKey::Null,
+        Datum::Int(x) => HKey::Int(*x),
+        Datum::Float(x) => HKey::Float(if *x == 0.0 { 0.0f64 } else { *x }.to_bits()),
+        Datum::Str(s) => HKey::Str(s.clone()),
+    }
+}
+
+fn datum_binary(op: BinaryOp, l: &Datum, r: &Datum) -> Result<Datum> {
+    use BinaryOp::*;
+    match op {
+        And => Ok(Datum::Int((l.is_truthy() && r.is_truthy()) as i64)),
+        Or => Ok(Datum::Int((l.is_truthy() || r.is_truthy()) as i64)),
+        Add | Sub | Mul | Div => {
+            if let (Datum::Int(a), Datum::Int(b)) = (l, r) {
+                if op != Div {
+                    return Ok(Datum::Int(match op {
+                        Add => a.wrapping_add(*b),
+                        Sub => a.wrapping_sub(*b),
+                        Mul => a.wrapping_mul(*b),
+                        _ => unreachable!(),
+                    }));
+                }
+            }
+            match (l.as_f64(), r.as_f64()) {
+                (Some(x), Some(y)) => Ok(match op {
+                    Add => Datum::Float(x + y),
+                    Sub => Datum::Float(x - y),
+                    Mul => Datum::Float(x * y),
+                    Div => {
+                        if y == 0.0 {
+                            Datum::Null
+                        } else {
+                            Datum::Float(x / y)
+                        }
+                    }
+                    _ => unreachable!(),
+                }),
+                _ => Ok(Datum::Null),
+            }
+        }
+        Eq | Neq | Lt | LtEq | Gt | GtEq => {
+            if l.is_null() || r.is_null() {
+                return Ok(Datum::Null);
+            }
+            use std::cmp::Ordering::*;
+            let ord = match (l, r) {
+                (Datum::Str(a), Datum::Str(b)) => a.cmp(b),
+                (Datum::Str(_), _) | (_, Datum::Str(_)) => {
+                    return Err(EngineError::TypeMismatch(
+                        "cannot compare string with number".into(),
+                    ))
+                }
+                _ => l.sql_cmp(r),
+            };
+            let b = match op {
+                Eq => ord == Equal,
+                Neq => ord != Equal,
+                Lt => ord == Less,
+                LtEq => ord != Greater,
+                Gt => ord == Greater,
+                GtEq => ord != Less,
+                _ => unreachable!(),
+            };
+            Ok(Datum::Int(b as i64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinboost_sql::parse_expr;
+
+    struct NoSubqueries;
+    impl SubqueryRunner for NoSubqueries {
+        fn run_subquery(&self, _q: &Query) -> Result<Table> {
+            Err(EngineError::Other("no subqueries in this test".into()))
+        }
+    }
+
+    fn t1() -> Table {
+        Table::from_columns(vec![
+            ("a", Column::int(vec![1, 2, 3, 4])),
+            ("b", Column::float(vec![0.5, 1.5, 2.5, 3.5])),
+        ])
+    }
+
+    fn eval_str(sql: &str, table: &Table) -> Column {
+        let e = parse_expr(sql).unwrap();
+        let runner = NoSubqueries;
+        let ctx = EvalContext::new(&runner);
+        eval(&e, table, &ctx).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_int_preserving() {
+        let c = eval_str("a * 2 + 1", &t1());
+        assert_eq!(c.as_i64_slice().unwrap(), &[3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn division_is_float_and_zero_is_null() {
+        let c = eval_str("a / 2", &t1());
+        assert_eq!(c.get(0), Datum::Float(0.5));
+        let c = eval_str("a / 0", &t1());
+        assert_eq!(c.get(0), Datum::Null);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let c = eval_str("a > 2 AND b < 3.0", &t1());
+        assert_eq!(c.as_i64_slice().unwrap(), &[0, 0, 1, 0]);
+        let c = eval_str("NOT a = 1", &t1());
+        assert_eq!(c.get(0), Datum::Int(0));
+    }
+
+    #[test]
+    fn case_expression() {
+        let c = eval_str("CASE WHEN a <= 2 THEN 10 ELSE 20 END", &t1());
+        assert_eq!(c.as_i64_slice().unwrap(), &[10, 10, 20, 20]);
+    }
+
+    #[test]
+    fn in_list() {
+        let c = eval_str("a IN (1, 3)", &t1());
+        assert_eq!(c.as_i64_slice().unwrap(), &[1, 0, 1, 0]);
+        let c = eval_str("a NOT IN (1, 3)", &t1());
+        assert_eq!(c.as_i64_slice().unwrap(), &[0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn window_prefix_sum_respects_order() {
+        // Table deliberately out of key order.
+        let t = Table::from_columns(vec![
+            ("k", Column::int(vec![3, 1, 2])),
+            ("v", Column::float(vec![30.0, 10.0, 20.0])),
+        ]);
+        let c = eval_str("SUM(v) OVER (ORDER BY k)", &t);
+        // Sorted by k: 10, 30, 60 → scattered back to original positions.
+        assert_eq!(c.get(0), Datum::Float(60.0));
+        assert_eq!(c.get(1), Datum::Float(10.0));
+        assert_eq!(c.get(2), Datum::Float(30.0));
+    }
+
+    #[test]
+    fn scalar_functions() {
+        let c = eval_str("ABS(0 - b)", &t1());
+        assert_eq!(c.get(0), Datum::Float(0.5));
+        let c = eval_str("LOG(EXP(1.0))", &t1());
+        let v = c.f64_at(0).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+        let c = eval_str("GREATEST(a, 2)", &t1());
+        assert_eq!(c.get(0), Datum::Float(2.0));
+        let c = eval_str("LOG(0.0)", &t1());
+        assert_eq!(c.get(0), Datum::Null, "log(0) = -inf becomes NULL");
+    }
+
+    #[test]
+    fn row_mode_matches_vectorized() {
+        let t = t1();
+        let exprs = [
+            "a * 2 + 1",
+            "a / 2",
+            "CASE WHEN a <= 2 THEN 10 ELSE 20 END",
+            "a IN (1, 3)",
+            "b IS NULL",
+            "-a + b",
+        ];
+        let runner = NoSubqueries;
+        for sql in exprs {
+            let e = parse_expr(sql).unwrap();
+            let ctx = EvalContext::new(&runner);
+            let vec_col = eval(&e, &t, &ctx).unwrap();
+            for i in 0..t.num_rows() {
+                let rv = eval_row(&e, &t, i, &ctx).unwrap();
+                // Compare numerically (row mode may widen ints).
+                match (vec_col.get(i), rv) {
+                    (Datum::Null, Datum::Null) => {}
+                    (a, b) => {
+                        assert_eq!(a.as_f64(), b.as_f64(), "expr {sql} row {i}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_in_scalar_context_errors() {
+        let e = parse_expr("SUM(a)").unwrap();
+        let runner = NoSubqueries;
+        let ctx = EvalContext::new(&runner);
+        assert!(eval(&e, &t1(), &ctx).is_err());
+    }
+}

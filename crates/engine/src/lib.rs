@@ -1,0 +1,47 @@
+//! In-memory columnar SQL engine — the DBMS substrate for JoinBoost.
+//!
+//! The paper runs JoinBoost against DuckDB and a commercial DBMS ("DBMS-X").
+//! This crate is the from-scratch Rust substitute: it executes exactly the
+//! SQL subset JoinBoost emits (see `joinboost-sql`) over an in-memory
+//! columnar store, and implements the storage-engine mechanisms whose costs
+//! drive the paper's systems findings:
+//!
+//! * **columnar vs row execution** (`X-col` vs `X-row` in the paper) —
+//!   [`ExecMode`],
+//! * **write-ahead logging** — every write is encoded and appended to a log
+//!   file before it is applied ([`wal`]),
+//! * **MVCC-style versioning** — updates first copy the before-image of the
+//!   touched column into an undo buffer ([`db`]),
+//! * **lightweight columnar compression** — tables can be stored
+//!   run-length-encoded; updates must decompress, modify and recompress
+//!   ([`compress`]),
+//! * **column swap** — the paper's <100-LOC DuckDB extension: an O(1)
+//!   schema-level pointer swap of a column between two tables, bypassing
+//!   WAL, MVCC and compression entirely (`SWAP COLUMN a.x WITH b.y`),
+//! * **interop (dataframe) storage** — a table can be held in an external
+//!   uncompressed array store that is copied into the engine on every scan
+//!   (the DuckDB+Pandas `DP` backend) but supports O(1) column replacement
+//!   ([`interop`]),
+//! * **partitioned execution** — hash-partition a fact table over N worker
+//!   threads ("machines") with an explicit shuffle/merge stage
+//!   ([`partition`]).
+//!
+//! Entry point: [`Database`].
+
+pub mod column;
+pub mod compress;
+pub mod datum;
+pub mod db;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod interop;
+pub mod partition;
+pub mod table;
+pub mod wal;
+
+pub use column::Column;
+pub use datum::{DataType, Datum};
+pub use db::{Database, EngineConfig, ExecMode, StorageMode};
+pub use error::{EngineError, Result};
+pub use table::Table;

@@ -1,0 +1,181 @@
+//! Split criteria computed from aggregated semi-ring annotations
+//! (paper Section 3.3 and Appendices A–B).
+
+/// Variance of the target from the aggregated variance-ring annotation
+/// `(C, S, Q)`: `Q − S²/C`. Returns 0 for empty sets.
+pub fn variance(c: f64, s: f64, q: f64) -> f64 {
+    if c <= 0.0 {
+        0.0
+    } else {
+        q - s * s / c
+    }
+}
+
+/// Reduction in variance for a split (Appendix A). Only needs `(C, S)` of
+/// the node and `(Cσ, Sσ)` of the left side — the `Q` terms cancel:
+///
+/// `−S²/C + Sσ²/Cσ + (S−Sσ)²/(C−Cσ)`
+///
+/// Returns `None` for degenerate splits (either side empty), which a
+/// trainer must skip.
+pub fn variance_reduction(c_total: f64, s_total: f64, c_left: f64, s_left: f64) -> Option<f64> {
+    let c_right = c_total - c_left;
+    let s_right = s_total - s_left;
+    if c_left <= 0.0 || c_right <= 0.0 || c_total <= 0.0 {
+        return None;
+    }
+    Some(-s_total * s_total / c_total + s_left * s_left / c_left + s_right * s_right / c_right)
+}
+
+/// Second-order gain for gradient boosting (Appendix B): the loss reduction
+/// of splitting a node with totals `(G, H)` into `(G_l, H_l)` and the
+/// complement, with L2 regularization `lambda` and per-leaf penalty `alpha`:
+///
+/// `0.5·[G_l²/(H_l+λ) + G_r²/(H_r+λ) − G²/(H+λ)] − α`
+pub fn second_order_gain(
+    g_total: f64,
+    h_total: f64,
+    g_left: f64,
+    h_left: f64,
+    lambda: f64,
+    alpha: f64,
+) -> Option<f64> {
+    let g_right = g_total - g_left;
+    let h_right = h_total - h_left;
+    if h_left <= 0.0 || h_right <= 0.0 {
+        return None;
+    }
+    let term = |g: f64, h: f64| g * g / (h + lambda);
+    Some(0.5 * (term(g_left, h_left) + term(g_right, h_right) - term(g_total, h_total)) - alpha)
+}
+
+/// Optimal leaf prediction for second-order boosting: `−G/(H+λ)`.
+pub fn leaf_weight(g: f64, h: f64, lambda: f64) -> f64 {
+    if h + lambda <= 0.0 {
+        0.0
+    } else {
+        -g / (h + lambda)
+    }
+}
+
+/// Gini impurity from class counts `(C, C₁..C_k)`: `1 − Σ (Cᵢ/C)²`.
+pub fn gini(counts: &[f64]) -> f64 {
+    let (c, classes) = split_counts(counts);
+    if c <= 0.0 {
+        return 0.0;
+    }
+    1.0 - classes.iter().map(|&ci| (ci / c) * (ci / c)).sum::<f64>()
+}
+
+/// Entropy from class counts: `−Σ (Cᵢ/C)·log(Cᵢ/C)` (natural log).
+pub fn entropy(counts: &[f64]) -> f64 {
+    let (c, classes) = split_counts(counts);
+    if c <= 0.0 {
+        return 0.0;
+    }
+    -classes
+        .iter()
+        .filter(|&&ci| ci > 0.0)
+        .map(|&ci| {
+            let p = ci / c;
+            p * p.ln()
+        })
+        .sum::<f64>()
+}
+
+/// Chi-square statistic of a binary split (Appendix A): given node counts
+/// and the left-side counts, sums `(observed − expected)²/expected` over
+/// classes and sides.
+pub fn chi_square(total: &[f64], left: &[f64]) -> f64 {
+    let (c, classes) = split_counts(total);
+    let (c_l, classes_l) = split_counts(left);
+    let c_r = c - c_l;
+    if c <= 0.0 {
+        return 0.0;
+    }
+    let mut stat = 0.0;
+    for (i, &ci) in classes.iter().enumerate() {
+        let obs_l = classes_l[i];
+        let obs_r = ci - obs_l;
+        let exp_l = ci * c_l / c;
+        let exp_r = ci * c_r / c;
+        if exp_l > 0.0 {
+            stat += (obs_l - exp_l) * (obs_l - exp_l) / exp_l;
+        }
+        if exp_r > 0.0 {
+            stat += (obs_r - exp_r) * (obs_r - exp_r) / exp_r;
+        }
+    }
+    stat
+}
+
+fn split_counts(counts: &[f64]) -> (f64, &[f64]) {
+    assert!(counts.len() >= 2, "need total + at least one class count");
+    (counts[0], &counts[1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_from_paper_example_1() {
+        assert_eq!(variance(8.0, 16.0, 36.0), 4.0);
+    }
+
+    #[test]
+    fn variance_reduction_matches_direct_computation() {
+        // Values: left = [1, 2], right = [5, 6].
+        let ys = [1.0, 2.0, 5.0, 6.0];
+        let (c, s, q) = ys
+            .iter()
+            .fold((0.0, 0.0, 0.0), |(c, s, q), &y| (c + 1.0, s + y, q + y * y));
+        let (cl, sl, ql) = (2.0, 3.0, 5.0);
+        let direct = variance(c, s, q)
+            - variance(cl, sl, ql)
+            - variance(c - cl, s - sl, q - ql);
+        let via_formula = variance_reduction(c, s, cl, sl).unwrap();
+        assert!((direct - via_formula).abs() < 1e-9);
+        assert!(via_formula > 0.0);
+    }
+
+    #[test]
+    fn degenerate_splits_are_none() {
+        assert!(variance_reduction(4.0, 8.0, 0.0, 0.0).is_none());
+        assert!(variance_reduction(4.0, 8.0, 4.0, 8.0).is_none());
+        assert!(second_order_gain(1.0, 4.0, 1.0, 4.0, 1.0, 0.0).is_none());
+    }
+
+    #[test]
+    fn second_order_gain_and_leaf_weight() {
+        // Perfect split of residuals [-1,-1,+1,+1] with unit hessians.
+        let gain = second_order_gain(0.0, 4.0, -2.0, 2.0, 0.0, 0.0).unwrap();
+        assert!((gain - 2.0).abs() < 1e-12);
+        assert_eq!(leaf_weight(-2.0, 2.0, 0.0), 1.0);
+        assert_eq!(leaf_weight(-2.0, 2.0, 2.0), 0.5);
+        // Alpha penalizes each split.
+        let gain_a = second_order_gain(0.0, 4.0, -2.0, 2.0, 0.0, 0.5).unwrap();
+        assert!((gain_a - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_entropy_bounds() {
+        // Pure node.
+        assert_eq!(gini(&[4.0, 4.0, 0.0]), 0.0);
+        assert_eq!(entropy(&[4.0, 4.0, 0.0]), 0.0);
+        // Perfectly mixed binary node.
+        assert!((gini(&[4.0, 2.0, 2.0]) - 0.5).abs() < 1e-12);
+        assert!((entropy(&[4.0, 2.0, 2.0]) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_zero_for_independent_split() {
+        // Split that preserves class ratios exactly → χ² = 0.
+        let total = [8.0, 4.0, 4.0];
+        let left = [4.0, 2.0, 2.0];
+        assert!(chi_square(&total, &left).abs() < 1e-12);
+        // Perfectly separating split → large χ².
+        let left = [4.0, 4.0, 0.0];
+        assert!(chi_square(&total, &left) > 7.9);
+    }
+}

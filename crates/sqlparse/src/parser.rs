@@ -1,0 +1,758 @@
+//! Recursive-descent / Pratt parser for the JoinBoost SQL subset.
+
+use std::fmt;
+
+use crate::ast::{
+    BinaryOp, Expr, Join, JoinKind, OrderByItem, Query, SelectItem, Statement, TableRef, UnaryOp,
+    Value,
+};
+use crate::token::{tokenize, LexError, Token};
+
+/// Parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    pub message: String,
+    /// Token index where the error occurred (for diagnostics).
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at token {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            message: e.to_string(),
+            position: 0,
+        }
+    }
+}
+
+/// Parse a single SQL statement.
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let stmt = p.statement()?;
+    p.skip_semicolons();
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a `SELECT` query.
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let q = p.query()?;
+    p.skip_semicolons();
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a scalar expression (useful for tests and the predicate API).
+pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr(0)?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(sql)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: message.into(),
+            position: self.pos,
+        })
+    }
+
+    /// Does the next token equal the given keyword (case-insensitive)?
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Word(w)) if w.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consume the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw}, found {:?}", self.peek()))
+        }
+    }
+
+    fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), ParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            self.err(format!("expected {tok:?}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn skip_semicolons(&mut self) {
+        while self.eat(&Token::Semicolon) {}
+    }
+
+    fn identifier(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Token::Word(w)) => {
+                if is_reserved(&w) {
+                    self.err(format!("reserved word {w} used as identifier"))
+                } else {
+                    Ok(w)
+                }
+            }
+            Some(Token::QuotedIdent(w)) => Ok(w),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    // ---- statements -----------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.peek_kw("SELECT") {
+            return Ok(Statement::Select(self.query()?));
+        }
+        if self.eat_kw("CREATE") {
+            let or_replace = if self.eat_kw("OR") {
+                self.expect_kw("REPLACE")?;
+                true
+            } else {
+                false
+            };
+            self.expect_kw("TABLE")?;
+            let name = self.identifier()?;
+            self.expect_kw("AS")?;
+            let query = self.query()?;
+            return Ok(Statement::CreateTableAs {
+                name,
+                query,
+                or_replace,
+            });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.identifier()?;
+            self.expect_kw("SET")?;
+            let mut assignments = Vec::new();
+            loop {
+                let col = self.identifier()?;
+                self.expect(&Token::Eq)?;
+                let e = self.expr(0)?;
+                assignments.push((col, e));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            let where_clause = if self.eat_kw("WHERE") {
+                Some(self.expr(0)?)
+            } else {
+                None
+            };
+            return Ok(Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            });
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let if_exists = if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                true
+            } else {
+                false
+            };
+            let name = self.identifier()?;
+            return Ok(Statement::DropTable { name, if_exists });
+        }
+        if self.eat_kw("SWAP") {
+            self.expect_kw("COLUMN")?;
+            let table_a = self.identifier()?;
+            self.expect(&Token::Dot)?;
+            let column_a = self.identifier()?;
+            self.expect_kw("WITH")?;
+            let table_b = self.identifier()?;
+            self.expect(&Token::Dot)?;
+            let column_b = self.identifier()?;
+            return Ok(Statement::SwapColumn {
+                table_a,
+                column_a,
+                table_b,
+                column_b,
+            });
+        }
+        self.err(format!("expected statement, found {:?}", self.peek()))
+    }
+
+    // ---- queries --------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr(0)?;
+            let alias = if self.eat_kw("AS") {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let from = if self.eat_kw("FROM") {
+            Some(self.table_ref()?)
+        } else {
+            None
+        };
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek_kw("JOIN") || self.peek_kw("INNER") {
+                self.eat_kw("INNER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.peek_kw("LEFT") {
+                self.pos += 1;
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Left
+            } else if self.peek_kw("SEMI") {
+                self.pos += 1;
+                self.expect_kw("JOIN")?;
+                JoinKind::Semi
+            } else if self.peek_kw("FULL") {
+                self.pos += 1;
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::Full
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            let mut using = Vec::new();
+            let mut on = None;
+            if self.eat_kw("USING") {
+                self.expect(&Token::LParen)?;
+                loop {
+                    using.push(self.identifier()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            if self.eat_kw("ON") {
+                on = Some(self.expr(0)?);
+            }
+            joins.push(Join {
+                kind,
+                table,
+                using,
+                on,
+            });
+        }
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr(0)?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr(0)?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let expr = self.expr(0)?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push(OrderByItem { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            match self.next() {
+                Some(Token::Int(v)) if v >= 0 => Some(v as u64),
+                other => return self.err(format!("expected LIMIT count, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat(&Token::LParen) {
+            let query = self.query()?;
+            self.expect(&Token::RParen)?;
+            let has_alias = self.eat_kw("AS")
+                || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w));
+            let alias = if has_alias { Some(self.identifier()?) } else { None };
+            return Ok(TableRef::Subquery {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.identifier()?;
+        let has_alias = self.eat_kw("AS")
+            || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w));
+        let alias = if has_alias { Some(self.identifier()?) } else { None };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    // ---- expressions (Pratt) ---------------------------------------------
+
+    fn expr(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.prefix()?;
+        loop {
+            // Postfix predicates: IS [NOT] NULL, [NOT] IN (...). These bind
+            // at comparison precedence (3).
+            if min_prec <= 3 {
+                if self.peek_kw("IS") {
+                    self.pos += 1;
+                    let negated = self.eat_kw("NOT");
+                    self.expect_kw("NULL")?;
+                    lhs = Expr::IsNull {
+                        expr: Box::new(lhs),
+                        negated,
+                    };
+                    continue;
+                }
+                let negated_in = if self.peek_kw("NOT") {
+                    // Lookahead for NOT IN; bare NOT here is invalid anyway.
+                    matches!(self.tokens.get(self.pos + 1), Some(Token::Word(w)) if w.eq_ignore_ascii_case("IN"))
+                } else {
+                    false
+                };
+                if negated_in || self.peek_kw("IN") {
+                    if negated_in {
+                        self.pos += 1; // NOT
+                    }
+                    self.expect_kw("IN")?;
+                    self.expect(&Token::LParen)?;
+                    if self.peek_kw("SELECT") {
+                        let q = self.query()?;
+                        self.expect(&Token::RParen)?;
+                        lhs = Expr::InSubquery {
+                            expr: Box::new(lhs),
+                            query: Box::new(q),
+                            negated: negated_in,
+                        };
+                    } else {
+                        let mut list = Vec::new();
+                        loop {
+                            list.push(self.expr(0)?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                        lhs = Expr::InList {
+                            expr: Box::new(lhs),
+                            list,
+                            negated: negated_in,
+                        };
+                    }
+                    continue;
+                }
+            }
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Eq) => BinaryOp::Eq,
+                Some(Token::Neq) => BinaryOp::Neq,
+                Some(Token::Lt) => BinaryOp::Lt,
+                Some(Token::LtEq) => BinaryOp::LtEq,
+                Some(Token::Gt) => BinaryOp::Gt,
+                Some(Token::GtEq) => BinaryOp::GtEq,
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("AND") => BinaryOp::And,
+                Some(Token::Word(w)) if w.eq_ignore_ascii_case("OR") => BinaryOp::Or,
+                _ => break,
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                break;
+            }
+            self.pos += 1;
+            // Left-associative: parse the right side at prec + 1.
+            let rhs = self.expr(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                left: Box::new(lhs),
+                right: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn prefix(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().cloned() {
+            Some(Token::Minus) => {
+                self.pos += 1;
+                let e = self.expr(6)?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(e),
+                })
+            }
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(v)))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(v)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::Star) => {
+                self.pos += 1;
+                Ok(Expr::Wildcard)
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.expr(0)?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NOT") => {
+                self.pos += 1;
+                // NOT binds looser than comparisons but tighter than AND.
+                let e = self.expr(3)?;
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(e),
+                })
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("CASE") => {
+                self.pos += 1;
+                let mut whens = Vec::new();
+                while self.eat_kw("WHEN") {
+                    let cond = self.expr(0)?;
+                    self.expect_kw("THEN")?;
+                    let then = self.expr(0)?;
+                    whens.push((cond, then));
+                }
+                if whens.is_empty() {
+                    return self.err("CASE requires at least one WHEN");
+                }
+                let else_expr = if self.eat_kw("ELSE") {
+                    Some(Box::new(self.expr(0)?))
+                } else {
+                    None
+                };
+                self.expect_kw("END")?;
+                Ok(Expr::Case { whens, else_expr })
+            }
+            Some(Token::Word(w)) => {
+                if is_reserved(&w) {
+                    return self.err(format!("unexpected keyword {w}"));
+                }
+                self.pos += 1;
+                // Function call?
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() != Some(&Token::RParen) {
+                        loop {
+                            args.push(self.expr(0)?);
+                            if !self.eat(&Token::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    let name = w.to_ascii_uppercase();
+                    // Window form: SUM(x) OVER (ORDER BY a)
+                    if self.eat_kw("OVER") {
+                        if name != "SUM" || args.len() != 1 {
+                            return self.err("only SUM(expr) OVER (ORDER BY key) is supported");
+                        }
+                        self.expect(&Token::LParen)?;
+                        self.expect_kw("ORDER")?;
+                        self.expect_kw("BY")?;
+                        let order_by = self.expr(0)?;
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::WindowSum {
+                            arg: Box::new(args.into_iter().next().expect("one arg")),
+                            order_by: Box::new(order_by),
+                        });
+                    }
+                    return Ok(Expr::Func { name, args });
+                }
+                // Qualified column?
+                if self.eat(&Token::Dot) {
+                    let name = self.identifier()?;
+                    return Ok(Expr::Column {
+                        table: Some(w),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    table: None,
+                    name: w,
+                })
+            }
+            Some(Token::QuotedIdent(w)) => {
+                self.pos += 1;
+                if self.eat(&Token::Dot) {
+                    let name = self.identifier()?;
+                    return Ok(Expr::Column {
+                        table: Some(w),
+                        name,
+                    });
+                }
+                Ok(Expr::Column {
+                    table: None,
+                    name: w,
+                })
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Reserved words that may not be used as bare identifiers.
+fn is_reserved(w: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT",
+        "SEMI", "FULL", "OUTER", "ON", "USING", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL",
+        "CASE", "WHEN", "THEN", "ELSE", "END", "CREATE", "REPLACE", "TABLE", "UPDATE", "SET",
+        "DROP", "IF", "EXISTS", "SWAP", "COLUMN", "WITH", "OVER", "DESC", "ASC",
+    ];
+    RESERVED.iter().any(|r| w.eq_ignore_ascii_case(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_stmt(sql: &str) {
+        let s1 = parse_statement(sql).unwrap();
+        let printed = s1.to_string();
+        let s2 = parse_statement(&printed).unwrap();
+        assert_eq!(s1, s2, "roundtrip failed for {sql}\nprinted: {printed}");
+    }
+
+    #[test]
+    fn parses_paper_example_2_split_query() {
+        // The best-split query from Example 2 of the paper (with constants
+        // interpolated, as JoinBoost does).
+        let sql = "SELECT A, -(100.0/8.0) * 100.0 + (s/c) * s \
+                   + (100.0 - s)/(8.0 - c) * (100.0 - s) AS criteria \
+                   FROM (SELECT A, SUM(c) OVER(ORDER BY A) as c, SUM(s) OVER(ORDER BY A) as s \
+                   FROM (SELECT A, sum(Y) as s, COUNT(*) as c FROM R GROUP BY A) AS g) AS w \
+                   ORDER BY criteria DESC LIMIT 1";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.items[1].alias.as_deref(), Some("criteria"));
+        assert_eq!(q.limit, Some(1));
+        roundtrip_stmt(sql);
+    }
+
+    #[test]
+    fn parses_update_with_semijoin_predicate() {
+        let sql = "UPDATE F SET s = s - 2.5 * c WHERE F.a1 IN (SELECT a1 FROM m1) AND F.a2 IN (SELECT a2 FROM m2)";
+        let s = parse_statement(sql).unwrap();
+        match &s {
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                assert_eq!(table, "F");
+                assert_eq!(assignments.len(), 1);
+                assert!(where_clause.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        roundtrip_stmt(sql);
+    }
+
+    #[test]
+    fn parses_create_table_as_with_case() {
+        let sql = "CREATE TABLE F_updated AS SELECT \
+                   CASE WHEN F.a IN (SELECT a FROM m) THEN s - 1.5 * c ELSE s END AS s, c \
+                   FROM F";
+        roundtrip_stmt(sql);
+    }
+
+    #[test]
+    fn parses_joins() {
+        let sql = "SELECT a FROM r JOIN s USING (a) LEFT JOIN t USING (a, b) SEMI JOIN u USING (c)";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(q.joins.len(), 3);
+        assert_eq!(q.joins[0].kind, JoinKind::Inner);
+        assert_eq!(q.joins[1].kind, JoinKind::Left);
+        assert_eq!(q.joins[1].using, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(q.joins[2].kind, JoinKind::Semi);
+        roundtrip_stmt(sql);
+    }
+
+    #[test]
+    fn parses_not_in_and_is_null() {
+        let sql = "SELECT a FROM r WHERE a NOT IN (1, 2, 3) AND b IS NOT NULL AND c IS NULL";
+        roundtrip_stmt(sql);
+    }
+
+    #[test]
+    fn parses_swap_column() {
+        let s = parse_statement("SWAP COLUMN f.s WITH f_new.s").unwrap();
+        assert_eq!(
+            s,
+            Statement::SwapColumn {
+                table_a: "f".into(),
+                column_a: "s".into(),
+                table_b: "f_new".into(),
+                column_b: "s".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e, Expr::add(Expr::int(1), Expr::mul(Expr::int(2), Expr::int(3))));
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e, Expr::mul(Expr::add(Expr::int(1), Expr::int(2)), Expr::int(3)));
+        let e = parse_expr("a = 1 AND b = 2 OR c = 3").unwrap();
+        match e {
+            Expr::Binary { op: BinaryOp::Or, .. } => {}
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_unary_not_and_neg() {
+        let sql = "SELECT a FROM r WHERE NOT a > 1 AND -b < 2";
+        roundtrip_stmt(sql);
+        let e = parse_expr("NOT a > 1").unwrap();
+        match e {
+            Expr::Unary {
+                op: UnaryOp::Not, ..
+            } => {}
+            other => panic!("expected NOT at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_count_star_and_aggregates() {
+        let q = parse_query("SELECT COUNT(*) AS c, SUM(y) AS s, SUM(y * y) AS q FROM r").unwrap();
+        assert_eq!(q.items.len(), 3);
+        assert_eq!(q.items[0].expr, Expr::count_star());
+    }
+
+    #[test]
+    fn parses_drop_if_exists() {
+        roundtrip_stmt("DROP TABLE IF EXISTS jb_tmp_msg_3");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_statement("SELEKT 1").is_err());
+        assert!(parse_statement("SELECT FROM").is_err());
+        assert!(parse_statement("SELECT 1 extra garbage ,").is_err());
+    }
+
+    #[test]
+    fn parses_subquery_alias_without_as() {
+        let q = parse_query("SELECT a FROM (SELECT a FROM r) sub").unwrap();
+        match q.from.unwrap() {
+            TableRef::Subquery { alias, .. } => assert_eq!(alias.as_deref(), Some("sub")),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_order_by_asc_desc() {
+        let q = parse_query("SELECT a FROM r ORDER BY a ASC, b DESC").unwrap();
+        assert!(!q.order_by[0].desc);
+        assert!(q.order_by[1].desc);
+    }
+
+    #[test]
+    fn parses_full_outer_join() {
+        let q = parse_query("SELECT a FROM r FULL OUTER JOIN s USING (a)").unwrap();
+        assert_eq!(q.joins[0].kind, JoinKind::Full);
+    }
+}

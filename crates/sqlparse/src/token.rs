@@ -1,0 +1,371 @@
+//! Tokenizer for the JoinBoost SQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or bare identifier (keywords are resolved by the parser;
+    /// the lexer stores the uppercased form for keywords-insensitivity and
+    /// the original form for identifiers).
+    Word(String),
+    /// `"quoted identifier"`.
+    QuotedIdent(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `'string literal'`.
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    /// `<>` or `!=`.
+    Neq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Word(w) => write!(f, "{w}"),
+            Token::QuotedIdent(w) => write!(f, "\"{w}\""),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Star => f.write_str("*"),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Slash => f.write_str("/"),
+            Token::Eq => f.write_str("="),
+            Token::Neq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::Semicolon => f.write_str(";"),
+        }
+    }
+}
+
+/// Tokenization error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize `input` into a vector of tokens.
+///
+/// Supports `--` line comments, single-quoted strings with `''` escapes and
+/// case-insensitive identifiers (identifiers are kept as written; keyword
+/// matching is done case-insensitively by the parser).
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::with_capacity(input.len() / 4);
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'.' if !bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::Neq);
+                i += 2;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Neq);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            b'"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LexError {
+                        offset: i,
+                        message: "unterminated quoted identifier".into(),
+                    });
+                }
+                tokens.push(Token::QuotedIdent(input[start..j].to_string()));
+                i = j + 1;
+            }
+            b'0'..=b'9' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            b'.' => {
+                let (tok, next) = lex_number(input, i)?;
+                tokens.push(tok);
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_' || bytes[j] == b'$')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Word(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError {
+                    offset: i,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
+    let bytes = input.as_bytes();
+    debug_assert_eq!(bytes[start], b'\'');
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Advance one full UTF-8 character.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(LexError {
+        offset: start,
+        message: "unterminated string literal".into(),
+    })
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn lex_number(input: &str, start: usize) -> Result<(Token, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut j = start;
+    let mut saw_dot = false;
+    let mut saw_exp = false;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'0'..=b'9' => j += 1,
+            b'.' if !saw_dot && !saw_exp => {
+                saw_dot = true;
+                j += 1;
+            }
+            b'e' | b'E' if !saw_exp => {
+                saw_exp = true;
+                j += 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    let text = &input[start..j];
+    if saw_dot || saw_exp {
+        let v: f64 = text.parse().map_err(|e| LexError {
+            offset: start,
+            message: format!("bad float literal {text:?}: {e}"),
+        })?;
+        Ok((Token::Float(v), j))
+    } else {
+        let v: i64 = text.parse().map_err(|e| LexError {
+            offset: start,
+            message: format!("bad integer literal {text:?}: {e}"),
+        })?;
+        Ok((Token::Int(v), j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_select() {
+        let toks = tokenize("SELECT a, SUM(b) FROM t WHERE c >= 1.5").unwrap();
+        assert_eq!(toks[0], Token::Word("SELECT".into()));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Float(1.5)));
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = tokenize("a <> b != c <= d >= e < f > g = h").unwrap();
+        let ops: Vec<_> = toks
+            .iter()
+            .filter(|t| !matches!(t, Token::Word(_)))
+            .cloned()
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                Token::Neq,
+                Token::Neq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_string_with_escape() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn lexes_comments() {
+        let toks = tokenize("SELECT 1 -- trailing comment\n, 2").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("SELECT".into()),
+                Token::Int(1),
+                Token::Comma,
+                Token::Int(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_scientific_notation() {
+        let toks = tokenize("1e3 2.5E-2").unwrap();
+        assert_eq!(toks, vec![Token::Float(1e3), Token::Float(2.5e-2)]);
+    }
+
+    #[test]
+    fn lexes_qualified_column() {
+        let toks = tokenize("f.col_1").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Word("f".into()),
+                Token::Dot,
+                Token::Word("col_1".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn lexes_quoted_identifier() {
+        let toks = tokenize("\"weird name\"").unwrap();
+        assert_eq!(toks, vec![Token::QuotedIdent("weird name".into())]);
+    }
+}

@@ -1,0 +1,13 @@
+//! Workspace root crate for the JoinBoost reproduction.
+//!
+//! This crate exists to host the runnable [examples](../examples) and the
+//! cross-crate integration tests under `tests/`. The actual library code
+//! lives in the `joinboost*` crates; see `DESIGN.md` for the map.
+
+pub use joinboost;
+pub use joinboost_baselines as baselines;
+pub use joinboost_datagen as datagen;
+pub use joinboost_engine as engine;
+pub use joinboost_graph as graph;
+pub use joinboost_semiring as semiring;
+pub use joinboost_sql as sql;

@@ -1,0 +1,209 @@
+//! Property tests across crates: SQL printer/parser round-trips,
+//! semi-ring laws, and engine-mode agreement.
+
+use proptest::prelude::*;
+
+use joinboost_semiring::ring::SemiRing;
+use joinboost_semiring::{ClassCountRing, GradientRing, VarianceRing};
+use joinboost_sql::ast::{BinaryOp, Expr, OrderByItem, Query, SelectItem, TableRef, Value};
+use joinboost_sql::{parse_query, parse_statement};
+
+// ---------------------------------------------------------------------------
+// SQL round-trip: parse(print(q)) == q
+// ---------------------------------------------------------------------------
+
+// Literals are non-negative: `-1` prints identically to `Neg(1)`, so the
+// AST-level round-trip covers negation through the `Neg` node instead.
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (0i64..1000).prop_map(Value::Int),
+        (0.0f64..100.0).prop_map(|v| Value::Float((v * 64.0).round() / 64.0)),
+        "[a-z]{1,6}".prop_map(Value::Str),
+        Just(Value::Null),
+    ]
+}
+
+/// Identifier strategy avoiding SQL reserved words.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,5}".prop_filter("not a keyword", |s| {
+        joinboost_sql::parse_expr(s)
+            .map(|e| matches!(e, Expr::Column { .. }))
+            .unwrap_or(false)
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        arb_value().prop_map(Expr::Literal),
+        ident().prop_map(Expr::col),
+        (ident(), ident()).prop_map(|(t, c)| Expr::qcol(t, c)),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinaryOp::Add),
+                    Just(BinaryOp::Sub),
+                    Just(BinaryOp::Mul),
+                    Just(BinaryOp::Div),
+                    Just(BinaryOp::Eq),
+                    Just(BinaryOp::Lt),
+                    Just(BinaryOp::GtEq),
+                    Just(BinaryOp::And),
+                    Just(BinaryOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(Expr::neg),
+            inner.clone().prop_map(Expr::not),
+            inner.clone().prop_map(|e| Expr::func("ABS", vec![e])),
+            (inner.clone(), inner.clone()).prop_map(|(c, t)| Expr::Case {
+                whens: vec![(c, t)],
+                else_expr: None,
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
+                |(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }
+            ),
+            (inner, any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+        ]
+    })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        prop::collection::vec((arb_expr(), prop::option::of(ident())), 1..4),
+        prop::option::of(ident()),
+        prop::option::of(arb_expr()),
+        prop::option::of((arb_expr(), any::<bool>())),
+        prop::option::of(0u64..100),
+    )
+        .prop_map(|(items, from, where_clause, order, limit)| Query {
+            items: items
+                .into_iter()
+                .map(|(expr, alias)| SelectItem { expr, alias })
+                .collect(),
+            from: from.map(TableRef::named),
+            joins: Vec::new(),
+            where_clause,
+            group_by: Vec::new(),
+            order_by: order
+                .map(|(expr, desc)| vec![OrderByItem { expr, desc }])
+                .unwrap_or_default(),
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn expr_roundtrips(e in arb_expr()) {
+        let sql = format!("SELECT {e}");
+        let parsed = parse_query(&sql).expect("printed SQL must parse");
+        prop_assert_eq!(&parsed.items[0].expr, &e, "printed: {}", sql);
+    }
+
+    #[test]
+    fn query_roundtrips(q in arb_query()) {
+        let sql = q.to_string();
+        let parsed = parse_query(&sql).expect("printed SQL must parse");
+        prop_assert_eq!(parsed, q, "printed: {}", sql);
+    }
+
+    #[test]
+    fn statement_roundtrips(q in arb_query(), name in ident()) {
+        let stmt = joinboost_sql::ast::Statement::CreateTableAs {
+            name,
+            query: q,
+            or_replace: true,
+        };
+        let sql = stmt.to_string();
+        let parsed = parse_statement(&sql).expect("printed SQL must parse");
+        prop_assert_eq!(parsed, stmt);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Semi-ring laws on random annotations
+// ---------------------------------------------------------------------------
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())))
+}
+
+fn check_laws<R: SemiRing>(ring: &R, xs: &[Vec<f64>]) {
+    let (a, b, c) = (&xs[0], &xs[1], &xs[2]);
+    // ⊕ commutative + associative.
+    assert!(close(&ring.add(a, b), &ring.add(b, a)));
+    assert!(close(
+        &ring.add(&ring.add(a, b), c),
+        &ring.add(a, &ring.add(b, c))
+    ));
+    // ⊗ commutative + associative.
+    assert!(close(&ring.mul(a, b), &ring.mul(b, a)));
+    assert!(close(
+        &ring.mul(&ring.mul(a, b), c),
+        &ring.mul(a, &ring.mul(b, c))
+    ));
+    // Identities.
+    assert!(close(&ring.mul(a, &ring.one()), a));
+    assert!(close(&ring.add(a, &ring.zero()), a));
+    assert!(close(&ring.mul(a, &ring.zero()), &ring.zero()));
+    // Distributivity: a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c).
+    assert!(close(
+        &ring.mul(a, &ring.add(b, c)),
+        &ring.add(&ring.mul(a, b), &ring.mul(a, c))
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn variance_ring_laws(vals in prop::collection::vec(-8.0f64..8.0, 9)) {
+        let xs: Vec<Vec<f64>> = vals.chunks(3).map(<[f64]>::to_vec).collect();
+        check_laws(&VarianceRing, &xs);
+    }
+
+    #[test]
+    fn gradient_ring_laws(vals in prop::collection::vec(-8.0f64..8.0, 6)) {
+        let xs: Vec<Vec<f64>> = vals.chunks(2).map(<[f64]>::to_vec).collect();
+        check_laws(&GradientRing, &xs);
+    }
+
+    #[test]
+    fn class_count_ring_laws(vals in prop::collection::vec(-8.0f64..8.0, 12)) {
+        let xs: Vec<Vec<f64>> = vals.chunks(4).map(<[f64]>::to_vec).collect();
+        check_laws(&ClassCountRing::new(3), &xs);
+    }
+
+    #[test]
+    fn variance_lift_is_add_to_mul_preserving(d1 in -50.0f64..50.0, d2 in -50.0f64..50.0) {
+        let ring = VarianceRing;
+        let lhs = ring.lift(d1 + d2);
+        let rhs = ring.mul(&ring.lift(d1), &ring.lift(d2));
+        prop_assert!(close(&lhs, &rhs));
+    }
+
+    #[test]
+    fn variance_matches_direct_computation(ys in prop::collection::vec(-100.0f64..100.0, 1..40)) {
+        let ring = VarianceRing;
+        let agg = ring.sum_lifted(ys.iter());
+        let via_ring = joinboost_semiring::variance(agg[0], agg[1], agg[2]);
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let direct: f64 = ys.iter().map(|y| (y - mean) * (y - mean)).sum();
+        prop_assert!((via_ring - direct).abs() < 1e-6 * (1.0 + direct.abs()));
+    }
+}
