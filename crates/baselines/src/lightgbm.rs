@@ -313,7 +313,8 @@ fn grow_tree(
         depth: 0,
         tree_index: 0,
     };
-    if let Some((f, t, g, mask)) = best_split(binned, residuals, &root, feats, params.min_data_in_leaf)
+    if let Some((f, t, g, mask)) =
+        best_split(binned, residuals, &root, feats, params.min_data_in_leaf)
     {
         heap.push((g, root, (f, t, mask)));
     }
@@ -323,7 +324,11 @@ fn grow_tree(
         let Some(pos) = heap
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| {
+                a.1 .0
+                    .partial_cmp(&b.1 .0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .map(|(i, _)| i)
         else {
             break;
@@ -565,7 +570,11 @@ mod tests {
         let n = 400;
         let a: Vec<f64> = (0..n).map(|i| (i % 20) as f64).collect();
         let b: Vec<f64> = (0..n).map(|i| ((i / 20) % 5) as f64).collect();
-        let y: Vec<f64> = a.iter().zip(&b).map(|(&a, &b)| 3.0 * a + 10.0 * (b > 2.0) as i64 as f64).collect();
+        let y: Vec<f64> = a
+            .iter()
+            .zip(&b)
+            .map(|(&a, &b)| 3.0 * a + 10.0 * (b > 2.0) as i64 as f64)
+            .collect();
         FlatDataset {
             feature_names: vec!["a".into(), "b".into()],
             features: vec![a, b],
@@ -613,7 +622,11 @@ mod tests {
         assert_eq!(model.trees.len(), 12);
         let preds: Vec<f64> = (0..data.num_rows())
             .map(|i| {
-                model.trees.iter().map(|t| predict_flat(t, &data, i)).sum::<f64>()
+                model
+                    .trees
+                    .iter()
+                    .map(|t| predict_flat(t, &data, i))
+                    .sum::<f64>()
                     / model.trees.len() as f64
             })
             .collect();

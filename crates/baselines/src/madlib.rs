@@ -48,15 +48,13 @@ mod tests {
         // Columnar reference.
         let col_db = Database::in_memory();
         gen.load_into(&col_db).unwrap();
-        let col_set =
-            Dataset::new(&col_db, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let col_set = Dataset::new(&col_db, gen.graph.clone(), "sales", "net_profit").unwrap();
         let params = TrainParams::default();
         let (col_tree, _) = joinboost::train_decision_tree(&col_set, &params).unwrap();
 
         // Row-oriented MADLib stand-in.
         let row_db = row_oriented_db(&gen.tables);
-        let row_set =
-            Dataset::new(&row_db, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let row_set = Dataset::new(&row_db, gen.graph.clone(), "sales", "net_profit").unwrap();
         let (row_tree, _, _) = train_madlib_tree(&row_set, &params).unwrap();
         // Identical structure — the `relation` label differs because the
         // wide table owns every feature after materialization.

@@ -36,7 +36,10 @@ fn bench_message_passing(c: &mut Criterion) {
             // passing (identity dims dropped, one fact message).
             let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
             let mut fx = Factorizer::new(&set, RingKind::Variance);
-            fx.set_annotation(set.target_rel(), vec![Expr::int(1), Expr::col("net_profit")]);
+            fx.set_annotation(
+                set.target_rel(),
+                vec![Expr::int(1), Expr::col("net_profit")],
+            );
             let items = set.graph.rel_id("items").unwrap();
             let spec = joinboost::messages::GroupSpec::plain("f_items");
             let q = fx.absorb(items, Some(&spec), &NodeContext::root()).unwrap();

@@ -14,7 +14,10 @@ fn bench_updates(c: &mut Criterion) {
     c.bench_function("update_in_place", |b| {
         let db = Database::in_memory();
         db.create_table("f", fig5_fact_table(&cfg)).unwrap();
-        b.iter(|| db.execute("UPDATE f SET s = s - 0.25 WHERE d <= 5000").unwrap())
+        b.iter(|| {
+            db.execute("UPDATE f SET s = s - 0.25 WHERE d <= 5000")
+                .unwrap()
+        })
     });
 
     c.bench_function("create_table", |b| {

@@ -9,7 +9,9 @@
 use joinboost_bench::experiments;
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "help".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "help".to_string());
     if arg == "help" || arg == "--help" || arg == "-h" {
         println!("usage: experiments <name|all>\n\navailable experiments:");
         for (name, desc) in experiments::EXPERIMENTS {

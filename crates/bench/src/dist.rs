@@ -57,7 +57,11 @@ pub fn train_partitioned_tree(
     let root = g.rel_id(&fact).expect("fact exists");
     let mut from = format!("FROM {fact}");
     for (rel, keys) in g.sampling_order(root).iter().skip(1) {
-        from.push_str(&format!(" JOIN {} USING ({})", g.name(*rel), keys.join(", ")));
+        from.push_str(&format!(
+            " JOIN {} USING ({})",
+            g.name(*rel),
+            keys.join(", ")
+        ));
     }
     let features: Vec<String> = g.all_features().into_iter().map(|(f, _)| f).collect();
 
@@ -92,7 +96,9 @@ pub fn train_partitioned_tree(
             let sql = format!(
                 "SELECT {f} AS val, COUNT(*) AS c, SUM({target}) AS s {from}{where_clause} GROUP BY {f}"
             );
-            let merged = p.query_merged(&sql, &["val"], &["c", "s"]).expect("split agg");
+            let merged = p
+                .query_merged(&sql, &["val"], &["c", "s"])
+                .expect("split agg");
             // Sort by value, prefix-scan, evaluate variance reduction.
             let mut rows: Vec<(f64, f64, f64)> = (0..merged.num_rows())
                 .filter_map(|i| {

@@ -62,27 +62,52 @@ pub fn run(name: &str) -> Result<(), String> {
 }
 
 pub const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig5", "residual update time per method x backend (pilot study)"),
-    ("fig8a", "random forest training time vs LightGBM-like baseline"),
+    (
+        "fig5",
+        "residual update time per method x backend (pilot study)",
+    ),
+    (
+        "fig8a",
+        "random forest training time vs LightGBM-like baseline",
+    ),
     ("fig8b", "gradient boosting training time + rmse curves"),
     ("fig9", "1st-iteration query counts and latency histogram"),
-    ("fig10", "gradient boosting vs number of features (baseline OOM)"),
-    ("fig11", "gradient boosting vs TPC-DS scale factor (baseline OOM)"),
+    (
+        "fig10",
+        "gradient boosting vs number of features (baseline OOM)",
+    ),
+    (
+        "fig11",
+        "gradient boosting vs TPC-DS scale factor (baseline OOM)",
+    ),
     ("fig12", "multi-machine scaling, TPC-DS SF sweep"),
     ("fig13", "cloud-warehouse style decision tree, 1-6 machines"),
     ("fig14", "galaxy-schema gradient boosting on IMDB-like data"),
     ("fig15", "train/update time per DBMS backend"),
-    ("fig16a", "decision tree: Naive vs Batch(LMFAO-like) vs JoinBoost"),
+    (
+        "fig16a",
+        "decision tree: Naive vs Batch(LMFAO-like) vs JoinBoost",
+    ),
     ("fig16b", "decision tree vs MADLib-like row engine"),
-    ("fig17", "TPC-DS / TPC-H gradient boosting and random forest"),
+    (
+        "fig17",
+        "TPC-DS / TPC-H gradient boosting and random forest",
+    ),
     ("fig18", "intra/inter-query parallelism sweeps"),
     ("fig20", "histogram bins and the cuboid optimization"),
-    ("losses", "objective sweep (Table 3 gradients/hessians in action)"),
+    (
+        "losses",
+        "objective sweep (Table 3 gradients/hessians in action)",
+    ),
 ];
 
 // ---------------------------------------------------------------------------
 
-fn favorita_scaled(fact_rows: usize, dim_rows: usize, extra: usize) -> joinboost_datagen::favorita::Generated {
+fn favorita_scaled(
+    fact_rows: usize,
+    dim_rows: usize,
+    extra: usize,
+) -> joinboost_datagen::favorita::Generated {
     favorita(&FavoritaConfig {
         fact_rows,
         dim_rows,
@@ -114,10 +139,25 @@ fn fig5() -> Result<(), String> {
         ("DP", EngineConfig::duckdb_mem(), true),
         ("D-Swap", EngineConfig::d_swap(), false),
     ];
-    let methods = ["Naive", "UPDATE", "CREATE-0", "CREATE-5", "CREATE-10", "ColSwap"];
+    let methods = [
+        "Naive",
+        "UPDATE",
+        "CREATE-0",
+        "CREATE-5",
+        "CREATE-10",
+        "ColSwap",
+    ];
     let mut report = Report::new(
         "Figure 5: residual update time (s) by method and backend",
-        &["backend", "Naive", "UPDATE", "CREATE-0", "CREATE-5", "CREATE-10", "ColSwap"],
+        &[
+            "backend",
+            "Naive",
+            "UPDATE",
+            "CREATE-0",
+            "CREATE-5",
+            "CREATE-10",
+            "ColSwap",
+        ],
     );
     for (bname, config, external) in &backends {
         let mut cells = vec![bname.to_string()];
@@ -144,15 +184,16 @@ fn fig5() -> Result<(), String> {
             } else {
                 db.create_table("f", fact).expect("load fact");
             }
-            for (i, m) in joinboost_datagen::fig5::fig5_messages(&cfg).into_iter().enumerate() {
+            for (i, m) in joinboost_datagen::fig5::fig5_messages(&cfg)
+                .into_iter()
+                .enumerate()
+            {
                 db.create_table(&format!("m{i}"), m).expect("load message");
             }
             let case_expr = {
                 let mut whens = String::new();
                 for (i, p) in preds.iter().enumerate().take(leaves) {
-                    whens.push_str(&format!(
-                        " WHEN d IN (SELECT d FROM m{i}) THEN s - {p:.6}"
-                    ));
+                    whens.push_str(&format!(" WHEN d IN (SELECT d FROM m{i}) THEN s - {p:.6}"));
                 }
                 format!("CASE{whens} ELSE s END")
             };
@@ -218,8 +259,16 @@ fn fig5() -> Result<(), String> {
     // LightGBM reference: a threaded write over a plain array.
     let cfg = base_cfg.clone();
     let fact = fig5_fact_table(&cfg);
-    let mut s = fact.column(None, "s").expect("s").to_f64_vec().expect("f64");
-    let d = fact.column(None, "d").expect("d").to_f64_vec().expect("f64");
+    let mut s = fact
+        .column(None, "s")
+        .expect("s")
+        .to_f64_vec()
+        .expect("f64");
+    let d = fact
+        .column(None, "d")
+        .expect("d")
+        .to_f64_vec()
+        .expect("f64");
     let range = (cfg.key_domain / leaves as i64) as f64;
     let (_, lgbm_t) = time(|| {
         let chunk = s.len().div_ceil(4);
@@ -257,15 +306,25 @@ fn fig8a() -> Result<(), String> {
     );
     // Baseline export charged once.
     let db = load(&gen, EngineConfig::duckdb_mem());
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let (flat, export) = lightgbm::export_join(&set).map_err(|e| e.to_string())?;
     for &n in &iters {
         let mut params = TrainParams::paper_rf();
         params.num_iterations = n;
         params.threads = 4;
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let (_, jb_t) = time(|| train_random_forest(&set, &params).expect("rf"));
         let lp = LgbmParams {
             num_iterations: n,
@@ -295,8 +354,13 @@ fn fig8a() -> Result<(), String> {
 fn fig8bc() -> Result<(), String> {
     let gen = favorita_scaled(20_000, 50, 0);
     let db = load(&gen, EngineConfig::d_swap());
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let eval = materialize_features(&set).map_err(|e| e.to_string())?;
     let ys = targets(&eval).map_err(|e| e.to_string())?;
     let checkpoints = [1usize, 5, 10, 20, 40];
@@ -325,8 +389,13 @@ fn fig8bc() -> Result<(), String> {
     let _ = model;
 
     // Baseline.
-    let set2 = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set2 = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let (flat, export) = lightgbm::export_join(&set2).map_err(|e| e.to_string())?;
     let lp = LgbmParams {
         num_iterations: 40,
@@ -337,14 +406,24 @@ fn fig8bc() -> Result<(), String> {
     lightgbm::train_gbdt_cb(&flat, &lp, |iter, m| {
         if checkpoints.contains(&(iter + 1)) {
             let preds = m.predict_table(&eval);
-            lg_rows.push((iter + 1, lg_start.elapsed() + export.total(), rmse(&ys, &preds)));
+            lg_rows.push((
+                iter + 1,
+                lg_start.elapsed() + export.total(),
+                rmse(&ys, &preds),
+            ));
         }
     })
     .map_err(|e| e.to_string())?;
 
     let mut report = Report::new(
         "Figure 8b/8c: gradient boosting time (s) and training rmse",
-        &["iter", "jb_time", "jb_rmse", "lgbm_time(+export)", "lgbm_rmse"],
+        &[
+            "iter",
+            "jb_time",
+            "jb_rmse",
+            "lgbm_time(+export)",
+            "lgbm_rmse",
+        ],
     );
     for ((i, jt, jr), (_, lt, lr)) in jb_rows.iter().zip(&lg_rows) {
         report.row(&[
@@ -365,8 +444,13 @@ fn fig8bc() -> Result<(), String> {
 fn fig9() -> Result<(), String> {
     let gen = favorita_scaled(20_000, 50, 2); // 15 features over 5 edges
     let db = load(&gen, EngineConfig::duckdb_mem());
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let mut params = TrainParams::default();
     params.num_iterations = 1;
     let model = train_gbm(&set, &params).map_err(|e| e.to_string())?;
@@ -428,16 +512,26 @@ fn fig10() -> Result<(), String> {
         let nfeat = 5 * (extra + 1);
         let gen = favorita_scaled(15_000, 50, extra);
         let db = load(&gen, EngineConfig::duckdb_mem());
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let mut params = TrainParams::default();
         params.num_iterations = 10;
         let (_, jb_t) = time(|| train_gbm(&set, &params).expect("gbm"));
         // Baseline memory limit sized so 50 features exceed it (paper:
         // LightGBM OOMs at 50 features / 125 GB, scaled down here).
         let limit = 15_000 * 30 * 10; // bytes ~= rows x 30 features x 10B
-        let set2 = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set2 = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let lgbm_cell = match lightgbm::export_join(&set2) {
             Ok((flat, export)) => {
                 let lp = LgbmParams {
@@ -473,13 +567,23 @@ fn fig11() -> Result<(), String> {
         });
         let db = Database::in_memory();
         gen.load_into(&db).map_err(|e| e.to_string())?;
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let mut params = TrainParams::default();
         params.num_iterations = 10;
         let (_, jb_t) = time(|| train_gbm(&set, &params).expect("gbm"));
-        let set2 = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set2 = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let limit = 76 * 18_000; // flat model needs ~76 B/row; SF 25 (20k rows) exceeds this
         let cell = match lightgbm::export_join(&set2) {
             Ok((flat, export)) => {
@@ -519,8 +623,13 @@ fn fig12() -> Result<(), String> {
         // Single-node baseline with a memory cap that SF40 exceeds.
         let db = Database::in_memory();
         gen.load_into(&db).map_err(|e| e.to_string())?;
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let limit = 76 * 30_000; // OOM at SF 40 (32k rows)
         let cell = match lightgbm::export_join(&set) {
             Ok((flat, export)) => {
@@ -538,7 +647,8 @@ fn fig12() -> Result<(), String> {
         };
         report.row(&[paper_sf.to_string(), secs(jb_t), cell]);
     }
-    report.note("expected shape: joinboost scales; baseline OOMs at the top SF (paper: >9x faster)");
+    report
+        .note("expected shape: joinboost scales; baseline OOMs at the top SF (paper: >9x faster)");
     report.print();
 
     let mut r2 = Report::new(
@@ -599,8 +709,13 @@ fn fig14() -> Result<(), String> {
     });
     let db = Database::in_memory();
     gen.load_into(&db).map_err(|e| e.to_string())?;
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let mut params = TrainParams::default();
     params.num_iterations = 10;
     params.num_leaves = 8;
@@ -626,8 +741,16 @@ fn fig14() -> Result<(), String> {
 fn fig15() -> Result<(), String> {
     let gen = favorita_scaled(20_000, 50, 0);
     let backends: Vec<(&str, EngineConfig, UpdateMethod)> = vec![
-        ("X-col", EngineConfig::dbms_x_col(), UpdateMethod::CreateTable),
-        ("X-row", EngineConfig::dbms_x_row(), UpdateMethod::CreateTable),
+        (
+            "X-col",
+            EngineConfig::dbms_x_col(),
+            UpdateMethod::CreateTable,
+        ),
+        (
+            "X-row",
+            EngineConfig::dbms_x_row(),
+            UpdateMethod::CreateTable,
+        ),
         (
             "X-Swap*",
             EngineConfig {
@@ -636,8 +759,16 @@ fn fig15() -> Result<(), String> {
             },
             UpdateMethod::ColumnSwap,
         ),
-        ("D-disk", EngineConfig::duckdb_disk(), UpdateMethod::CreateTable),
-        ("D-mem", EngineConfig::duckdb_mem(), UpdateMethod::CreateTable),
+        (
+            "D-disk",
+            EngineConfig::duckdb_disk(),
+            UpdateMethod::CreateTable,
+        ),
+        (
+            "D-mem",
+            EngineConfig::duckdb_mem(),
+            UpdateMethod::CreateTable,
+        ),
         ("DP", EngineConfig::duckdb_mem(), UpdateMethod::Interop),
         ("D-Swap", EngineConfig::d_swap(), UpdateMethod::ColumnSwap),
     ];
@@ -647,8 +778,13 @@ fn fig15() -> Result<(), String> {
     );
     for (name, config, method) in backends {
         let db = load(&gen, config);
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let mut params = TrainParams::default();
         params.num_iterations = 1;
         params.update_method = method;
@@ -676,18 +812,45 @@ fn fig16a() -> Result<(), String> {
         "Figure 16a: decision tree training time (s)",
         &["system", "time", "message_queries"],
     );
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let ((_, _, mat), naive_t) = time(|| naive::train_naive_tree(&set, &params).expect("naive"));
-    report.row(&["Naive".into(), secs(naive_t), format!("(materialize {} s)", secs(mat))]);
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    report.row(&[
+        "Naive".into(),
+        secs(naive_t),
+        format!("(materialize {} s)", secs(mat)),
+    ]);
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let ((_, bstats), batch_t) = time(|| batch::train_batch_tree(&set, &params).expect("batch"));
-    report.row(&["Batch (LMFAO-like)".into(), secs(batch_t), bstats.message_queries.to_string()]);
-    let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    report.row(&[
+        "Batch (LMFAO-like)".into(),
+        secs(batch_t),
+        bstats.message_queries.to_string(),
+    ]);
+    let set = Dataset::new(
+        &db,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let ((_, jstats), jb_t) = time(|| train_decision_tree(&set, &params).expect("jb"));
-    report.row(&["JoinBoost".into(), secs(jb_t), jstats.message_queries.to_string()]);
+    report.row(&[
+        "JoinBoost".into(),
+        secs(jb_t),
+        jstats.message_queries.to_string(),
+    ]);
     report.note("expected shape: JoinBoost < Batch < Naive (paper: sharing ~3x over Batch; Batch ~2x over Naive; LMFAO sits between JoinBoost and Batch thanks to its compiled engine)");
     report.print();
     Ok(())
@@ -700,12 +863,22 @@ fn fig16b() -> Result<(), String> {
     params.num_leaves = 32;
     params.max_depth = 10;
     let db_col = load(&gen, EngineConfig::duckdb_mem());
-    let set = Dataset::new(&db_col, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db_col,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let (_, jb_t) = time(|| train_decision_tree(&set, &params).expect("jb"));
     let db_row = madlib::row_oriented_db(&gen.tables);
-    let set = Dataset::new(&db_row, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &db_row,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
     let (_, mad_t) = time(|| madlib::train_madlib_tree(&set, &params).expect("madlib"));
     let mut report = Report::new(
         "Figure 16b: decision tree vs MADLib-like (10k rows)",
@@ -715,7 +888,10 @@ fn fig16b() -> Result<(), String> {
     report.row(&[
         "MADLib-like".into(),
         secs(mad_t),
-        format!("{:.1}x slower", mad_t.as_secs_f64() / jb_t.as_secs_f64().max(1e-9)),
+        format!(
+            "{:.1}x slower",
+            mad_t.as_secs_f64() / jb_t.as_secs_f64().max(1e-9)
+        ),
     ]);
     report.note("expected shape: JoinBoost >> MADLib-like (paper: ~16x)");
     report.print();
@@ -748,12 +924,22 @@ fn fig17() -> Result<(), String> {
     ] {
         let db = Database::in_memory();
         gen.load_into(&db).map_err(|e| e.to_string())?;
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let (flat, export) = lightgbm::export_join(&set).map_err(|e| e.to_string())?;
         for model in ["gbm", "rf"] {
-            let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-                .map_err(|e| e.to_string())?;
+            let set = Dataset::new(
+                &db,
+                gen.graph.clone(),
+                &gen.target_relation,
+                &gen.target_column,
+            )
+            .map_err(|e| e.to_string())?;
             let (jb_t, lg_t) = if model == "gbm" {
                 let mut params = TrainParams::default();
                 params.num_iterations = 10;
@@ -778,12 +964,7 @@ fn fig17() -> Result<(), String> {
                 let (m, _) = time(|| lightgbm::train_rf(&flat, &lp).expect("lgbm rf"));
                 (jt, m.train_time + export.total())
             };
-            report.row(&[
-                name.to_string(),
-                model.to_string(),
-                secs(jb_t),
-                secs(lg_t),
-            ]);
+            report.row(&[name.to_string(), model.to_string(), secs(jb_t), secs(lg_t)]);
         }
     }
     report.note("expected shape: joinboost competitive; TPC-H relatively slower for joinboost (large dimension messages)");
@@ -800,8 +981,13 @@ fn fig18() -> Result<(), String> {
         &["threads", "time"],
     );
     for threads in [1usize, 2, 4, 8] {
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let mut params = TrainParams::default();
         params.threads = threads;
         let (_, t) = time(|| train_decision_tree(&set, &params).expect("dt"));
@@ -817,8 +1003,13 @@ fn fig18() -> Result<(), String> {
     for model in ["GB", "RF"] {
         let mut times = Vec::new();
         for threads in [1usize, 4] {
-            let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-                .map_err(|e| e.to_string())?;
+            let set = Dataset::new(
+                &db,
+                gen.graph.clone(),
+                &gen.target_relation,
+                &gen.target_column,
+            )
+            .map_err(|e| e.to_string())?;
             let t = if model == "GB" {
                 let mut params = TrainParams::default();
                 params.num_iterations = 10;
@@ -850,8 +1041,13 @@ fn fig20() -> Result<(), String> {
     let gen = favorita_scaled(30_000, 60, 0);
     let db = load(&gen, EngineConfig::duckdb_mem());
     let eval = {
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         materialize_features(&set).map_err(|e| e.to_string())?
     };
     let ys = targets(&eval).map_err(|e| e.to_string())?;
@@ -866,8 +1062,13 @@ fn fig20() -> Result<(), String> {
         ("cuboid bins=10", 10, true),
         ("cuboid bins=5", 5, true),
     ] {
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let mut params = TrainParams::default();
         params.num_iterations = 10;
         params.max_bins = bins;
@@ -899,8 +1100,13 @@ fn losses() -> Result<(), String> {
         Objective::Quantile { alpha: 0.9 },
         Objective::Mape,
     ] {
-        let set = Dataset::new(&db, gen.graph.clone(), &gen.target_relation, &gen.target_column)
-            .map_err(|e| e.to_string())?;
+        let set = Dataset::new(
+            &db,
+            gen.graph.clone(),
+            &gen.target_relation,
+            &gen.target_column,
+        )
+        .map_err(|e| e.to_string())?;
         let mut params = TrainParams::default();
         params.objective = obj;
         params.num_iterations = 15;
@@ -909,8 +1115,17 @@ fn losses() -> Result<(), String> {
         let eval = materialize_features(&set).map_err(|e| e.to_string())?;
         let ys = targets(&eval).map_err(|e| e.to_string())?;
         let ps = model.predict_raw(&eval);
-        let init: f64 = ys.iter().map(|&y| obj.loss(y, model.init_score)).sum::<f64>() / ys.len() as f64;
-        let fin: f64 = ys.iter().zip(&ps).map(|(&y, &p)| obj.loss(y, p)).sum::<f64>() / ys.len() as f64;
+        let init: f64 = ys
+            .iter()
+            .map(|&y| obj.loss(y, model.init_score))
+            .sum::<f64>()
+            / ys.len() as f64;
+        let fin: f64 = ys
+            .iter()
+            .zip(&ps)
+            .map(|(&y, &p)| obj.loss(y, p))
+            .sum::<f64>()
+            / ys.len() as f64;
         report.row(&[
             obj.name().to_string(),
             format!("{init:.2}"),

@@ -168,7 +168,9 @@ fn train_cuboid(
     // counts: Σ(y − init) = s − init·c).
     let totals = set
         .db
-        .query(&format!("SELECT SUM(jb_c) AS c, SUM(jb_s) AS s FROM {cuboid}"))
+        .query(&format!(
+            "SELECT SUM(jb_c) AS c, SUM(jb_s) AS s FROM {cuboid}"
+        ))
         .map_err(TrainError::from)?;
     let c_all = totals.scalar_f64("c").unwrap_or(0.0);
     let s_all = totals.scalar_f64("s").unwrap_or(0.0);
@@ -342,8 +344,14 @@ fn train_snowflake(
         // Residual / gradient update.
         let t1 = Instant::now();
         if use_variance {
-            let leaf_cases =
-                leaf_case_updates(set, fact, &tree, params.learning_rate, Expr::col("jb_s"), true)?;
+            let leaf_cases = leaf_case_updates(
+                set,
+                fact,
+                &tree,
+                params.learning_rate,
+                Expr::col("jb_s"),
+                true,
+            )?;
             updater.apply(set, &[("jb_s".into(), leaf_cases)], &tree, fact, params)?;
         } else {
             let p_new = leaf_case_updates(
@@ -386,13 +394,7 @@ fn renewal_percentile(obj: &Objective) -> Option<f64> {
 /// Re-fit each leaf's value to the given percentile of its residuals
 /// `y − p`, read from the lifted fact table with the leaf's semi-join
 /// predicate.
-fn renew_leaves(
-    set: &Dataset,
-    fact: RelId,
-    lifted: &str,
-    tree: &mut Tree,
-    q: f64,
-) -> Result<()> {
+fn renew_leaves(set: &Dataset, fact: RelId, lifted: &str, tree: &mut Tree, q: f64) -> Result<()> {
     for (leaf, path) in tree.leaves_with_paths() {
         let pred = leaf_predicate_on_fact(set, fact, &path)?;
         let where_clause = pred.map(|p| format!(" WHERE {p}")).unwrap_or_default();
@@ -763,7 +765,8 @@ impl Updater {
                 );
                 db.execute(&sql)
                     .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
-                db.execute(&format!("DROP TABLE {u}")).map_err(TrainError::from)?;
+                db.execute(&format!("DROP TABLE {u}"))
+                    .map_err(TrainError::from)?;
                 Ok(())
             }
         }
@@ -847,8 +850,7 @@ fn train_galaxy(
         lifted_of.insert(cl.fact, lifted);
     }
 
-    let cluster_members: Vec<Vec<RelId>> =
-        cluster_list.iter().map(|c| c.members.clone()).collect();
+    let cluster_members: Vec<Vec<RelId>> = cluster_list.iter().map(|c| c.members.clone()).collect();
     let mut model = GbmModel {
         objective: params.objective,
         init_score: init,
@@ -882,8 +884,14 @@ fn train_galaxy(
             .cloned()
             .ok_or_else(|| TrainError::Graph("cluster fact not lifted".into()))?;
         // `(c,s) ⊗ lift(−lr·p) = (c, s − lr·p·c)`; base rows have c = 1.
-        let case_expr =
-            leaf_case_updates(set, cfact, &tree, params.learning_rate, Expr::col("jb_s"), true)?;
+        let case_expr = leaf_case_updates(
+            set,
+            cfact,
+            &tree,
+            params.learning_rate,
+            Expr::col("jb_s"),
+            true,
+        )?;
         let columns = set.db.column_names(&ctable)?;
         let updater = Updater {
             method: params.update_method,

@@ -87,10 +87,7 @@ impl<'a> Dataset<'a> {
             }
         }
         let tcols = db.column_names(target_relation)?;
-        if !tcols
-            .iter()
-            .any(|c| c.eq_ignore_ascii_case(target_column))
-        {
+        if !tcols.iter().any(|c| c.eq_ignore_ascii_case(target_column)) {
             return Err(TrainError::Graph(format!(
                 "target column {target_column} not found in {target_relation}"
             )));
@@ -188,7 +185,10 @@ mod tests {
             Table::from_columns(vec![
                 ("date_id", Column::int(vec![1, 2])),
                 ("holiday", Column::int(vec![0, 1])),
-                ("season", Column::str(vec!["winter".into(), "summer".into()])),
+                (
+                    "season",
+                    Column::str(vec!["winter".into(), "summer".into()]),
+                ),
             ]),
         )
         .unwrap();

@@ -73,7 +73,10 @@ pub fn train_random_forest(set: &Dataset, params: &TrainParams) -> Result<RfMode
         // Row sample.
         let plan = match fact {
             Some(f) => {
-                let base = set.db.snapshot(set.graph.name(f)).map_err(TrainError::from)?;
+                let base = set
+                    .db
+                    .snapshot(set.graph.name(f))
+                    .map_err(TrainError::from)?;
                 let n = base.num_rows();
                 let take = ((n as f64 * params.bagging_fraction).round() as usize).clamp(1, n);
                 let mut idx: Vec<u32> = (0..n as u32).collect();
@@ -83,7 +86,10 @@ pub fn train_random_forest(set: &Dataset, params: &TrainParams) -> Result<RfMode
                 set.db
                     .create_table(&name, base.take(&idx))
                     .map_err(TrainError::from)?;
-                TreePlan::Snowflake { fact: f, table: name }
+                TreePlan::Snowflake {
+                    fact: f,
+                    table: name,
+                }
             }
             None => {
                 // General join graphs: ancestral sampling over R⋈.
@@ -97,7 +103,9 @@ pub fn train_random_forest(set: &Dataset, params: &TrainParams) -> Result<RfMode
                     params.seed.wrapping_add(t as u64 * 104729),
                 )?;
                 let name = set.fresh_table("rf_sample");
-                set.db.create_table(&name, sample).map_err(TrainError::from)?;
+                set.db
+                    .create_table(&name, sample)
+                    .map_err(TrainError::from)?;
                 TreePlan::Sampled { table: name }
             }
         };

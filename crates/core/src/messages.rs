@@ -311,10 +311,7 @@ impl<'a, 'b> Factorizer<'a, 'b> {
         {
             self.stats.identity_drops += 1;
             MsgHandle::Identity
-        } else if self.is_identity_annotated(from)
-            && full_children.is_empty()
-            && count_preserving
-        {
+        } else if self.is_identity_annotated(from) && full_children.is_empty() && count_preserving {
             // Semi-join message: just the surviving key values.
             let table = self.materialize_semi_message(from, &keys, &semi_children, ctx)?;
             self.stats.semi_messages += 1;
@@ -369,11 +366,7 @@ impl<'a, 'b> Factorizer<'a, 'b> {
 
     /// Composite annotation of a relation joined with its full child
     /// messages (child components qualified by their message table name).
-    fn composed_annotation(
-        &self,
-        rel: RelId,
-        full_children: &[(RelId, MsgHandle)],
-    ) -> Vec<Expr> {
+    fn composed_annotation(&self, rel: RelId, full_children: &[(RelId, MsgHandle)]) -> Vec<Expr> {
         let [n0, n1] = self.ring.components();
         // Qualify the base annotation's bare column refs with the physical
         // table name so they cannot collide with message columns.
@@ -403,7 +396,10 @@ impl<'a, 'b> Factorizer<'a, 'b> {
         ctx: &NodeContext,
     ) -> Result<String> {
         let mut q = Query {
-            items: keys.iter().map(|k| SelectItem::new(Expr::col(k.clone()))).collect(),
+            items: keys
+                .iter()
+                .map(|k| SelectItem::new(Expr::col(k.clone())))
+                .collect(),
             from: Some(self.base_from(from)),
             group_by: keys.iter().map(|k| Expr::col(k.clone())).collect(),
             ..Default::default()
@@ -427,8 +423,14 @@ impl<'a, 'b> Factorizer<'a, 'b> {
             .iter()
             .map(|k| SelectItem::new(Expr::col(k.clone())))
             .collect();
-        items.push(SelectItem::aliased(Expr::sum(ann[0].clone()), format!("jb_{n0}")));
-        items.push(SelectItem::aliased(Expr::sum(ann[1].clone()), format!("jb_{n1}")));
+        items.push(SelectItem::aliased(
+            Expr::sum(ann[0].clone()),
+            format!("jb_{n0}"),
+        ));
+        items.push(SelectItem::aliased(
+            Expr::sum(ann[1].clone()),
+            format!("jb_{n1}"),
+        ));
         let mut q = Query {
             items,
             from: Some(self.base_from(from)),
@@ -605,7 +607,9 @@ mod tests {
         let target = set.target_rel();
         f.set_annotation(target, vec![Expr::int(1), Expr::col("b")]);
         let s_rel = set.graph.rel_id("s").unwrap();
-        let q = f.absorb(s_rel, Some(&GroupSpec::plain("c")), &NodeContext::root()).unwrap();
+        let q = f
+            .absorb(s_rel, Some(&GroupSpec::plain("c")), &NodeContext::root())
+            .unwrap();
         let t = db
             .query(&format!("SELECT * FROM ({q}) AS x ORDER BY val"))
             .unwrap();
@@ -693,7 +697,10 @@ mod tests {
         assert_eq!(f.stats.semi_messages, 1);
         // The other dim is still identity-dropped.
         assert_eq!(f.stats.identity_drops, 1);
-        assert_eq!(f.stats.message_queries, 1, "only the semi message materializes");
+        assert_eq!(
+            f.stats.message_queries, 1,
+            "only the semi message materializes"
+        );
     }
 
     #[test]
@@ -705,7 +712,9 @@ mod tests {
         let fact = set.target_rel();
         f.set_annotation(fact, vec![Expr::int(1), Expr::col("y")]);
         let d1 = set.graph.rel_id("d1").unwrap();
-        let q = f.absorb(d1, Some(&GroupSpec::plain("f1")), &NodeContext::root()).unwrap();
+        let q = f
+            .absorb(d1, Some(&GroupSpec::plain("f1")), &NodeContext::root())
+            .unwrap();
         let t = db
             .query(&format!("SELECT * FROM ({q}) AS x ORDER BY val"))
             .unwrap();

@@ -118,10 +118,14 @@ impl TrainParams {
             return Err(TrainError::Invalid("num_leaves must be >= 2".into()));
         }
         if !(0.0..=1.0).contains(&self.feature_fraction) || self.feature_fraction == 0.0 {
-            return Err(TrainError::Invalid("feature_fraction must be in (0, 1]".into()));
+            return Err(TrainError::Invalid(
+                "feature_fraction must be in (0, 1]".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.bagging_fraction) || self.bagging_fraction == 0.0 {
-            return Err(TrainError::Invalid("bagging_fraction must be in (0, 1]".into()));
+            return Err(TrainError::Invalid(
+                "bagging_fraction must be in (0, 1]".into(),
+            ));
         }
         if self.learning_rate <= 0.0 {
             return Err(TrainError::Invalid("learning_rate must be positive".into()));

@@ -156,10 +156,9 @@ pub fn ancestral_sample(
             for child in &rd.children {
                 let key = key_of(&rd.table, &child.parent_keys, row);
                 let cdata = data[child.rel].as_ref().expect("prepared");
-                let cands = child
-                    .index
-                    .get(&key)
-                    .ok_or_else(|| TrainError::Invalid("dangling join key during sampling".into()))?;
+                let cands = child.index.get(&key).ok_or_else(|| {
+                    TrainError::Invalid("dangling join key during sampling".into())
+                })?;
                 let ws: Vec<f64> = cands.iter().map(|&i| cdata.weights[i as usize]).collect();
                 let wtotal: f64 = ws.iter().sum();
                 let pick = cands[sample_weighted(&mut rng, &ws, wtotal)] as usize;

@@ -204,7 +204,10 @@ mod tests {
         let db = db();
         let tasks = vec![
             Task::new("CREATE TABLE stage1 AS SELECT SUM(x) AS s FROM nums"),
-            Task::after("CREATE TABLE stage2 AS SELECT s * 2 AS s2 FROM stage1", vec![0]),
+            Task::after(
+                "CREATE TABLE stage2 AS SELECT s * 2 AS s2 FROM stage1",
+                vec![0],
+            ),
             Task::after("SELECT s2 FROM stage2", vec![1]),
         ];
         let results = run_dag(&db, &tasks, 4);
@@ -223,7 +226,10 @@ mod tests {
         ];
         let results = run_dag(&db, &tasks, 2);
         assert!(results[0].is_err());
-        assert!(results[1].is_ok(), "dependent still runs (its input exists)");
+        assert!(
+            results[1].is_ok(),
+            "dependent still runs (its input exists)"
+        );
     }
 
     #[test]

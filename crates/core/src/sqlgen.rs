@@ -112,10 +112,7 @@ pub fn variance_criterion(c_total: f64, s_total: f64) -> Expr {
     let s = Expr::col("s");
     let ct = Expr::float(c_total);
     let st = Expr::float(s_total);
-    let term_total = Expr::mul(
-        Expr::neg(Expr::div(st.clone(), ct.clone())),
-        st.clone(),
-    );
+    let term_total = Expr::mul(Expr::neg(Expr::div(st.clone(), ct.clone())), st.clone());
     let term_left = Expr::mul(Expr::div(s.clone(), c.clone()), s.clone());
     let s_r = Expr::sub(st, s);
     let c_r = Expr::sub(ct, c);
@@ -140,10 +137,7 @@ pub fn gradient_criterion(h_total: f64, g_total: f64, lambda: f64) -> Expr {
         Expr::sub(Expr::float(g_total), g),
         Expr::add(Expr::sub(Expr::float(h_total), h), Expr::float(lambda)),
     );
-    let total = term(
-        Expr::float(g_total),
-        Expr::float(h_total + lambda),
-    );
+    let total = term(Expr::float(g_total), Expr::float(h_total + lambda));
     Expr::sub(Expr::add(left, right), total)
 }
 
@@ -300,7 +294,10 @@ pub fn gradient_sql(objective: &Objective, y: Expr, p: Expr) -> Expr {
         },
         Objective::Mape => Expr::div(
             Expr::func("SIGN", vec![Expr::sub(p.clone(), y.clone())]),
-            Expr::func("GREATEST", vec![Expr::func("ABS", vec![y.clone()]), Expr::int(1)]),
+            Expr::func(
+                "GREATEST",
+                vec![Expr::func("ABS", vec![y.clone()]), Expr::int(1)],
+            ),
         ),
         Objective::Logistic => Expr::sub(sigmoid_sql(p.clone()), y.clone()),
     }
@@ -397,7 +394,10 @@ mod tests {
         );
         let t = db.query(&q.to_string()).unwrap();
         assert_eq!(t.num_rows(), 1);
-        assert_eq!(t.column(None, "val").unwrap().get(0), joinboost_engine::Datum::Int(2));
+        assert_eq!(
+            t.column(None, "val").unwrap().get(0),
+            joinboost_engine::Datum::Int(2)
+        );
         assert_eq!(t.scalar_f64("c").unwrap(), 2.0);
         assert_eq!(t.scalar_f64("s").unwrap(), 3.0);
         // criteria = −14²/4 + 3²/2 + 11²/2 = −49 + 4.5 + 60.5 = 16.
@@ -425,7 +425,10 @@ mod tests {
             1.0,
         );
         let t = db.query(&q.to_string()).unwrap();
-        assert_eq!(t.column(None, "val").unwrap().get(0), joinboost_engine::Datum::Int(30));
+        assert_eq!(
+            t.column(None, "val").unwrap().get(0),
+            joinboost_engine::Datum::Int(30)
+        );
     }
 
     #[test]
@@ -494,8 +497,12 @@ mod tests {
         for i in 0..t.num_rows() {
             let y = t.column(None, "y").unwrap().f64_at(i).unwrap();
             let p = t.column(None, "p").unwrap().f64_at(i).unwrap();
-            assert!((t.column(None, "g").unwrap().f64_at(i).unwrap() - obj.gradient(y, p)).abs() < 1e-9);
-            assert!((t.column(None, "h").unwrap().f64_at(i).unwrap() - obj.hessian(y, p)).abs() < 1e-9);
+            assert!(
+                (t.column(None, "g").unwrap().f64_at(i).unwrap() - obj.gradient(y, p)).abs() < 1e-9
+            );
+            assert!(
+                (t.column(None, "h").unwrap().f64_at(i).unwrap() - obj.hessian(y, p)).abs() < 1e-9
+            );
         }
     }
 }

@@ -42,7 +42,8 @@ impl TrainStats {
     pub fn merge(&mut self, other: &TrainStats) {
         self.split_queries += other.split_queries;
         self.split_time += other.split_time;
-        self.split_durations.extend(other.split_durations.iter().copied());
+        self.split_durations
+            .extend(other.split_durations.iter().copied());
         self.message_queries += other.message_queries;
         self.message_time += other.message_time;
         self.message_durations
@@ -91,15 +92,12 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.priority
-            .0
-            .cmp(&other.priority.0)
-            .then(
-                self.priority
-                    .1
-                    .partial_cmp(&other.priority.1)
-                    .unwrap_or(Ordering::Equal),
-            )
+        self.priority.0.cmp(&other.priority.0).then(
+            self.priority
+                .1
+                .partial_cmp(&other.priority.1)
+                .unwrap_or(Ordering::Equal),
+        )
     }
 }
 
@@ -285,8 +283,7 @@ impl<'a, 'b, 'c> TreeGrower<'a, 'b, 'c> {
     /// from a one-off `MIN`/`MAX` query per feature, cached for the tree.
     fn group_spec(&mut self, feat: &str, rel: RelId) -> Result<crate::messages::GroupSpec> {
         use crate::messages::GroupSpec;
-        if self.params.max_bins == 0 || self.fx.set.feature_kind(feat) == FeatureKind::Categorical
-        {
+        if self.params.max_bins == 0 || self.fx.set.feature_kind(feat) == FeatureKind::Categorical {
             return Ok(GroupSpec::plain(feat));
         }
         if let Some(&(lo, width)) = self.bin_ranges.get(feat) {
@@ -432,7 +429,8 @@ impl<'a, 'b, 'c> TreeGrower<'a, 'b, 'c> {
         // Fold the factorizer stats accumulated by *this* tree into ours.
         self.stats.message_queries = self.fx.stats.message_queries - fx_base_queries;
         self.stats.message_time = self.fx.stats.message_time - fx_base_time;
-        self.stats.message_durations = self.fx.stats.message_durations[fx_base_durations..].to_vec();
+        self.stats.message_durations =
+            self.fx.stats.message_durations[fx_base_durations..].to_vec();
         self.stats.cache_hits = self.fx.stats.cache_hits - fx_base_hits;
         self.stats.identity_drops = self.fx.stats.identity_drops - fx_base_drops;
         Ok(tree)

@@ -170,7 +170,10 @@ impl Tree {
         let node = &self.nodes[i];
         let pad = "  ".repeat(indent);
         match &node.split {
-            None => out.push_str(&format!("{pad}leaf: value={:.6} weight={}\n", node.value, node.weight)),
+            None => out.push_str(&format!(
+                "{pad}leaf: value={:.6} weight={}\n",
+                node.value, node.weight
+            )),
             Some(s) => {
                 out.push_str(&format!("{pad}if {} [{}]\n", s.to_sql(false), s.relation));
                 self.dump_node(node.left, indent + 1, out);

@@ -11,7 +11,10 @@ use joinboost_engine::{Database, EngineConfig};
 use joinboost_semiring::loss::rmse;
 use joinboost_semiring::Objective;
 
-fn favorita_db(fact_rows: usize, dim_rows: usize) -> (Database, joinboost_datagen::favorita::Generated) {
+fn favorita_db(
+    fact_rows: usize,
+    dim_rows: usize,
+) -> (Database, joinboost_datagen::favorita::Generated) {
     let gen = favorita(&FavoritaConfig {
         fact_rows,
         dim_rows,
@@ -167,9 +170,16 @@ fn gbm_l1_and_huber_objectives_train() {
         let model = train_gbm(&set, &params).unwrap();
         let t = materialize_features(&set).unwrap();
         let ys = targets(&t).unwrap();
-        let init_loss: f64 = ys.iter().map(|&y| objective.loss(y, model.init_score)).sum();
+        let init_loss: f64 = ys
+            .iter()
+            .map(|&y| objective.loss(y, model.init_score))
+            .sum();
         let ps = model.predict_raw(&t);
-        let final_loss: f64 = ys.iter().zip(&ps).map(|(&y, &p)| objective.loss(y, p)).sum();
+        let final_loss: f64 = ys
+            .iter()
+            .zip(&ps)
+            .map(|(&y, &p)| objective.loss(y, p))
+            .sum();
         assert!(
             final_loss < init_loss,
             "{}: loss must decrease ({init_loss} -> {final_loss})",
@@ -272,7 +282,10 @@ fn random_forest_parallel_matches_sequential() {
     params.threads = 4;
     let set2 = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
     let par = train_random_forest(&set2, &params).unwrap();
-    assert_eq!(seq.trees, par.trees, "parallelism must not change the model");
+    assert_eq!(
+        seq.trees, par.trees,
+        "parallelism must not change the model"
+    );
 }
 
 #[test]
@@ -341,7 +354,10 @@ fn cuboid_training_approximates_binned_training() {
         let ys = targets(&t).unwrap();
         rmse(&ys, &vec![model.init_score; ys.len()])
     };
-    assert!(r_cuboid < base, "cuboid GBM must improve: {r_cuboid} vs {base}");
+    assert!(
+        r_cuboid < base,
+        "cuboid GBM must improve: {r_cuboid} vs {base}"
+    );
     // The cuboid is much smaller than the fact table.
     // (5 features × 5 bins bounds it at 5^5 cells, but in practice far
     // fewer are populated than fact rows here.)

@@ -110,8 +110,7 @@ pub fn imdb_galaxy(cfg: &ImdbConfig) -> Generated {
         p.push(pi as i64);
         m.push(mi as i64);
         role.push(ro);
-        let y = 5.0 + 0.3 * ro as f64 + 0.01 * (years[mi] - 1980) as f64
-            - 0.5 * genders[pi] as f64
+        let y = 5.0 + 0.3 * ro as f64 + 0.01 * (years[mi] - 1980) as f64 - 0.5 * genders[pi] as f64
             + 0.2 * r.random::<f64>();
         rating.push(y);
     }
@@ -130,12 +129,22 @@ pub fn imdb_galaxy(cfg: &ImdbConfig) -> Generated {
     graph.add_relation("person", &["gender"]).expect("fresh");
     graph.add_relation("movie", &["year"]).expect("fresh");
     graph.add_relation("person_info", &["age"]).expect("fresh");
-    graph.add_relation("movie_info", &["budget"]).expect("fresh");
+    graph
+        .add_relation("movie_info", &["budget"])
+        .expect("fresh");
     // Fact → dim edges are N-to-1 by construction.
-    graph.add_edge("cast_info", "person", &["person_id"]).expect("rels");
-    graph.add_edge("cast_info", "movie", &["movie_id"]).expect("rels");
-    graph.add_edge("person_info", "person", &["person_id"]).expect("rels");
-    graph.add_edge("movie_info", "movie", &["movie_id"]).expect("rels");
+    graph
+        .add_edge("cast_info", "person", &["person_id"])
+        .expect("rels");
+    graph
+        .add_edge("cast_info", "movie", &["movie_id"])
+        .expect("rels");
+    graph
+        .add_edge("person_info", "person", &["person_id"])
+        .expect("rels");
+    graph
+        .add_edge("movie_info", "movie", &["movie_id"])
+        .expect("rels");
     Generated {
         tables,
         graph,

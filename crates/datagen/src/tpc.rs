@@ -63,7 +63,10 @@ pub fn tpcds(cfg: &TpcConfig) -> Generated {
         "holiday_dim".to_string(),
         dim_table(&mut r, "holiday_id", &["f_holiday"], chain),
     ));
-    tables.push(("item".to_string(), dim_table(&mut r, "item_id", &["f_item"], dn)));
+    tables.push((
+        "item".to_string(),
+        dim_table(&mut r, "item_id", &["f_item"], dn),
+    ));
     tables.push((
         "store".to_string(),
         dim_table(&mut r, "store_id", &["f_store"], dn),
@@ -113,19 +116,35 @@ pub fn tpcds(cfg: &TpcConfig) -> Generated {
     let mut graph = JoinGraph::new();
     graph.add_relation("store_sales", &[]).expect("fresh");
     graph.add_relation("date_dim", &["f_date"]).expect("fresh");
-    graph.add_relation("holiday_dim", &["f_holiday"]).expect("fresh");
+    graph
+        .add_relation("holiday_dim", &["f_holiday"])
+        .expect("fresh");
     graph.add_relation("item", &["f_item"]).expect("fresh");
     graph.add_relation("store", &["f_store"]).expect("fresh");
-    graph.add_relation("customer", &["f_customer"]).expect("fresh");
-    graph.add_relation("demographics", &["f_demo"]).expect("fresh");
-    graph.add_edge("store_sales", "date_dim", &["date_id"]).expect("rels");
-    graph.add_edge("date_dim", "holiday_dim", &["holiday_id"]).expect("rels");
-    graph.add_edge("store_sales", "item", &["item_id"]).expect("rels");
-    graph.add_edge("store_sales", "store", &["store_id"]).expect("rels");
+    graph
+        .add_relation("customer", &["f_customer"])
+        .expect("fresh");
+    graph
+        .add_relation("demographics", &["f_demo"])
+        .expect("fresh");
+    graph
+        .add_edge("store_sales", "date_dim", &["date_id"])
+        .expect("rels");
+    graph
+        .add_edge("date_dim", "holiday_dim", &["holiday_id"])
+        .expect("rels");
+    graph
+        .add_edge("store_sales", "item", &["item_id"])
+        .expect("rels");
+    graph
+        .add_edge("store_sales", "store", &["store_id"])
+        .expect("rels");
     graph
         .add_edge("store_sales", "customer", &["customer_id"])
         .expect("rels");
-    graph.add_edge("customer", "demographics", &["demo_id"]).expect("rels");
+    graph
+        .add_edge("customer", "demographics", &["demo_id"])
+        .expect("rels");
     Generated {
         tables,
         graph,
@@ -196,9 +215,15 @@ pub fn tpch(cfg: &TpcConfig) -> Generated {
     graph.add_relation("orders", &["f_order"]).expect("fresh");
     graph.add_relation("partsupp", &["f_ps"]).expect("fresh");
     graph.add_relation("supplier", &["f_supp"]).expect("fresh");
-    graph.add_edge("lineitem", "orders", &["order_id"]).expect("rels");
-    graph.add_edge("lineitem", "partsupp", &["ps_id"]).expect("rels");
-    graph.add_edge("lineitem", "supplier", &["supp_id"]).expect("rels");
+    graph
+        .add_edge("lineitem", "orders", &["order_id"])
+        .expect("rels");
+    graph
+        .add_edge("lineitem", "partsupp", &["ps_id"])
+        .expect("rels");
+    graph
+        .add_edge("lineitem", "supplier", &["supp_id"])
+        .expect("rels");
     Generated {
         tables,
         graph,

@@ -102,12 +102,7 @@ impl Column {
             }
             ColumnData::Str { dict, codes }
         } else if has_float || values.is_empty() || values.iter().all(Datum::is_null) {
-            ColumnData::Float(
-                values
-                    .iter()
-                    .map(|v| v.as_f64().unwrap_or(0.0))
-                    .collect(),
-            )
+            ColumnData::Float(values.iter().map(|v| v.as_f64().unwrap_or(0.0)).collect())
         } else {
             ColumnData::Int(values.iter().map(|v| v.as_i64().unwrap_or(0)).collect())
         };
@@ -189,9 +184,7 @@ impl Column {
             .as_ref()
             .map(|v| indices.iter().map(|&i| v[i as usize]).collect());
         let data = match &self.data {
-            ColumnData::Int(v) => {
-                ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect())
-            }
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i as usize]).collect()),
             ColumnData::Float(v) => {
                 ColumnData::Float(indices.iter().map(|&i| v[i as usize]).collect())
             }

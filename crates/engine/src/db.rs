@@ -220,9 +220,10 @@ impl Database {
     /// (the `DP` backend's fact table).
     pub fn register_external(&self, name: &str, table: &Table) {
         let key = name.to_ascii_lowercase();
-        self.catalog
-            .write()
-            .insert(key, Stored::External(Arc::new(ExternalTable::from_table(table))));
+        self.catalog.write().insert(
+            key,
+            Stored::External(Arc::new(ExternalTable::from_table(table))),
+        );
     }
 
     /// Access an external table's handle for O(1) column replacement.
@@ -485,16 +486,19 @@ impl Database {
             }
             let merged_col = Column::from_datums(&merged);
             if self.config.wal {
-                self.wal.lock().log_update_column(table, col_name, &merged_col)?;
+                self.wal
+                    .lock()
+                    .log_update_column(table, col_name, &merged_col)?;
             }
             updated.columns[idx] = merged_col;
         }
         let key = table.to_ascii_lowercase();
         let was_external = matches!(self.catalog.read().get(&key), Some(Stored::External(_)));
         if was_external {
-            self.catalog
-                .write()
-                .insert(key, Stored::External(Arc::new(ExternalTable::from_table(&updated))));
+            self.catalog.write().insert(
+                key,
+                Stored::External(Arc::new(ExternalTable::from_table(&updated))),
+            );
         } else {
             let stored = self.store(updated);
             self.catalog.write().insert(key, stored);
@@ -517,7 +521,8 @@ impl Database {
             return Err(EngineError::UnknownTable(tb.to_string()));
         }
         // External ⇄ external: swap Arc pointers.
-        if let (Some(Stored::External(ea)), Some(Stored::External(eb))) = (cat.get(&ka), cat.get(&kb))
+        if let (Some(Stored::External(ea)), Some(Stored::External(eb))) =
+            (cat.get(&ka), cat.get(&kb))
         {
             let (ea, eb) = (Arc::clone(ea), Arc::clone(eb));
             drop(cat);
@@ -689,11 +694,8 @@ mod tests {
     #[test]
     fn update_with_in_subquery() {
         let db = db_with_r();
-        db.create_table(
-            "m",
-            Table::from_columns(vec![("a", Column::int(vec![2]))]),
-        )
-        .unwrap();
+        db.create_table("m", Table::from_columns(vec![("a", Column::int(vec![2]))]))
+            .unwrap();
         db.execute("UPDATE r SET y = 0.0 WHERE a IN (SELECT a FROM m)")
             .unwrap();
         let t = db.query("SELECT SUM(y) AS s FROM r").unwrap();
@@ -720,7 +722,10 @@ mod tests {
         .unwrap();
         db2.execute("SWAP COLUMN f.s WITH f2.s").unwrap();
         assert_eq!(
-            db2.query("SELECT SUM(s) AS s FROM f").unwrap().scalar_f64("s").unwrap(),
+            db2.query("SELECT SUM(s) AS s FROM f")
+                .unwrap()
+                .scalar_f64("s")
+                .unwrap(),
             30.0
         );
         assert_eq!(db2.stats().swaps, 1);

@@ -55,8 +55,8 @@ impl<'a> Executor<'a> {
             input = input.filter(&mask);
         }
         // Aggregation or plain projection.
-        let has_agg = !q.group_by.is_empty()
-            || q.items.iter().any(|it| contains_aggregate(&it.expr));
+        let has_agg =
+            !q.group_by.is_empty() || q.items.iter().any(|it| contains_aggregate(&it.expr));
         let mut output = if has_agg {
             self.aggregate(q, &input, ctx)?
         } else {
@@ -668,7 +668,9 @@ fn assemble_right_only(
             .position(|k| m.name.eq_ignore_ascii_case(k))
             .filter(|_| {
                 // Only the actual key column instance merges.
-                left.resolve(None, &m.name).map(|r| r == ci).unwrap_or(false)
+                left.resolve(None, &m.name)
+                    .map(|r| r == ci)
+                    .unwrap_or(false)
             });
         match key_pos {
             Some(kp) => {

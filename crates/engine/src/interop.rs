@@ -101,7 +101,8 @@ mod tests {
     fn replace_column_is_visible() {
         let t = Table::from_columns(vec![("s", Column::float(vec![1.0, 2.0]))]);
         let ext = ExternalTable::from_table(&t);
-        ext.replace_column("s", Column::float(vec![9.0, 8.0])).unwrap();
+        ext.replace_column("s", Column::float(vec![9.0, 8.0]))
+            .unwrap();
         let (back, _) = ext.copy_in();
         assert_eq!(back.columns[0], Column::float(vec![9.0, 8.0]));
     }
@@ -111,6 +112,8 @@ mod tests {
         let t = Table::from_columns(vec![("s", Column::float(vec![1.0, 2.0]))]);
         let ext = ExternalTable::from_table(&t);
         assert!(ext.replace_column("s", Column::float(vec![1.0])).is_err());
-        assert!(ext.replace_column("zzz", Column::float(vec![1.0, 2.0])).is_err());
+        assert!(ext
+            .replace_column("zzz", Column::float(vec![1.0, 2.0]))
+            .is_err());
     }
 }

@@ -100,12 +100,7 @@ impl PartitionedDatabase {
     /// This is exactly how distributed semi-ring aggregation composes: the
     /// `⊕` of the semi-ring is associative and commutative, so per-machine
     /// partial sums merge by another `⊕`.
-    pub fn query_merged(
-        &self,
-        sql: &str,
-        group_cols: &[&str],
-        sum_cols: &[&str],
-    ) -> Result<Table> {
+    pub fn query_merged(&self, sql: &str, group_cols: &[&str], sum_cols: &[&str]) -> Result<Table> {
         let partials = thread::scope(|s| {
             let handles: Vec<_> = self
                 .shards
@@ -157,7 +152,8 @@ pub fn merge_partials(tables: Vec<Table>, group_cols: &[&str], sum_cols: &[&str]
     let mut sums: Vec<Vec<f64>> = Vec::new();
     for t in &tables {
         for i in 0..t.num_rows() {
-            let key: Vec<crate::column::HKey> = gidx.iter().map(|&k| t.columns[k].hkey(i)).collect();
+            let key: Vec<crate::column::HKey> =
+                gidx.iter().map(|&k| t.columns[k].hkey(i)).collect();
             let slot = *groups.entry(key).or_insert_with(|| {
                 keys.push(gidx.iter().map(|&k| t.columns[k].get(i)).collect());
                 sums.push(vec![0.0; sidx.len()]);

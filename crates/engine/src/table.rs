@@ -185,8 +185,9 @@ impl Table {
                 c.len()
             )));
         }
-        c.f64_at(0)
-            .ok_or_else(|| EngineError::TypeMismatch(format!("scalar {name} is NULL or non-numeric")))
+        c.f64_at(0).ok_or_else(|| {
+            EngineError::TypeMismatch(format!("scalar {name} is NULL or non-numeric"))
+        })
     }
 }
 

@@ -78,12 +78,7 @@ impl<V> MessageCache<V> {
     /// (so the caller can DROP the backing tables).
     pub fn retain_or_evict(&mut self, mut keep: impl FnMut(&MessageKey) -> bool) -> Vec<V> {
         let mut evicted = Vec::new();
-        let keys: Vec<MessageKey> = self
-            .entries
-            .keys()
-            .filter(|k| !keep(k))
-            .cloned()
-            .collect();
+        let keys: Vec<MessageKey> = self.entries.keys().filter(|k| !keep(k)).cloned().collect();
         for k in keys {
             if let Some(v) = self.entries.remove(&k) {
                 evicted.push(v);

@@ -124,7 +124,10 @@ mod tests {
         let g = galaxy();
         let cs = clusters(&g);
         assert_eq!(cs.len(), 2);
-        let cast = cs.iter().find(|c| c.fact == g.rel_id("cast_info").unwrap()).unwrap();
+        let cast = cs
+            .iter()
+            .find(|c| c.fact == g.rel_id("cast_info").unwrap())
+            .unwrap();
         let pinfo = cs
             .iter()
             .find(|c| c.fact == g.rel_id("person_info").unwrap())

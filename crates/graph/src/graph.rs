@@ -97,11 +97,7 @@ impl JoinGraph {
     }
 
     /// Add a relation with its feature attributes.
-    pub fn add_relation(
-        &mut self,
-        name: &str,
-        features: &[&str],
-    ) -> Result<RelId, GraphError> {
+    pub fn add_relation(&mut self, name: &str, features: &[&str]) -> Result<RelId, GraphError> {
         let key = name.to_ascii_lowercase();
         if self.by_name.contains_key(&key) {
             return Err(GraphError::DuplicateRelation(name.to_string()));
@@ -418,10 +414,7 @@ impl JoinGraph {
         };
         schedule
             .iter()
-            .filter(|m| {
-                path.windows(2)
-                    .any(|w| m.from == w[0] && m.to == w[1])
-            })
+            .filter(|m| path.windows(2).any(|w| m.from == w[0] && m.to == w[1]))
             .cloned()
             .collect()
     }
@@ -593,7 +586,10 @@ mod tests {
     #[test]
     fn feature_lookup_and_duplicates() {
         let g = star();
-        assert_eq!(g.relation_of_feature("f_oil"), Some(g.rel_id("oil").unwrap()));
+        assert_eq!(
+            g.relation_of_feature("f_oil"),
+            Some(g.rel_id("oil").unwrap())
+        );
         assert_eq!(g.relation_of_feature("nope"), None);
         let mut g2 = JoinGraph::new();
         g2.add_relation("a", &["x"]).unwrap();

@@ -131,9 +131,7 @@ mod tests {
             .iter()
             .fold((0.0, 0.0, 0.0), |(c, s, q), &y| (c + 1.0, s + y, q + y * y));
         let (cl, sl, ql) = (2.0, 3.0, 5.0);
-        let direct = variance(c, s, q)
-            - variance(cl, sl, ql)
-            - variance(c - cl, s - sl, q - ql);
+        let direct = variance(c, s, q) - variance(cl, sl, ql) - variance(c - cl, s - sl, q - ql);
         let via_formula = variance_reduction(c, s, cl, sl).unwrap();
         assert!((direct - via_formula).abs() < 1e-9);
         assert!(via_formula > 0.0);

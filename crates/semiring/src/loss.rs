@@ -268,7 +268,11 @@ mod tests {
         assert!((2.0..=3.0).contains(&med));
         // Check optimality numerically for L2.
         let base = Objective::SquaredError.init_score(&ys);
-        let at = |p: f64| ys.iter().map(|&y| Objective::SquaredError.loss(y, p)).sum::<f64>();
+        let at = |p: f64| {
+            ys.iter()
+                .map(|&y| Objective::SquaredError.loss(y, p))
+                .sum::<f64>()
+        };
         assert!(at(base) <= at(base + 0.1) && at(base) <= at(base - 0.1));
     }
 

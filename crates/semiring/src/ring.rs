@@ -58,12 +58,7 @@ pub trait SemiRing {
     fn mul(&self, a: &[f64], b: &[f64]) -> Vec<f64> {
         self.mul_terms()
             .iter()
-            .map(|terms| {
-                terms
-                    .iter()
-                    .map(|t| t.coeff * a[t.left] * b[t.right])
-                    .sum()
-            })
+            .map(|terms| terms.iter().map(|t| t.coeff * a[t.left] * b[t.right]).sum())
             .collect()
     }
 

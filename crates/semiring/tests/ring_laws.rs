@@ -1,0 +1,189 @@
+//! Property tests for the semi-ring laws (paper Table 1, Definition 1,
+//! Appendix B) on the variance, class-count and gradient rings.
+//!
+//! Every ring JoinBoost compiles to SQL must satisfy:
+//! * `⊕` is commutative and associative with identity `0̄`,
+//! * `⊗` is commutative and associative with identity `1̄` and
+//!   annihilator `0̄`,
+//! * `⊗` is **bilinear** over `⊕` (distributivity plus scalar
+//!   homogeneity) — the property that lets joins compile to `+`/`*`
+//!   arithmetic over component columns,
+//! * for rings powering factorized residual updates, the lift is
+//!   **addition-to-multiplication preserving** (Definition 1):
+//!   `lift(d₁ + d₂) = lift(d₁) ⊗ lift(d₂)`.
+
+use proptest::prelude::*;
+
+use joinboost_semiring::ring::{MulTerm, SemiRing};
+use joinboost_semiring::{ClassCountRing, GradientRing, VarianceRing};
+
+fn close(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())))
+}
+
+fn scale(s: f64, v: &[f64]) -> Vec<f64> {
+    v.iter().map(|x| s * x).collect()
+}
+
+/// `⊕` laws: commutative, associative, identity `0̄`.
+fn check_additive_laws<R: SemiRing>(ring: &R, a: &[f64], b: &[f64], c: &[f64]) {
+    assert!(close(&ring.add(a, b), &ring.add(b, a)), "⊕ commutativity");
+    assert!(
+        close(&ring.add(&ring.add(a, b), c), &ring.add(a, &ring.add(b, c))),
+        "⊕ associativity"
+    );
+    assert!(close(&ring.add(a, &ring.zero()), a), "⊕ identity");
+}
+
+/// `⊗` laws: commutative, associative, identity `1̄`, annihilator `0̄`.
+fn check_multiplicative_laws<R: SemiRing>(ring: &R, a: &[f64], b: &[f64], c: &[f64]) {
+    assert!(close(&ring.mul(a, b), &ring.mul(b, a)), "⊗ commutativity");
+    assert!(
+        close(&ring.mul(&ring.mul(a, b), c), &ring.mul(a, &ring.mul(b, c))),
+        "⊗ associativity"
+    );
+    assert!(close(&ring.mul(a, &ring.one()), a), "⊗ identity");
+    assert!(
+        close(&ring.mul(a, &ring.zero()), &ring.zero()),
+        "⊗ annihilator"
+    );
+}
+
+/// Bilinearity of `⊗` over `⊕`: distributivity in each argument plus
+/// scalar homogeneity, i.e. `a ⊗ (βb ⊕ γc) = β(a ⊗ b) ⊕ γ(a ⊗ c)`.
+fn check_bilinearity<R: SemiRing>(
+    ring: &R,
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    beta: f64,
+    gamma: f64,
+) {
+    let rhs = ring.add(
+        &scale(beta, &ring.mul(a, b)),
+        &scale(gamma, &ring.mul(a, c)),
+    );
+    let lhs = ring.mul(a, &ring.add(&scale(beta, b), &scale(gamma, c)));
+    assert!(close(&lhs, &rhs), "⊗ bilinearity (right argument)");
+    let lhs_l = ring.mul(&ring.add(&scale(beta, b), &scale(gamma, c)), a);
+    assert!(close(&lhs_l, &rhs), "⊗ bilinearity (left argument)");
+}
+
+/// The declared multiplication table must be what `mul` evaluates —
+/// guards against the SQL compiler (which reads `mul_terms`) and the
+/// numeric path drifting apart.
+fn check_table_consistency<R: SemiRing>(ring: &R, a: &[f64], b: &[f64]) {
+    let table: Vec<Vec<MulTerm>> = ring.mul_terms();
+    let manual: Vec<f64> = table
+        .iter()
+        .map(|terms| {
+            terms
+                .iter()
+                .map(|t| t.coeff * a[t.left] * b[t.right])
+                .sum::<f64>()
+        })
+        .collect();
+    assert!(close(&manual, &ring.mul(a, b)), "mul_terms/mul agreement");
+    assert_eq!(
+        table.len(),
+        ring.components().len(),
+        "one output term list per component"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn variance_ring_laws(
+        vals in prop::collection::vec(-10.0f64..10.0, 9),
+        beta in -3.0f64..3.0,
+        gamma in -3.0f64..3.0,
+    ) {
+        let ring = VarianceRing;
+        let (a, b, c) = (&vals[0..3], &vals[3..6], &vals[6..9]);
+        check_additive_laws(&ring, a, b, c);
+        check_multiplicative_laws(&ring, a, b, c);
+        check_bilinearity(&ring, a, b, c, beta, gamma);
+        check_table_consistency(&ring, a, b);
+    }
+
+    #[test]
+    fn gradient_ring_laws(
+        vals in prop::collection::vec(-10.0f64..10.0, 6),
+        beta in -3.0f64..3.0,
+        gamma in -3.0f64..3.0,
+    ) {
+        let ring = GradientRing;
+        let (a, b, c) = (&vals[0..2], &vals[2..4], &vals[4..6]);
+        check_additive_laws(&ring, a, b, c);
+        check_multiplicative_laws(&ring, a, b, c);
+        check_bilinearity(&ring, a, b, c, beta, gamma);
+        check_table_consistency(&ring, a, b);
+    }
+
+    #[test]
+    fn class_count_ring_laws(
+        vals in prop::collection::vec(-10.0f64..10.0, 15),
+        beta in -3.0f64..3.0,
+        gamma in -3.0f64..3.0,
+    ) {
+        let ring = ClassCountRing::new(4);
+        let (a, b, c) = (&vals[0..5], &vals[5..10], &vals[10..15]);
+        check_additive_laws(&ring, a, b, c);
+        check_multiplicative_laws(&ring, a, b, c);
+        check_bilinearity(&ring, a, b, c, beta, gamma);
+        check_table_consistency(&ring, a, b);
+    }
+
+    /// Definition 1 for the variance ring: `lift(d₁+d₂) = lift(d₁) ⊗
+    /// lift(d₂)` — the identity enabling factorized residual updates.
+    #[test]
+    fn variance_lift_preserves_addition(d1 in -100.0f64..100.0, d2 in -100.0f64..100.0) {
+        let ring = VarianceRing;
+        let lhs = ring.lift(d1 + d2);
+        let rhs = ring.mul(&ring.lift(d1), &ring.lift(d2));
+        prop_assert!(close(&lhs, &rhs), "lift({d1} + {d2}): {lhs:?} != {rhs:?}");
+        prop_assert!(ring.is_add_to_mul_preserving(&[(d1, d2)]));
+    }
+
+    /// Definition 1 for the gradient ring with the first-order lift
+    /// `lift(d) = (1, d)`.
+    #[test]
+    fn gradient_lift_preserves_addition(d1 in -100.0f64..100.0, d2 in -100.0f64..100.0) {
+        let ring = GradientRing;
+        let lhs = ring.lift(d1 + d2);
+        let rhs = ring.mul(&ring.lift(d1), &ring.lift(d2));
+        prop_assert!(close(&lhs, &rhs), "lift({d1} + {d2}): {lhs:?} != {rhs:?}");
+        prop_assert!(ring.is_add_to_mul_preserving(&[(d1, d2)]));
+    }
+
+    /// The class-count lift marks a class indicator, so it must NOT be
+    /// addition-to-multiplication preserving: classification boosting
+    /// goes through the gradient ring instead (Appendix B).
+    #[test]
+    fn class_count_lift_is_not_addition_preserving(
+        j1 in 0i64..2,
+        j2 in 0i64..2,
+    ) {
+        let ring = ClassCountRing::new(5);
+        prop_assert!(!ring.is_add_to_mul_preserving(&[(j1 as f64, j2 as f64)]));
+    }
+
+    /// Aggregation via `sum_lifted` is the `⊕`-fold of lifts — the
+    /// GROUP-BY-to-SUM mapping the SQL compiler relies on.
+    #[test]
+    fn sum_lifted_is_fold_of_lifts(ys in prop::collection::vec(-50.0f64..50.0, 0..30)) {
+        let ring = VarianceRing;
+        let agg = ring.sum_lifted(ys.iter());
+        let mut manual = ring.zero();
+        for &y in &ys {
+            manual = ring.add(&manual, &ring.lift(y));
+        }
+        prop_assert!(close(&agg, &manual));
+        prop_assert!((agg[0] - ys.len() as f64).abs() < 1e-9);
+    }
+}

@@ -354,7 +354,12 @@ impl fmt::Display for Expr {
     }
 }
 
-fn fmt_child(f: &mut fmt::Formatter<'_>, child: &Expr, parent_prec: u8, right: bool) -> fmt::Result {
+fn fmt_child(
+    f: &mut fmt::Formatter<'_>,
+    child: &Expr,
+    parent_prec: u8,
+    right: bool,
+) -> fmt::Result {
     let cp = child.precedence();
     if cp < parent_prec || (right && cp == parent_prec) {
         write!(f, "({child})")
@@ -654,7 +659,10 @@ impl fmt::Display for Statement {
                 column_a,
                 table_b,
                 column_b,
-            } => write!(f, "SWAP COLUMN {table_a}.{column_a} WITH {table_b}.{column_b}"),
+            } => write!(
+                f,
+                "SWAP COLUMN {table_a}.{column_a} WITH {table_b}.{column_b}"
+            ),
         }
     }
 }

@@ -18,7 +18,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at token {}: {}", self.position, self.message)
+        write!(
+            f,
+            "parse error at token {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -357,18 +361,26 @@ impl Parser {
         if self.eat(&Token::LParen) {
             let query = self.query()?;
             self.expect(&Token::RParen)?;
-            let has_alias = self.eat_kw("AS")
-                || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w));
-            let alias = if has_alias { Some(self.identifier()?) } else { None };
+            let has_alias =
+                self.eat_kw("AS") || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w));
+            let alias = if has_alias {
+                Some(self.identifier()?)
+            } else {
+                None
+            };
             return Ok(TableRef::Subquery {
                 query: Box::new(query),
                 alias,
             });
         }
         let name = self.identifier()?;
-        let has_alias = self.eat_kw("AS")
-            || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w));
-        let alias = if has_alias { Some(self.identifier()?) } else { None };
+        let has_alias =
+            self.eat_kw("AS") || matches!(self.peek(), Some(Token::Word(w)) if !is_reserved(w));
+        let alias = if has_alias {
+            Some(self.identifier()?)
+        } else {
+            None
+        };
         Ok(TableRef::Named { name, alias })
     }
 
@@ -692,12 +704,20 @@ mod tests {
     #[test]
     fn parses_precedence() {
         let e = parse_expr("1 + 2 * 3").unwrap();
-        assert_eq!(e, Expr::add(Expr::int(1), Expr::mul(Expr::int(2), Expr::int(3))));
+        assert_eq!(
+            e,
+            Expr::add(Expr::int(1), Expr::mul(Expr::int(2), Expr::int(3)))
+        );
         let e = parse_expr("(1 + 2) * 3").unwrap();
-        assert_eq!(e, Expr::mul(Expr::add(Expr::int(1), Expr::int(2)), Expr::int(3)));
+        assert_eq!(
+            e,
+            Expr::mul(Expr::add(Expr::int(1), Expr::int(2)), Expr::int(3))
+        );
         let e = parse_expr("a = 1 AND b = 2 OR c = 3").unwrap();
         match e {
-            Expr::Binary { op: BinaryOp::Or, .. } => {}
+            Expr::Binary {
+                op: BinaryOp::Or, ..
+            } => {}
             other => panic!("expected OR at top, got {other:?}"),
         }
     }

@@ -36,7 +36,11 @@ fn main() {
     println!("CPT clusters (paper Figure 3 shape):");
     for c in clusters(&gen.graph) {
         let members: Vec<&str> = c.members.iter().map(|&m| gen.graph.name(m)).collect();
-        println!("  fact {:<12} members: {}", gen.graph.name(c.fact), members.join(", "));
+        println!(
+            "  fact {:<12} members: {}",
+            gen.graph.name(c.fact),
+            members.join(", ")
+        );
     }
 
     let params = TrainParams {
@@ -52,7 +56,10 @@ fn main() {
     println!("\nper-tree root splits and clusters:");
     for (i, tree) in model.trees.iter().enumerate().take(5) {
         match &tree.nodes[0].split {
-            Some(s) => println!("  tree {i}: root split on {} (relation {})", s.feature, s.relation),
+            Some(s) => println!(
+                "  tree {i}: root split on {} (relation {})",
+                s.feature, s.relation
+            ),
             None => println!("  tree {i}: stump"),
         }
     }

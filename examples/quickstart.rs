@@ -47,7 +47,9 @@ fn main() {
     // 2. Describe the training set as a join graph (paper Example 6).
     let mut graph = JoinGraph::new();
     graph.add_relation("sales", &[]).unwrap();
-    graph.add_relation("dates", &["holiday", "weekend"]).unwrap();
+    graph
+        .add_relation("dates", &["holiday", "weekend"])
+        .unwrap();
     graph.add_edge("sales", "dates", &["date_id"]).unwrap();
     let train_set = Dataset::new(&db, graph, "sales", "net_profit").unwrap();
 
@@ -65,7 +67,11 @@ fn main() {
     let eval = materialize_features(&train_set).unwrap();
     let ys = targets(&eval).unwrap();
     let preds = model.predict(&eval);
-    println!("trained {} trees; init score {:.2}", model.trees.len(), model.init_score);
+    println!(
+        "trained {} trees; init score {:.2}",
+        model.trees.len(),
+        model.init_score
+    );
     println!("first tree:\n{}", model.trees[0].dump());
     println!("training rmse: {:.3}", rmse(&ys, &preds));
     let stats = db.stats();

@@ -30,12 +30,36 @@ fn main() {
     println!("paper Example 2 round-trips through the parser:\n  {stmt}\n");
 
     let backends: Vec<(&str, EngineConfig, UpdateMethod)> = vec![
-        ("X-col  (commercial column store)", EngineConfig::dbms_x_col(), UpdateMethod::CreateTable),
-        ("X-row  (commercial row store)", EngineConfig::dbms_x_row(), UpdateMethod::CreateTable),
-        ("D-disk (disk-backed columnar)", EngineConfig::duckdb_disk(), UpdateMethod::CreateTable),
-        ("D-mem  (in-memory columnar)", EngineConfig::duckdb_mem(), UpdateMethod::UpdateInPlace),
-        ("DP     (dataframe interop)", EngineConfig::duckdb_mem(), UpdateMethod::Interop),
-        ("D-Swap (column-swap extension)", EngineConfig::d_swap(), UpdateMethod::ColumnSwap),
+        (
+            "X-col  (commercial column store)",
+            EngineConfig::dbms_x_col(),
+            UpdateMethod::CreateTable,
+        ),
+        (
+            "X-row  (commercial row store)",
+            EngineConfig::dbms_x_row(),
+            UpdateMethod::CreateTable,
+        ),
+        (
+            "D-disk (disk-backed columnar)",
+            EngineConfig::duckdb_disk(),
+            UpdateMethod::CreateTable,
+        ),
+        (
+            "D-mem  (in-memory columnar)",
+            EngineConfig::duckdb_mem(),
+            UpdateMethod::UpdateInPlace,
+        ),
+        (
+            "DP     (dataframe interop)",
+            EngineConfig::duckdb_mem(),
+            UpdateMethod::Interop,
+        ),
+        (
+            "D-Swap (column-swap extension)",
+            EngineConfig::d_swap(),
+            UpdateMethod::ColumnSwap,
+        ),
     ];
     println!(
         "{:<36}{:>10}{:>10}{:>12}",

@@ -1,0 +1,274 @@
+//! Minimal stand-in for the `bytes` crate: a growable byte buffer
+//! ([`BytesMut`]) with little-endian `put_*` writers ([`BufMut`]),
+//! cursor-style readers ([`Buf`], consuming from the front like the real
+//! crate), and `split_to`.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer backed by a `Vec<u8>` plus a read cursor.
+///
+/// Writers append at the back; readers ([`Buf`]) consume from the front.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+    read: usize,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+            read: 0,
+        }
+    }
+
+    pub fn from_vec(v: Vec<u8>) -> Self {
+        BytesMut { inner: v, read: 0 }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.inner.len() - self.read
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&mut self) {
+        self.inner.clear();
+        self.read = 0;
+    }
+
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `at` unread bytes, advancing `self`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = self.inner[self.read..self.read + at].to_vec();
+        self.read += at;
+        BytesMut {
+            inner: head,
+            read: 0,
+        }
+    }
+
+    /// Freeze into an immutable byte container (here: just the vector).
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            inner: self.inner[self.read..].to_vec(),
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner[self.read..].to_vec()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner[self.read..]
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let read = self.read;
+        &mut self.inner[read..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut::from_vec(v)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(v: &[u8]) -> Self {
+        BytesMut::from_vec(v.to_vec())
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.to_vec()
+    }
+}
+
+impl PartialEq for BytesMut {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl Eq for BytesMut {}
+
+/// Immutable byte container produced by [`BytesMut::freeze`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    inner: Vec<u8>,
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Little-endian writers.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Little-endian readers consuming from the front. Panics on underflow,
+/// like `bytes`.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn advance(&mut self, cnt: usize) {
+        let mut scratch = vec![0u8; cnt];
+        self.copy_to_slice(&mut scratch);
+    }
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.inner[self.read..self.read + dst.len()]);
+        self.read += dst.len();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD);
+        buf.put_u64_le(42);
+        buf.put_i64_le(-5);
+        buf.put_f64_le(1.5);
+        buf.put_slice(b"ok");
+
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_i64_le(), -5);
+        assert_eq!(r.get_f64_le(), 1.5);
+        let mut s = [0u8; 2];
+        r.copy_to_slice(&mut s);
+        assert_eq!(&s, b"ok");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn bytesmut_reads_consume_front() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(3);
+        buf.put_slice(b"abcdef");
+        assert_eq!(buf.get_u32_le(), 3);
+        let head = buf.split_to(3);
+        assert_eq!(&head[..], b"abc");
+        assert_eq!(&buf[..], b"def");
+        assert_eq!(buf.len(), 3);
+        // Writes after reads still append at the back.
+        buf.put_u8(b'!');
+        assert_eq!(&buf[..], b"def!");
+    }
+}

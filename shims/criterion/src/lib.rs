@@ -1,0 +1,220 @@
+//! Minimal stand-in for `criterion`: a wall-clock sampling micro-benchmark
+//! harness with criterion-compatible configuration and macros.
+//!
+//! Each `bench_function` warms up for `warm_up_time`, then takes
+//! `sample_size` samples inside `measurement_time`, auto-scaling the
+//! per-sample iteration count. It reports min / median / mean / max
+//! per-iteration latency on stdout in a stable, greppable format:
+//!
+//! ```text
+//! bench_name                time: [min 1.234 µs  median 1.301 µs  mean 1.310 µs  max 1.402 µs]  (N samples × M iters)
+//! ```
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be >= 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let warm_up_started = Instant::now();
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: warm_up_started + self.warm_up_time,
+                iters_per_call: 1,
+                calls: 0,
+                total_iters: 0,
+            },
+        };
+        // Warm-up: repeatedly invoke the closure, growing the per-call
+        // iteration count, until the warm-up budget is spent.
+        loop {
+            f(&mut b);
+            match &b.mode {
+                Mode::WarmUp { until, .. } if Instant::now() < *until => {}
+                _ => break,
+            }
+        }
+        let iters_per_sample = match &b.mode {
+            Mode::WarmUp { total_iters, .. } => {
+                // Aim for sample_size samples inside measurement_time based
+                // on the observed warm-up rate (actual iterations over the
+                // actual elapsed time, not the final per-call count).
+                let rate = (*total_iters).max(1) as f64
+                    / warm_up_started.elapsed().as_secs_f64().max(1e-9);
+                let per_sample =
+                    rate * self.measurement_time.as_secs_f64() / self.sample_size as f64;
+                (per_sample.ceil() as u64).max(1)
+            }
+            _ => 1,
+        };
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.mode = Mode::Measure {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            if let Mode::Measure { elapsed, iters } = &b.mode {
+                samples.push(elapsed.as_secs_f64() / *iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{name:<40} time: [min {}  median {}  mean {}  max {}]  ({} samples x {} iters)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            fmt_time(max),
+            samples.len(),
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+enum Mode {
+    WarmUp {
+        until: Instant,
+        iters_per_call: u64,
+        calls: u64,
+        total_iters: u64,
+    },
+    Measure {
+        iters: u64,
+        elapsed: Duration,
+    },
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match &mut self.mode {
+            Mode::WarmUp {
+                iters_per_call,
+                calls,
+                total_iters,
+                ..
+            } => {
+                for _ in 0..*iters_per_call {
+                    black_box(f());
+                }
+                *calls += 1;
+                *total_iters += *iters_per_call;
+                if *calls % 8 == 0 {
+                    *iters_per_call = (*iters_per_call * 2).min(1 << 20);
+                }
+            }
+            Mode::Measure { iters, elapsed } => {
+                let t0 = Instant::now();
+                for _ in 0..*iters {
+                    black_box(f());
+                }
+                *elapsed = t0.elapsed();
+            }
+        }
+    }
+}
+
+/// Criterion-compatible group declaration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Criterion-compatible main entry point for `harness = false` benches.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(5)
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(50));
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1)
+        });
+        assert!(ran);
+    }
+}

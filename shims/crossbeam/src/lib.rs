@@ -1,0 +1,70 @@
+//! Minimal stand-in for `crossbeam`'s scoped threads, layered over
+//! `std::thread::scope` (stable since 1.63). Spawn closures receive a dummy
+//! `&ScopeRef` argument to match crossbeam's `|scope| ...` signature (all
+//! call sites in this workspace spawn with `|_|`).
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Result type matching `crossbeam::thread::scope`.
+    pub type ScopeResult<T> = stdthread::Result<T>;
+
+    /// The scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Dummy argument passed to spawned closures (crossbeam passes a
+    /// nested scope there; this workspace never uses it).
+    pub struct ScopeRef;
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&ScopeRef) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&ScopeRef)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, scoped threads can be
+    /// spawned; all are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam this never returns `Err`: panics in threads whose
+    /// handles were joined are reported through the handle, and panics in
+    /// unjoined threads propagate (abort the scope) as in `std`.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|x| s.spawn(move |_| *x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,40 @@
+//! Deterministic RNG for the proptest shim (xorshift* variant).
+
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        let mixed = seed ^ 0x9E37_79B9_7F4A_7C15;
+        TestRng {
+            // xorshift* fixes the all-zero state, which would make every
+            // strategy constant; remap it to an arbitrary nonzero state.
+            state: if mixed == 0 {
+                0x0123_4567_89AB_CDEF
+            } else {
+                mixed
+            },
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}

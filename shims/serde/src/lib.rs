@@ -1,0 +1,56 @@
+//! Minimal stand-in for `serde`: empty marker traits plus derives.
+//!
+//! Nothing in this workspace currently serializes — the derives on model
+//! and parameter types exist so models stay serialization-ready. The shim
+//! keeps those derives compiling without pulling in the real serde; when a
+//! registry is available, swapping the workspace dependency back to real
+//! serde requires no source changes.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized.
+pub trait Deserialize<'de>: Sized {}
+
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+pub mod de {
+    pub use crate::Deserialize;
+
+    /// Owned-deserialization alias mirroring `serde::de::DeserializeOwned`.
+    pub trait DeserializeOwned: for<'de> crate::Deserialize<'de> {}
+    impl<T: for<'de> crate::Deserialize<'de>> DeserializeOwned for T {}
+}
+
+macro_rules! impl_primitives {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {}
+        impl<'de> Deserialize<'de> for $t {}
+    )*};
+}
+
+impl_primitives!(bool, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64, char, String);
+
+impl<T: Serialize> Serialize for Vec<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {}
+impl<T: Serialize> Serialize for Option<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {}
+impl<T: Serialize> Serialize for Box<T> {}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {}
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {}
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {}
+impl Serialize for str {}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::HashMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::HashMap<K, V>
+{
+}
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {}
+impl<'de, K: Deserialize<'de>, V: Deserialize<'de>> Deserialize<'de>
+    for std::collections::BTreeMap<K, V>
+{
+}

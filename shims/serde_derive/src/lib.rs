@@ -1,0 +1,98 @@
+//! Derive macros for the `serde` shim: emit empty marker-trait impls.
+//!
+//! Parses just enough of the item — its name and generic parameter names —
+//! without `syn`, which is unavailable offline.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// `struct Foo<T: Bound, 'a> { .. }` → `("Foo", vec!["T", "'a"])`.
+fn parse_item(input: TokenStream) -> (String, Vec<String>) {
+    let mut tokens = input.into_iter().peekable();
+    // Skip until the `struct` / `enum` / `union` keyword (past attributes
+    // and visibility).
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+                break;
+            }
+        }
+    }
+    let name = name.expect("serde_derive shim: could not find type name");
+
+    // Collect generic parameter *names* (identifiers and lifetimes at
+    // depth 1, before any `:` bound or `=` default).
+    let mut params = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            tokens.next();
+            let mut depth = 1i32;
+            let mut expect_param = true;
+            let mut lifetime_pending = false;
+            while depth > 0 {
+                let Some(tt) = tokens.next() else { break };
+                match tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => expect_param = true,
+                        '\'' if depth == 1 && expect_param => lifetime_pending = true,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && expect_param => {
+                        let s = id.to_string();
+                        if s == "const" {
+                            continue; // next ident is the const param name
+                        }
+                        if lifetime_pending {
+                            params.push(format!("'{s}"));
+                            lifetime_pending = false;
+                        } else {
+                            params.push(s);
+                        }
+                        expect_param = false;
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+                    _ => {}
+                }
+            }
+        }
+    }
+    (name, params)
+}
+
+fn generics_decl(params: &[String], extra: Option<&str>) -> (String, String) {
+    let mut decl: Vec<String> = extra.map(|e| e.to_string()).into_iter().collect();
+    decl.extend(params.iter().cloned());
+    let args = params.to_vec();
+    let fmt = |v: &[String]| {
+        if v.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", v.join(", "))
+        }
+    };
+    (fmt(&decl), fmt(&args))
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let (decl, args) = generics_decl(&params, None);
+    format!("impl{decl} ::serde::Serialize for {name}{args} {{}}")
+        .parse()
+        .unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, params) = parse_item(input);
+    let (decl, args) = generics_decl(&params, Some("'de"));
+    format!("impl{decl} ::serde::Deserialize<'de> for {name}{args} {{}}")
+        .parse()
+        .unwrap()
+}

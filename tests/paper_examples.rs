@@ -40,8 +40,10 @@ fn figure1_db() -> (Database, JoinGraph) {
     g.add_relation("r", &[]).unwrap();
     g.add_relation("s", &["c"]).unwrap();
     g.add_relation("t", &["d"]).unwrap();
-    g.add_edge_with("r", "s", &["a"], Multiplicity::ManyToMany).unwrap();
-    g.add_edge_with("s", "t", &["a"], Multiplicity::ManyToMany).unwrap();
+    g.add_edge_with("r", "s", &["a"], Multiplicity::ManyToMany)
+        .unwrap();
+    g.add_edge_with("s", "t", &["a"], Multiplicity::ManyToMany)
+        .unwrap();
     (db, g)
 }
 

@@ -63,13 +63,16 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 whens: vec![(c, t)],
                 else_expr: None,
             }),
-            (inner.clone(), prop::collection::vec(inner.clone(), 1..3), any::<bool>()).prop_map(
-                |(e, list, negated)| Expr::InList {
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..3),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
                     expr: Box::new(e),
                     list,
                     negated,
-                }
-            ),
+                }),
             (inner, any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
                 expr: Box::new(e),
                 negated,
