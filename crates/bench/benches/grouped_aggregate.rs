@@ -1,0 +1,69 @@
+//! Grouped aggregation micro-benchmarks over the query shapes sqlgen
+//! actually emits: one `SUM` per ring component (3 for the variance ring)
+//! grouped by a feature column, and the `ORDER BY .. LIMIT 1` winner
+//! selection of split queries.
+//!
+//! Caveat for reading results: the first bench_function in a process can
+//! run ~2x slower than steady state on constrained containers (process /
+//! host warm-up), so compare a benchmark against the *same* benchmark in
+//! another run (`scripts/bench_diff.sh`), not against its neighbours in
+//! one run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use joinboost_bench::synth::grouped_fact_table;
+use joinboost_engine::{Database, EngineConfig};
+
+const ROWS: usize = 200_000;
+
+fn load(config: EngineConfig, groups: u64) -> Database {
+    let db = Database::new(config);
+    db.create_table("t", grouped_fact_table(ROWS, groups))
+        .unwrap();
+    db
+}
+
+/// The variance-ring message shape: three SUMs in one pass, int group key.
+const SUM3: &str = "SELECT k, COUNT(*) AS c, SUM(y) AS s, SUM(y * y) AS q FROM t GROUP BY k";
+
+/// Same aggregates grouped by a dictionary-encoded string key.
+const SUM3_STR: &str = "SELECT ks, COUNT(*) AS c, SUM(y) AS s, SUM(y * y) AS q FROM t GROUP BY ks";
+
+/// The split-query winner selection: criterion sort with LIMIT 1.
+const TOP1: &str = "SELECT k, SUM(y * y) - SUM(y) * SUM(y) / COUNT(*) AS crit \
+                    FROM t GROUP BY k ORDER BY crit DESC LIMIT 1";
+
+fn bench_grouped_aggregate(c: &mut Criterion) {
+    let db = load(EngineConfig::duckdb_mem(), 100);
+    c.bench_function("sum3_groupby_int", |b| b.iter(|| db.query(SUM3).unwrap()));
+    c.bench_function("sum3_groupby_str", |b| {
+        b.iter(|| db.query(SUM3_STR).unwrap())
+    });
+
+    // Many groups: stresses both grouping and the top-k winner selection.
+    let db_wide = load(EngineConfig::duckdb_mem(), 20_000);
+    c.bench_function("top1_split_query", |b| {
+        b.iter(|| db_wide.query(TOP1).unwrap())
+    });
+
+    // Parallel fused aggregation (aggregate-sliced, bit-identical to
+    // serial). The knob is 4, but workers are capped by the number of
+    // scan-needing aggregates — 2 here, since COUNT(*) is answered from
+    // the grouping pass's group sizes.
+    let db_par = load(
+        EngineConfig {
+            agg_threads: 4,
+            ..EngineConfig::duckdb_mem()
+        },
+        100,
+    );
+    c.bench_function("sum3_groupby_int_par4", |b| {
+        b.iter(|| db_par.query(SUM3).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_grouped_aggregate
+}
+criterion_main!(benches);

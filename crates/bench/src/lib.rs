@@ -9,6 +9,7 @@
 pub mod dist;
 pub mod experiments;
 pub mod report;
+pub mod synth;
 
 pub use report::Report;
 

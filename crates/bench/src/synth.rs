@@ -1,0 +1,32 @@
+//! Deterministic synthetic tables shared by the criterion benches and the
+//! experiments CLI, so both measure exactly the same workload.
+
+use joinboost_engine::{Column, Table};
+
+/// Xorshift64 PRNG step (no external deps; deterministic across runs).
+pub fn xorshift(seed: &mut u64) -> u64 {
+    *seed ^= *seed << 13;
+    *seed ^= *seed >> 7;
+    *seed ^= *seed << 17;
+    *seed
+}
+
+/// Fact table `(k INT, ks STR, y FLOAT)`: `rows` rows over `groups`
+/// distinct keys (`ks` mirrors `k` as a dictionary-coded string).
+pub fn grouped_fact_table(rows: usize, groups: u64) -> Table {
+    let mut seed = 0x9E3779B97F4A7C15u64;
+    let mut k = Vec::with_capacity(rows);
+    let mut ks = Vec::with_capacity(rows);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let g = xorshift(&mut seed) % groups;
+        k.push(g as i64);
+        ks.push(format!("cat{g}"));
+        y.push((xorshift(&mut seed) % 1000) as f64 / 10.0 - 50.0);
+    }
+    Table::from_columns(vec![
+        ("k", Column::int(k)),
+        ("ks", Column::str(ks)),
+        ("y", Column::float(y)),
+    ])
+}

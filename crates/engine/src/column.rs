@@ -29,6 +29,17 @@ pub enum HKey {
     Str(String),
 }
 
+/// f64 bit pattern with `-0.0` canonicalized to `0.0` — the single
+/// equality rule shared by [`HKey`], the encoded-key paths in `keys`,
+/// and row-mode hashing, so they can never diverge.
+pub(crate) fn canonical_f64_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
 impl Column {
     pub fn int(values: Vec<i64>) -> Column {
         Column {
@@ -169,10 +180,7 @@ impl Column {
         }
         match &self.data {
             ColumnData::Int(v) => HKey::Int(v[i]),
-            ColumnData::Float(v) => {
-                let x = if v[i] == 0.0 { 0.0 } else { v[i] };
-                HKey::Float(x.to_bits())
-            }
+            ColumnData::Float(v) => HKey::Float(canonical_f64_bits(v[i])),
             ColumnData::Str { dict, codes } => HKey::Str(dict[codes[i] as usize].clone()),
         }
     }
@@ -230,6 +238,22 @@ impl Column {
             data,
             validity: Some(validity),
         }
+    }
+
+    /// First `n` rows (cheap prefix truncation — no index vector or
+    /// bounds-checked gather; `n` is clamped to the column length).
+    pub fn head(&self, n: usize) -> Column {
+        let n = n.min(self.len());
+        let validity = self.validity.as_ref().map(|v| v[..n].to_vec());
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(v[..n].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[..n].to_vec()),
+            ColumnData::Str { dict, codes } => ColumnData::Str {
+                dict: dict.clone(),
+                codes: codes[..n].to_vec(),
+            },
+        };
+        Column { data, validity }
     }
 
     /// Keep only rows where `mask[i]` is true.

@@ -50,6 +50,14 @@ pub struct EngineConfig {
     pub allow_swap: bool,
     /// Where to put the WAL file in disk mode (`None` → temp dir).
     pub wal_path: Option<PathBuf>,
+    /// Worker threads for fused grouped aggregation (1 = serial). The
+    /// parallel variant is *aggregate-sliced*: each worker owns whole
+    /// accumulator banks and folds all rows into them in row order, so
+    /// results are bit-identical to serial execution. Effective workers
+    /// are capped by the number of scan-needing aggregates in the query
+    /// (2-3 for the ring shapes sqlgen emits; `COUNT(*)` is answered
+    /// from the grouping pass and needs no worker).
+    pub agg_threads: usize,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +77,7 @@ impl EngineConfig {
             compression: true,
             allow_swap: false,
             wal_path: None,
+            agg_threads: 1,
         }
     }
 
@@ -102,6 +111,7 @@ impl EngineConfig {
             compression: false,
             allow_swap: false,
             wal_path: None,
+            agg_threads: 1,
         }
     }
 

@@ -2,15 +2,15 @@
 //! ordering. One materializing operator at a time — the same execution
 //! style the paper's generated SPJA queries assume.
 
-use std::collections::HashMap;
-
 use joinboost_sql::ast::{Expr, Join, JoinKind, Query, TableRef};
 
-use crate::column::{Column, HKey};
+use crate::agg::PreparedAgg;
+use crate::column::Column;
 use crate::datum::Datum;
 use crate::db::{Database, ExecMode};
 use crate::error::{EngineError, Result};
 use crate::expr::{eval, eval_row, EvalContext, SubqueryRunner};
+use crate::keys::{group_rows, JoinIndex, SortKeys};
 use crate::table::{ColumnMeta, Table};
 
 /// Aggregate function names.
@@ -63,6 +63,10 @@ impl<'a> Executor<'a> {
             self.project(q, &input, ctx)?
         };
         // ORDER BY (resolved against the projection first, then the input).
+        // Sort keys are extracted once into a comparable form (dict ranks
+        // for strings, f64 for numerics) — no Datum materialization or
+        // String clone per comparison.
+        let mut limit_applied = false;
         if !q.order_by.is_empty() {
             let n = output.num_rows();
             let mut sort_cols: Vec<Column> = Vec::with_capacity(q.order_by.len());
@@ -77,37 +81,31 @@ impl<'a> Executor<'a> {
                 }
                 sort_cols.push(col);
             }
-            let mut perm: Vec<u32> = (0..n as u32).collect();
-            perm.sort_by(|&x, &y| {
-                for (c, item) in sort_cols.iter().zip(&q.order_by) {
-                    let (a, b) = (c.get(x as usize), c.get(y as usize));
-                    // NULLs always sort last, regardless of direction.
-                    let ord = match (a.is_null(), b.is_null()) {
-                        (true, true) => std::cmp::Ordering::Equal,
-                        (true, false) => std::cmp::Ordering::Greater,
-                        (false, true) => std::cmp::Ordering::Less,
-                        (false, false) => {
-                            let o = a.sql_cmp(&b);
-                            if item.desc {
-                                o.reverse()
-                            } else {
-                                o
-                            }
-                        }
-                    };
-                    if ord != std::cmp::Ordering::Equal {
-                        return ord;
-                    }
+            let descs: Vec<bool> = q.order_by.iter().map(|o| o.desc).collect();
+            let keys = SortKeys::new(sort_cols, &descs);
+            match q.limit {
+                // Top-k pushdown: ORDER BY + LIMIT k selects the k winners
+                // with a bounded insertion set — O(n log k) instead of a
+                // full O(n log n) sort (sqlgen's split queries use k = 1).
+                Some(l) if (l as usize) < n && (l as usize) <= TOP_K_MAX => {
+                    let winners = keys.top_k(n, l as usize);
+                    output = output.take(&winners);
+                    limit_applied = true;
                 }
-                std::cmp::Ordering::Equal
-            });
-            output = output.take(&perm);
+                _ => {
+                    let perm = keys.sort_permutation(n);
+                    output = output.take(&perm);
+                }
+            }
         }
-        // LIMIT.
+        // LIMIT (cheap prefix truncation; no index vector + gather).
         if let Some(l) = q.limit {
-            let keep = (l as usize).min(output.num_rows());
-            let idx: Vec<u32> = (0..keep as u32).collect();
-            output = output.take(&idx);
+            if !limit_applied {
+                let keep = (l as usize).min(output.num_rows());
+                if keep < output.num_rows() {
+                    output = output.head(keep);
+                }
+            }
         }
         Ok(output)
     }
@@ -163,35 +161,19 @@ impl<'a> Executor<'a> {
             .iter()
             .map(|k| right.resolve(None, k))
             .collect::<Result<_>>()?;
-        // Build hash table on the right side.
+        // Build a hash index on the right side over flat encoded keys
+        // (u64 fast path for int keys, byte-packed fallback otherwise) —
+        // no per-row Vec<HKey> or String clone on either side.
         let rn = right.num_rows();
-        let mut rindex: HashMap<Vec<HKey>, Vec<u32>> = HashMap::with_capacity(rn);
-        'rows: for i in 0..rn {
-            let mut key = Vec::with_capacity(rkeys.len());
-            for &k in &rkeys {
-                if !right.columns[k].is_valid(i) {
-                    continue 'rows; // NULL keys never match
-                }
-                key.push(right.columns[k].hkey(i));
-            }
-            rindex.entry(key).or_default().push(i as u32);
-        }
         let ln = left.num_rows();
+        let lkey_cols: Vec<&Column> = lkeys.iter().map(|&k| &left.columns[k]).collect();
+        let rkey_cols: Vec<&Column> = rkeys.iter().map(|&k| &right.columns[k]).collect();
+        let index = JoinIndex::build(&lkey_cols, &rkey_cols, ln, rn);
         let mut lidx: Vec<u32> = Vec::with_capacity(ln);
         let mut ridx: Vec<Option<u32>> = Vec::with_capacity(ln);
         let mut rmatched = vec![false; rn];
-        let mut key = Vec::with_capacity(lkeys.len());
         for i in 0..ln {
-            key.clear();
-            let mut has_null = false;
-            for &k in &lkeys {
-                if !left.columns[k].is_valid(i) {
-                    has_null = true;
-                    break;
-                }
-                key.push(left.columns[k].hkey(i));
-            }
-            let matches = if has_null { None } else { rindex.get(&key) };
+            let matches = index.probe(i);
             match (join.kind, matches) {
                 (JoinKind::Inner, Some(rows)) => {
                     for &r in rows {
@@ -313,40 +295,39 @@ impl<'a> Executor<'a> {
 
     fn aggregate(&self, q: &Query, input: &Table, ctx: &EvalContext) -> Result<Table> {
         let n = input.num_rows();
-        // 1. Group ids.
+        // 1. Group ids (vectorized: keys packed into a u64 or a flat byte
+        // buffer — no per-row Vec<HKey> allocation).
         let key_cols: Vec<Column> = q
             .group_by
             .iter()
             .map(|e| eval(e, input, ctx))
             .collect::<Result<_>>()?;
-        let (gids, num_groups, rep_rows) = if key_cols.is_empty() {
-            (vec![0u32; n], 1usize, vec![0u32])
+        let (gids, num_groups, rep_rows, sizes) = if key_cols.is_empty() {
+            (vec![0u32; n], 1usize, vec![0u32], vec![n as u32])
         } else {
-            let mut map: HashMap<Vec<HKey>, u32> = HashMap::new();
-            let mut gids = Vec::with_capacity(n);
-            let mut reps: Vec<u32> = Vec::new();
-            for i in 0..n {
-                let key: Vec<HKey> = key_cols.iter().map(|c| c.hkey(i)).collect();
-                let next = map.len() as u32;
-                let g = *map.entry(key).or_insert_with(|| {
-                    reps.push(i as u32);
-                    next
-                });
-                gids.push(g);
-            }
-            let g = map.len();
-            (gids, g, reps)
+            let refs: Vec<&Column> = key_cols.iter().collect();
+            let g = group_rows(&refs, n);
+            (g.gids, g.num_groups, g.reps, g.sizes)
         };
         // 2. Collect unique aggregate calls from the select list.
         let mut aggs: Vec<Expr> = Vec::new();
         for item in &q.items {
             collect_aggregates(&item.expr, &mut aggs);
         }
-        // 3. Compute each aggregate per group.
-        let mut agg_cols: Vec<Column> = Vec::with_capacity(aggs.len());
+        // 3. Evaluate every aggregate's argument once, then fill all
+        // accumulator banks in a single fused pass (optionally in
+        // parallel — see `agg` module docs for the determinism argument).
+        let mut prepared: Vec<PreparedAgg> = Vec::with_capacity(aggs.len());
         for agg in &aggs {
-            agg_cols.push(self.compute_aggregate(agg, input, &gids, num_groups, ctx)?);
+            prepared.push(self.prepare_aggregate(agg, input, ctx)?);
         }
+        let agg_cols = crate::agg::compute_grouped(
+            &prepared,
+            &gids,
+            num_groups,
+            Some(&sizes),
+            self.db.config().agg_threads,
+        );
         // 4. Synthetic table: group keys (named __key{i}) + aggregates.
         let mut synth = Table::new();
         for (i, kc) in key_cols.iter().enumerate() {
@@ -365,14 +346,14 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
-    fn compute_aggregate(
+    /// Evaluate one aggregate's argument (once) into the typed form the
+    /// fused accumulator pass consumes.
+    fn prepare_aggregate(
         &self,
         agg: &Expr,
         input: &Table,
-        gids: &[u32],
-        num_groups: usize,
         ctx: &EvalContext,
-    ) -> Result<Column> {
+    ) -> Result<PreparedAgg> {
         let Expr::Func { name, args } = agg else {
             return Err(EngineError::Other("not an aggregate".into()));
         };
@@ -395,103 +376,13 @@ impl<'a> Executor<'a> {
                 }
             })
         };
-        match name.as_str() {
-            "COUNT" => {
-                let mut counts = vec![0i64; num_groups];
-                match &arg_col {
-                    None => {
-                        for &g in gids {
-                            counts[g as usize] += 1;
-                        }
-                    }
-                    Some(c) => {
-                        for (i, &g) in gids.iter().enumerate() {
-                            if c.is_valid(i) {
-                                counts[g as usize] += 1;
-                            }
-                        }
-                    }
-                }
-                Ok(Column::int(counts))
-            }
-            "SUM" | "AVG" => {
-                let c = arg_col.expect("checked above");
-                let int_input = c.as_i64_slice().is_some() && name == "SUM";
-                let vals = c.to_f64_vec()?;
-                let mut sums = vec![0.0f64; num_groups];
-                let mut counts = vec![0i64; num_groups];
-                for (i, &g) in gids.iter().enumerate() {
-                    let v = vals[i];
-                    if !v.is_nan() {
-                        sums[g as usize] += v;
-                        counts[g as usize] += 1;
-                    }
-                }
-                if name == "AVG" {
-                    let out: Vec<Datum> = sums
-                        .iter()
-                        .zip(&counts)
-                        .map(|(&s, &c)| {
-                            if c == 0 {
-                                Datum::Null
-                            } else {
-                                Datum::Float(s / c as f64)
-                            }
-                        })
-                        .collect();
-                    return Ok(Column::from_datums(&out));
-                }
-                if int_input {
-                    let out: Vec<Datum> = sums
-                        .iter()
-                        .zip(&counts)
-                        .map(|(&s, &c)| {
-                            if c == 0 {
-                                Datum::Null
-                            } else {
-                                Datum::Int(s as i64)
-                            }
-                        })
-                        .collect();
-                    Ok(Column::from_datums(&out))
-                } else {
-                    let out: Vec<Datum> = sums
-                        .iter()
-                        .zip(&counts)
-                        .map(|(&s, &c)| if c == 0 { Datum::Null } else { Datum::Float(s) })
-                        .collect();
-                    Ok(Column::from_datums(&out))
-                }
-            }
-            "MIN" | "MAX" => {
-                let c = arg_col.expect("checked above");
-                let mut best: Vec<Datum> = vec![Datum::Null; num_groups];
-                for (i, &g) in gids.iter().enumerate() {
-                    if !c.is_valid(i) {
-                        continue;
-                    }
-                    let v = c.get(i);
-                    let replace = match &best[g as usize] {
-                        Datum::Null => true,
-                        cur => {
-                            let ord = v.sql_cmp(cur);
-                            if name == "MIN" {
-                                ord == std::cmp::Ordering::Less
-                            } else {
-                                ord == std::cmp::Ordering::Greater
-                            }
-                        }
-                    };
-                    if replace {
-                        best[g as usize] = v;
-                    }
-                }
-                Ok(Column::from_datums(&best))
-            }
-            other => Err(EngineError::Other(format!("unknown aggregate {other}"))),
-        }
+        PreparedAgg::new(name, arg_col)
     }
 }
+
+/// Largest `LIMIT` the bounded top-k selection handles; larger limits run
+/// the full sort (insertion into the winner set is O(k) per improving row).
+const TOP_K_MAX: usize = 64;
 
 /// `true` if the expression contains an aggregate function call.
 pub fn contains_aggregate(e: &Expr) -> bool {

@@ -258,18 +258,28 @@ fn eval_binary(op: BinaryOp, l: &Column, r: &Column) -> Result<Column> {
             && !matches!(r.data, ColumnData::Str { .. })
             && op != Div
         {
-            let a = l.to_f64_vec()?;
-            let b = r.to_f64_vec()?;
-            let out: Vec<f64> = a
-                .iter()
-                .zip(&b)
-                .map(|(&x, &y)| match op {
-                    Add => x + y,
-                    Sub => x - y,
-                    Mul => x * y,
-                    _ => unreachable!(),
-                })
-                .collect();
+            // Operate on the typed slices directly — no intermediate
+            // to_f64_vec materialization of either operand.
+            let apply = |x: f64, y: f64| match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                _ => unreachable!(),
+            };
+            let out: Vec<f64> = match (&l.data, &r.data) {
+                (ColumnData::Float(a), ColumnData::Float(b)) => {
+                    a.iter().zip(b).map(|(&x, &y)| apply(x, y)).collect()
+                }
+                (ColumnData::Float(a), ColumnData::Int(b)) => {
+                    a.iter().zip(b).map(|(&x, &y)| apply(x, y as f64)).collect()
+                }
+                (ColumnData::Int(a), ColumnData::Float(b)) => {
+                    a.iter().zip(b).map(|(&x, &y)| apply(x as f64, y)).collect()
+                }
+                // Int/Int took the integer-preserving path above; strings
+                // are excluded by the guard.
+                _ => unreachable!("int/int and string operands handled earlier"),
+            };
             return Ok(Column::float(out));
         }
         // General arithmetic with NULL propagation; division by zero → NULL.
@@ -530,7 +540,7 @@ fn datum_hkey(d: &Datum) -> HKey {
     match d {
         Datum::Null => HKey::Null,
         Datum::Int(x) => HKey::Int(*x),
-        Datum::Float(x) => HKey::Float(if *x == 0.0 { 0.0f64 } else { *x }.to_bits()),
+        Datum::Float(x) => HKey::Float(crate::column::canonical_f64_bits(*x)),
         Datum::Str(s) => HKey::Str(s.clone()),
     }
 }

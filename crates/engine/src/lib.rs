@@ -28,6 +28,7 @@
 //!
 //! Entry point: [`Database`].
 
+pub mod agg;
 pub mod column;
 pub mod compress;
 pub mod datum;
@@ -36,6 +37,7 @@ pub mod error;
 pub mod exec;
 pub mod expr;
 pub mod interop;
+pub mod keys;
 pub mod partition;
 pub mod table;
 pub mod wal;

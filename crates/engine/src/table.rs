@@ -128,6 +128,15 @@ impl Table {
         }
     }
 
+    /// First `n` rows (`LIMIT` without `ORDER BY`): prefix truncation,
+    /// cheaper than materializing a `(0..n)` index vector for `take`.
+    pub fn head(&self, n: usize) -> Table {
+        Table {
+            meta: self.meta.clone(),
+            columns: self.columns.iter().map(|c| c.head(n)).collect(),
+        }
+    }
+
     /// Keep rows where the mask is true.
     pub fn filter(&self, mask: &[bool]) -> Table {
         Table {

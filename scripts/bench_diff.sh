@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Compare two bench logs produced by the criterion(-shim) harness and
+# print an old-vs-new median table, so perf PRs can paste a comparison.
+#
+# Usage:
+#   cargo bench -p joinboost-bench 2>/dev/null | tee /tmp/bench_old.log
+#   # ... apply your change, rebuild ...
+#   cargo bench -p joinboost-bench 2>/dev/null | tee /tmp/bench_new.log
+#   scripts/bench_diff.sh /tmp/bench_old.log /tmp/bench_new.log
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 <old.log> <new.log>" >&2
+    exit 1
+fi
+
+awk '
+    function to_ns(v, u) {
+        if (u == "s") return v * 1e9
+        if (u == "ms") return v * 1e6
+        if (u == "us") return v * 1e3
+        return v
+    }
+    function fmt(x) {
+        if (x >= 1e9) return sprintf("%.3f s", x / 1e9)
+        if (x >= 1e6) return sprintf("%.3f ms", x / 1e6)
+        if (x >= 1e3) return sprintf("%.3f us", x / 1e3)
+        return sprintf("%.1f ns", x)
+    }
+    /time: \[/ {
+        name = $1
+        for (i = 1; i <= NF; i++)
+            if ($i == "median") { v = $(i + 1); u = $(i + 2) }
+        sub(/\]$/, "", u)
+        m = to_ns(v, u)
+        if (FILENAME == ARGV[1]) {
+            olds[name] = m
+        } else {
+            news[name] = m
+            if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+        }
+    }
+    END {
+        printf "%-40s %12s %12s %9s\n", "benchmark", "old", "new", "speedup"
+        for (i = 1; i <= n; i++) {
+            name = order[i]
+            if (name in olds)
+                printf "%-40s %12s %12s %8.2fx\n", name, fmt(olds[name]), fmt(news[name]), olds[name] / news[name]
+            else
+                printf "%-40s %12s %12s %9s\n", name, "-", fmt(news[name]), "new"
+        }
+        # Benchmarks that disappeared between runs must not vanish silently.
+        for (name in olds)
+            if (!(name in news))
+                printf "%-40s %12s %12s %9s\n", name, fmt(olds[name]), "-", "gone"
+    }
+' "$1" "$2"
