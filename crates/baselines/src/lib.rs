@@ -22,6 +22,11 @@
 //!   Figure 16a; the paper's own LMFAO ablation).
 //! * [`madlib`] — non-factorized training on a row-oriented engine with
 //!   tuple-at-a-time execution (the MADLib comparison of Figure 16b).
+//!
+//! Every baseline runs through [`joinboost::backend::SqlBackend`] (a
+//! [`joinboost::Dataset`] holds `&dyn SqlBackend`), so each comparison can
+//! be replayed against the engine, the SQL-text path, or the sharded
+//! fan-out backend without touching baseline code.
 
 pub mod batch;
 pub mod exact;

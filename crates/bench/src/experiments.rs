@@ -9,6 +9,7 @@
 
 use std::time::{Duration, Instant};
 
+use joinboost::backend::{EngineBackend, ShardedBackend, SqlBackend, SqlTextBackend};
 use joinboost::predict::{materialize_features, targets};
 use joinboost::{
     train_decision_tree, train_gbm, train_gbm_cb, train_random_forest, Dataset, TrainParams,
@@ -47,10 +48,13 @@ pub fn run(name: &str) -> Result<(), String> {
         "fig20" => fig20(),
         "losses" => losses(),
         "agg" => agg(),
+        "backends" => backends_experiment(),
+        "shards" => shard_scale(),
         "all" => {
             for n in [
                 "fig5", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
                 "fig15", "fig16a", "fig16b", "fig17", "fig18", "fig20", "losses", "agg",
+                "backends",
             ] {
                 run(n)?;
             }
@@ -103,6 +107,14 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "agg",
         "engine hot path: serial vs parallel fused grouped aggregation",
+    ),
+    (
+        "backends",
+        "one GBM run through every SqlBackend impl (engine/text/sharded), models asserted bit-identical",
+    ),
+    (
+        "shards",
+        "sharded-backend scaling: 1-4 fact partitions (build with --features sharded)",
     ),
 ];
 
@@ -1182,4 +1194,157 @@ fn losses() -> Result<(), String> {
     }
     report.print();
     Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// SqlBackend lineup (the trait-level successor of Figure 15)
+// ---------------------------------------------------------------------------
+
+/// Train one dyadic-recipe GBM on a backend (see `DESIGN.md` § Backends:
+/// quantized targets + leaf quantization make models comparable bit for
+/// bit across arbitrary data partitionings).
+fn train_dyadic_gbm(
+    backend: &dyn SqlBackend,
+    gen: &joinboost_datagen::favorita::Generated,
+    iterations: usize,
+) -> Result<joinboost::GbmModel, String> {
+    for (name, t) in &gen.tables {
+        backend
+            .create_table(name, t.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    backend
+        .execute("UPDATE sales SET net_profit = FLOOR(net_profit * 8.0) / 8.0")
+        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        backend,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut params = TrainParams::default();
+    params.num_iterations = iterations;
+    params.learning_rate = 0.5;
+    params.leaf_quantization = (2.0f64).powi(-10);
+    train_gbm(&set, &params).map_err(|e| e.to_string())
+}
+
+/// `backends`: the real multi-backend experiment — every [`SqlBackend`]
+/// implementation trains the same GBM; models are asserted bit-identical.
+fn backends_experiment() -> Result<(), String> {
+    let gen = favorita_scaled(20_000, 50, 0);
+    let mut report = Report::new(
+        "Backends: 2 GBM iterations through every SqlBackend impl (bit-identical models)",
+        &["backend", "train", "update", "shards", "rows_shuffled"],
+    );
+    // Bit-level comparison (plain `==` on f64 would accept 0.0 == -0.0).
+    fn bit_identical(a: &joinboost::GbmModel, b: &joinboost::GbmModel) -> bool {
+        a.init_score.to_bits() == b.init_score.to_bits()
+            && a.trees.len() == b.trees.len()
+            && a.trees.iter().zip(&b.trees).all(|(ta, tb)| {
+                ta.nodes.len() == tb.nodes.len()
+                    && ta.nodes.iter().zip(&tb.nodes).all(|(na, nb)| {
+                        na.split == nb.split
+                            && na.value.to_bits() == nb.value.to_bits()
+                            && na.weight.to_bits() == nb.weight.to_bits()
+                    })
+            })
+    }
+    let mut reference: Option<joinboost::GbmModel> = None;
+    let mut check = |model: &joinboost::GbmModel, who: &str| -> Result<(), String> {
+        match &reference {
+            None => {
+                reference = Some(model.clone());
+                Ok(())
+            }
+            Some(r) if bit_identical(r, model) => Ok(()),
+            Some(_) => Err(format!("backend {who} trained a different model")),
+        }
+    };
+    for (label, config) in [
+        ("D-mem", EngineConfig::duckdb_mem()),
+        ("D-disk", EngineConfig::duckdb_disk()),
+        ("X-row", EngineConfig::dbms_x_row()),
+    ] {
+        let backend = EngineBackend::labeled(config, label);
+        let model = train_dyadic_gbm(&backend, &gen, 2)?;
+        check(&model, label)?;
+        report.row(&[
+            label.to_string(),
+            secs(model.train_time),
+            secs(model.update_time),
+            "1".into(),
+            "0".into(),
+        ]);
+    }
+    {
+        let backend = SqlTextBackend::in_memory();
+        let model = train_dyadic_gbm(&backend, &gen, 2)?;
+        check(&model, "sql-text")?;
+        report.row(&[
+            format!("sql-text ({} round-trips)", backend.round_trips()),
+            secs(model.train_time),
+            secs(model.update_time),
+            "1".into(),
+            "0".into(),
+        ]);
+    }
+    for shards in [2usize, 4] {
+        let backend = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "sales", "items_id");
+        let model = train_dyadic_gbm(&backend, &gen, 2)?;
+        check(&model, backend.name())?;
+        let stats = backend.stats();
+        report.row(&[
+            backend.name().to_string(),
+            secs(model.train_time),
+            secs(model.update_time),
+            shards.to_string(),
+            stats.rows_shuffled.to_string(),
+        ]);
+    }
+    report.note("every row trained the SAME model, bit for bit (dyadic recipe)");
+    report.note("shuffle volume is per-key message partials + merged split statistics");
+    report.print();
+    Ok(())
+}
+
+/// `shards`: sharded-backend scaling sweep. Gated behind the `sharded`
+/// cargo feature so CI can `--features`-check the fan-out path builds
+/// without paying for the sweep in default runs.
+#[cfg(feature = "sharded")]
+fn shard_scale() -> Result<(), String> {
+    let gen = favorita_scaled(40_000, 50, 0);
+    let mut report = Report::new(
+        "Sharded backend: GBM iteration vs number of fact partitions",
+        &[
+            "shards",
+            "train",
+            "update",
+            "fanout_selects",
+            "rows_shuffled",
+        ],
+    );
+    for shards in 1..=4usize {
+        let backend = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "sales", "items_id");
+        let model = train_dyadic_gbm(&backend, &gen, 1)?;
+        let stats = backend.stats();
+        report.row(&[
+            shards.to_string(),
+            secs(model.train_time),
+            secs(model.update_time),
+            stats.fanout_selects.to_string(),
+            stats.rows_shuffled.to_string(),
+        ]);
+    }
+    report.note(
+        "shuffle volume is constant-ish (per-key partials x shards); scan work divides by shards",
+    );
+    report.print();
+    Ok(())
+}
+
+#[cfg(not(feature = "sharded"))]
+fn shard_scale() -> Result<(), String> {
+    Err("the `shards` sweep needs `--features sharded` (cargo run -p joinboost-bench --features sharded --release --bin experiments -- shards)".into())
 }

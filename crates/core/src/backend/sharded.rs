@@ -1,0 +1,1161 @@
+//! The sharded fan-out backend: one fact partition per engine instance.
+//!
+//! Reproduces the paper's multi-node setup (Figures 12–13) behind the
+//! [`SqlBackend`] trait: dimension tables are replicated to every shard
+//! (and to a coordinator engine), the fact relation is hash-partitioned on
+//! a shard key, and every table *derived from* the fact — the lifted fact,
+//! its messages — stays shard-local. Statements route by the tables they
+//! reference:
+//!
+//! * statements touching a sharded table broadcast to all shards (DDL,
+//!   residual updates) or fan out and merge (`SELECT`s),
+//! * statements over replicated tables run everywhere (so replicas stay
+//!   in sync) or on the coordinator alone (plain reads).
+//!
+//! `SELECT`s over sharded data come in three shapes:
+//!
+//! 1. **distributable SPJA aggregates** (`SELECT keys, SUM(..) .. GROUP BY
+//!    keys`) — executed on every shard in parallel, partial aggregates
+//!    `⊕`-merged by group key (SUM/COUNT partials add, MIN/MAX partials
+//!    take the best). Because the fact partition induces a disjoint
+//!    partition of the join result, the merge is exact ⊕, not an
+//!    approximation (Definition 1: `c`, `s`, `q` are additive).
+//! 2. **plain scans** (no aggregates/windows/ordering) — gathered by
+//!    concatenating shard results in shard order.
+//! 3. **nested queries** (the split queries: window prefix sums + argmax
+//!    over an absorbed aggregate) — the innermost `FROM`-subquery is
+//!    resolved recursively (usually by shape 1), materialized on the
+//!    coordinator, and the outer layers run there.
+//!
+//! Queries joining *two* sharded relations are rejected: each shard would
+//! only see same-shard pairs. JoinBoost never emits such a query — every
+//! join closure contains at most one fact-derived table.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use parking_lot::RwLock;
+
+use joinboost_engine::column::HKey;
+use joinboost_engine::table::ColumnMeta;
+use joinboost_engine::{Column, DataType, Database, Datum, EngineConfig, EngineError, Table};
+use joinboost_sql::ast::{Expr, Query, Statement, TableRef};
+use joinboost_sql::parse_statement;
+
+use super::{BackendCapabilities, BackendResult, SqlBackend};
+
+/// Observable work done by a [`ShardedBackend`] (drives the scaling
+/// experiments and the example's report).
+#[derive(Debug, Clone, Default)]
+pub struct ShardedStats {
+    /// `SELECT`s fanned out to every shard and `⊕`-merged.
+    pub fanout_selects: u64,
+    /// Statements broadcast to every shard (DDL, updates on sharded data).
+    pub broadcast_statements: u64,
+    /// Statements executed on replicated tables (coordinator + shards).
+    pub replicated_statements: u64,
+    /// Queries answered by the coordinator alone.
+    pub coordinator_selects: u64,
+    /// Rows moved shard → coordinator by gathers and merges (the shuffle
+    /// volume of the paper's multi-node experiments).
+    pub rows_shuffled: u64,
+}
+
+/// N engine instances over a hash-partitioned fact relation, plus a
+/// coordinator engine holding every replicated table and running the
+/// non-distributable query layers.
+///
+/// See the [`crate::backend`] module docs for the routing rules and
+/// `DESIGN.md` § Backends for the merge-exactness argument.
+pub struct ShardedBackend {
+    coordinator: Database,
+    shards: Vec<Database>,
+    label: String,
+    /// Lowercase name of the relation to partition on load.
+    fact: String,
+    /// Column of the fact relation whose hash picks the shard.
+    shard_key: String,
+    /// Lowercase names of fact-derived (shard-local) tables.
+    sharded: RwLock<HashSet<String>>,
+    column_swap: bool,
+    tmp_counter: AtomicUsize,
+    fanout_selects: AtomicU64,
+    broadcast_statements: AtomicU64,
+    replicated_statements: AtomicU64,
+    coordinator_selects: AtomicU64,
+    rows_shuffled: AtomicU64,
+}
+
+impl ShardedBackend {
+    /// Create `num_shards` engine instances (plus a coordinator) with the
+    /// given configuration. `fact_table` will be hash-partitioned on
+    /// `shard_key` when it is bulk-loaded; every other table replicates.
+    pub fn new(
+        num_shards: usize,
+        config: EngineConfig,
+        fact_table: &str,
+        shard_key: &str,
+    ) -> ShardedBackend {
+        assert!(num_shards >= 1, "at least one shard");
+        ShardedBackend {
+            coordinator: Database::new(config.clone()),
+            shards: (0..num_shards)
+                .map(|_| Database::new(config.clone()))
+                .collect(),
+            label: format!("sharded x{num_shards}"),
+            fact: fact_table.to_ascii_lowercase(),
+            shard_key: shard_key.to_string(),
+            sharded: RwLock::new(HashSet::new()),
+            column_swap: config.allow_swap,
+            tmp_counter: AtomicUsize::new(0),
+            fanout_selects: AtomicU64::new(0),
+            broadcast_statements: AtomicU64::new(0),
+            replicated_statements: AtomicU64::new(0),
+            coordinator_selects: AtomicU64::new(0),
+            rows_shuffled: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of fact partitions.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's engine (inspection/tests).
+    pub fn shard(&self, i: usize) -> &Database {
+        &self.shards[i]
+    }
+
+    /// The coordinator engine (inspection/tests).
+    pub fn coordinator(&self) -> &Database {
+        &self.coordinator
+    }
+
+    /// Is this table hash-partitioned (fact-derived) rather than
+    /// replicated?
+    pub fn is_sharded(&self, name: &str) -> bool {
+        self.sharded.read().contains(&name.to_ascii_lowercase())
+    }
+
+    /// Snapshot of the work counters.
+    pub fn stats(&self) -> ShardedStats {
+        ShardedStats {
+            fanout_selects: self.fanout_selects.load(Ordering::Relaxed),
+            broadcast_statements: self.broadcast_statements.load(Ordering::Relaxed),
+            replicated_statements: self.replicated_statements.load(Ordering::Relaxed),
+            coordinator_selects: self.coordinator_selects.load(Ordering::Relaxed),
+            rows_shuffled: self.rows_shuffled.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- routing ----------------------------------------------------------
+
+    /// The subset of `names` that are currently sharded (normalized,
+    /// deduplicated).
+    fn filter_sharded(&self, names: &[String]) -> Vec<String> {
+        let sharded = self.sharded.read();
+        let mut out: Vec<String> = names
+            .iter()
+            .map(|n| n.to_ascii_lowercase())
+            .filter(|n| sharded.contains(n))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Reject statements that reference a sharded table from *expression*
+    /// position (an `IN (SELECT ..)` predicate, for instance): each shard
+    /// would evaluate the subquery against only its own partition, and a
+    /// replicated outer table would be scanned once per shard — silently
+    /// wrong either way, so this shape errors instead.
+    fn reject_sharded_expr_refs(&self, expr_refs: &[String], what: &str) -> BackendResult<()> {
+        let bad = self.filter_sharded(expr_refs);
+        if bad.is_empty() {
+            return Ok(());
+        }
+        Err(EngineError::Other(format!(
+            "sharded relation {} is referenced from an expression subquery in {what}; \
+             each shard would see only its own partition — rewrite with the sharded \
+             relation in the FROM clause",
+            bad.join(", ")
+        )))
+    }
+
+    /// Run a closure on every shard in parallel, collecting results in
+    /// shard order.
+    fn on_all_shards<F>(&self, f: F) -> Vec<BackendResult>
+    where
+        F: Fn(&Database) -> BackendResult + Sync,
+    {
+        if self.shards.len() == 1 {
+            return vec![f(&self.shards[0])];
+        }
+        let fr = &f;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|db| scope.spawn(move |_| fr(db)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("shard scope")
+    }
+
+    /// Broadcast a statement to every shard; marks `creates` sharded.
+    fn broadcast(&self, stmt: &Statement, creates: Option<&str>) -> BackendResult {
+        self.broadcast_statements.fetch_add(1, Ordering::Relaxed);
+        for r in self.on_all_shards(|db| db.execute_statement(stmt)) {
+            r?;
+        }
+        if let Some(name) = creates {
+            self.sharded.write().insert(name.to_ascii_lowercase());
+        }
+        Ok(Table::new())
+    }
+
+    /// Execute a statement on the coordinator and every shard (replicated
+    /// tables must stay in sync everywhere).
+    fn replicate(&self, stmt: &Statement) -> BackendResult {
+        self.replicated_statements.fetch_add(1, Ordering::Relaxed);
+        let result = self.coordinator.execute_statement(stmt)?;
+        for r in self.on_all_shards(|db| db.execute_statement(stmt)) {
+            r?;
+        }
+        Ok(result)
+    }
+
+    // ---- SELECT routing ---------------------------------------------------
+
+    fn exec_select(&self, q: &Query) -> BackendResult {
+        let stmt = Statement::Select(q.clone());
+        let mut from_refs = Vec::new();
+        collect_from_tables(q, &mut from_refs);
+        let mut expr_refs = Vec::new();
+        collect_expr_position_tables(q, &mut expr_refs);
+        let from_sharded = self.filter_sharded(&from_refs);
+        if from_sharded.is_empty() && self.filter_sharded(&expr_refs).is_empty() {
+            self.coordinator_selects.fetch_add(1, Ordering::Relaxed);
+            return self.coordinator.execute_statement(&stmt);
+        }
+        self.reject_sharded_expr_refs(&expr_refs, "a SELECT")?;
+        if from_sharded.len() > 1 {
+            return Err(EngineError::Other(format!(
+                "sharded backend cannot join two sharded relations ({}): \
+                 each shard would only see same-shard pairs; in: {q}",
+                from_sharded.join(", ")
+            )));
+        }
+        if let Some(specs) = distributable_merge_plan(q) {
+            return self.fan_out_merge(q, &specs);
+        }
+        if is_plain_scan(q) {
+            return self.gather(q);
+        }
+        // Nested query: resolve the FROM-subquery recursively, materialize
+        // the merged result on the coordinator, run the outer layers there.
+        if let Some(TableRef::Subquery { query, alias }) = &q.from {
+            let inner = self.exec_select(query)?;
+            let tmp = format!(
+                "jb_shard_merge_{}",
+                self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+            );
+            self.coordinator.create_table(&tmp, inner)?;
+            let mut outer = q.clone();
+            outer.from = Some(TableRef::Named {
+                name: tmp.clone(),
+                alias: alias.clone(),
+            });
+            let mut outer_refs = Vec::new();
+            collect_query_tables(&outer, &mut outer_refs);
+            let result = if self.filter_sharded(&outer_refs).is_empty() {
+                self.coordinator
+                    .execute_statement(&Statement::Select(outer))
+            } else {
+                Err(EngineError::Other(format!(
+                    "outer query layers may not reference sharded tables: {q}"
+                )))
+            };
+            let _ = self.coordinator.drop_table(&tmp);
+            return result;
+        }
+        Err(EngineError::Other(format!(
+            "query shape not supported over sharded data \
+             (not a mergeable SPJA aggregate, plain scan, or nested query): {q}"
+        )))
+    }
+
+    /// Shape 1: run on every shard, `⊕`-merge the partial aggregates.
+    fn fan_out_merge(&self, q: &Query, specs: &[MergeSpec]) -> BackendResult {
+        self.fanout_selects.fetch_add(1, Ordering::Relaxed);
+        let stmt = Statement::Select(q.clone());
+        let mut partials = Vec::with_capacity(self.shards.len());
+        for r in self.on_all_shards(|db| db.execute_statement(&stmt)) {
+            partials.push(r?);
+        }
+        let shuffled: usize = partials.iter().map(Table::num_rows).sum();
+        self.rows_shuffled
+            .fetch_add(shuffled as u64, Ordering::Relaxed);
+        merge_partials(partials, specs)
+    }
+
+    /// Shape 2: concatenate shard results in shard order.
+    fn gather(&self, q: &Query) -> BackendResult {
+        self.fanout_selects.fetch_add(1, Ordering::Relaxed);
+        let stmt = Statement::Select(q.clone());
+        let mut partials = Vec::with_capacity(self.shards.len());
+        for r in self.on_all_shards(|db| db.execute_statement(&stmt)) {
+            partials.push(r?);
+        }
+        let shuffled: usize = partials.iter().map(Table::num_rows).sum();
+        self.rows_shuffled
+            .fetch_add(shuffled as u64, Ordering::Relaxed);
+        concat_tables(partials)
+    }
+
+    /// Hash of the shard-key datum: FNV-1a over a type-tagged byte
+    /// encoding plus an avalanche finalizer (FNV's low bit is a plain XOR
+    /// of input low bits, so without the mix all-even surrogate ids would
+    /// collapse onto one shard under `% 2`). Deterministic across runs.
+    fn shard_of(&self, key: &Datum) -> usize {
+        const OFFSET: u64 = 1469598103934665603;
+        const PRIME: u64 = 1099511628211;
+        let fnv = |tag: u8, bytes: &[u8]| -> u64 {
+            let mut acc = (OFFSET ^ tag as u64).wrapping_mul(PRIME);
+            for &b in bytes {
+                acc = (acc ^ b as u64).wrapping_mul(PRIME);
+            }
+            // splitmix64-style finalizer: mix high bits into the low bits
+            // the modulo below actually looks at.
+            acc ^= acc >> 33;
+            acc = acc.wrapping_mul(0xff51afd7ed558ccd);
+            acc ^= acc >> 33;
+            acc = acc.wrapping_mul(0xc4ceb9fe1a85ec53);
+            acc ^ (acc >> 33)
+        };
+        let h = match key {
+            Datum::Int(v) => fnv(0, &v.to_le_bytes()),
+            Datum::Float(v) => fnv(1, &v.to_bits().to_le_bytes()),
+            Datum::Str(s) => fnv(2, s.as_bytes()),
+            Datum::Null => fnv(3, &[]),
+        };
+        (h % self.shards.len() as u64) as usize
+    }
+}
+
+impl SqlBackend for ShardedBackend {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities {
+            window_functions: true, // the coordinator runs window layers
+            ast_statements: true,
+            column_swap: self.column_swap,
+            external_interop: false, // no single array store to swap into
+            shards: self.shards.len(),
+        }
+    }
+
+    fn execute(&self, sql: &str) -> BackendResult {
+        let stmt = parse_statement(sql)?;
+        self.execute_ast(&stmt)
+    }
+
+    fn execute_ast(&self, stmt: &Statement) -> BackendResult {
+        match stmt {
+            Statement::Select(q) => self.exec_select(q),
+            Statement::CreateTableAs { name, query, .. } => {
+                let mut expr_refs = Vec::new();
+                collect_expr_position_tables(query, &mut expr_refs);
+                self.reject_sharded_expr_refs(&expr_refs, "a CREATE TABLE AS")?;
+                let mut from_refs = Vec::new();
+                collect_from_tables(query, &mut from_refs);
+                if self.filter_sharded(&from_refs).is_empty() {
+                    self.replicate(stmt)
+                } else {
+                    self.broadcast(stmt, Some(name))
+                }
+            }
+            Statement::Update {
+                table,
+                assignments,
+                where_clause,
+            } => {
+                let mut expr_refs = Vec::new();
+                for (_, e) in assignments {
+                    collect_expr_tables(e, &mut expr_refs);
+                }
+                if let Some(w) = where_clause {
+                    collect_expr_tables(w, &mut expr_refs);
+                }
+                self.reject_sharded_expr_refs(&expr_refs, "an UPDATE")?;
+                // Route by the *written* table: a sharded target updates
+                // shard-locally; a replicated target must update every
+                // replica (coordinator included) to stay consistent.
+                if self.is_sharded(table) {
+                    self.broadcast(stmt, None)
+                } else {
+                    self.replicate(stmt)
+                }
+            }
+            Statement::SwapColumn {
+                table_a, table_b, ..
+            } => match (self.is_sharded(table_a), self.is_sharded(table_b)) {
+                (true, true) => self.broadcast(stmt, None),
+                (false, false) => self.replicate(stmt),
+                _ => Err(EngineError::Other(format!(
+                    "cannot SWAP COLUMN between sharded and replicated tables \
+                     ({table_a}, {table_b})"
+                ))),
+            },
+            Statement::DropTable { name, if_exists } => {
+                if !if_exists && !self.has_table(name) {
+                    return Err(EngineError::UnknownTable(name.clone()));
+                }
+                // Drop wherever the table lives; replicas may be partial
+                // after errors, so tolerate misses everywhere.
+                let _ = self.coordinator.drop_table(name);
+                for db in &self.shards {
+                    let _ = db.drop_table(name);
+                }
+                self.sharded.write().remove(&name.to_ascii_lowercase());
+                Ok(Table::new())
+            }
+        }
+    }
+
+    fn create_table(&self, name: &str, table: Table) -> BackendResult<()> {
+        if name.eq_ignore_ascii_case(&self.fact) {
+            // Hash-partition the fact relation on the shard key.
+            let kidx = table.resolve(None, &self.shard_key)?;
+            let n = self.shards.len();
+            let mut masks: Vec<Vec<bool>> = vec![vec![false; table.num_rows()]; n];
+            #[allow(clippy::needless_range_loop)] // i indexes the key column and masks
+            for i in 0..table.num_rows() {
+                let s = self.shard_of(&table.columns[kidx].get(i));
+                masks[s][i] = true;
+            }
+            for (db, mask) in self.shards.iter().zip(&masks) {
+                db.create_table(name, table.filter(mask))?;
+            }
+            self.sharded.write().insert(self.fact.clone());
+            Ok(())
+        } else {
+            self.coordinator.create_table(name, table.clone())?;
+            for db in &self.shards {
+                db.create_table(name, table.clone())?;
+            }
+            Ok(())
+        }
+    }
+
+    fn snapshot(&self, name: &str) -> BackendResult<Table> {
+        if self.is_sharded(name) {
+            let mut parts = Vec::with_capacity(self.shards.len());
+            for r in self.on_all_shards(|db| db.snapshot(name)) {
+                parts.push(r?);
+            }
+            let shuffled: usize = parts.iter().map(Table::num_rows).sum();
+            self.rows_shuffled
+                .fetch_add(shuffled as u64, Ordering::Relaxed);
+            concat_tables(parts)
+        } else {
+            self.coordinator.snapshot(name)
+        }
+    }
+
+    fn column_names(&self, table: &str) -> BackendResult<Vec<String>> {
+        if self.is_sharded(table) {
+            self.shards[0].column_names(table)
+        } else {
+            self.coordinator.column_names(table)
+        }
+    }
+
+    fn column_dtype(&self, table: &str, column: &str) -> BackendResult<DataType> {
+        if self.is_sharded(table) {
+            self.shards[0].column_dtype(table, column)
+        } else {
+            self.coordinator.column_dtype(table, column)
+        }
+    }
+
+    fn has_table(&self, name: &str) -> bool {
+        self.coordinator.has_table(name) || self.shards.iter().any(|db| db.has_table(name))
+    }
+
+    fn row_count(&self, name: &str) -> BackendResult<usize> {
+        if self.is_sharded(name) {
+            let mut total = 0;
+            for db in &self.shards {
+                total += db.row_count(name)?;
+            }
+            Ok(total)
+        } else {
+            self.coordinator.row_count(name)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge planning
+// ---------------------------------------------------------------------------
+
+/// How one output column of a fanned-out aggregate merges across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeSpec {
+    /// Group key: identifies the row, not merged.
+    Key,
+    /// Partial sums/counts add (`⊕` of the semi-ring).
+    Sum,
+    /// Partial minima take the least.
+    Min,
+    /// Partial maxima take the greatest.
+    Max,
+}
+
+/// Decide whether `q` fans out with an exact merge, and how each select
+/// item merges. `None` if the query is not a distributable SPJA aggregate.
+fn distributable_merge_plan(q: &Query) -> Option<Vec<MergeSpec>> {
+    // Fan-out replays the whole query per shard, so the source must be
+    // named tables and the result must not be ordered or truncated.
+    if !matches!(q.from, Some(TableRef::Named { .. })) {
+        return None;
+    }
+    if q.joins
+        .iter()
+        .any(|j| !matches!(j.table, TableRef::Named { .. }))
+    {
+        return None;
+    }
+    if !q.order_by.is_empty() || q.limit.is_some() {
+        return None;
+    }
+    let mut specs = Vec::with_capacity(q.items.len());
+    let mut key_items = 0usize;
+    for item in &q.items {
+        if q.group_by.contains(&item.expr) {
+            specs.push(MergeSpec::Key);
+            key_items += 1;
+            continue;
+        }
+        match &item.expr {
+            Expr::Func { name, .. } => match name.as_str() {
+                "SUM" | "COUNT" => specs.push(MergeSpec::Sum),
+                "MIN" => specs.push(MergeSpec::Min),
+                "MAX" => specs.push(MergeSpec::Max),
+                // AVG partials do not ⊕-merge; anything else is not an
+                // aggregate output.
+                _ => return None,
+            },
+            _ => return None,
+        }
+    }
+    // Every group-by expression must be carried in the output, or rows of
+    // the same group could not be matched across shards (this is why
+    // histogram-binned absorbs — GROUP BY FLOOR(..) with MAX(f) selected —
+    // are rejected rather than silently merged wrong).
+    if key_items != q.group_by.len() {
+        return None;
+    }
+    if q.group_by.is_empty() && specs.is_empty() {
+        return None;
+    }
+    Some(specs)
+}
+
+/// A query with no aggregation, windows, grouping, ordering or limit:
+/// shard results concatenate.
+fn is_plain_scan(q: &Query) -> bool {
+    q.group_by.is_empty()
+        && q.order_by.is_empty()
+        && q.limit.is_none()
+        && q.items
+            .iter()
+            .all(|it| !contains_aggregate_or_window(&it.expr))
+}
+
+fn contains_aggregate_or_window(e: &Expr) -> bool {
+    match e {
+        Expr::WindowSum { .. } => true,
+        Expr::Func { name, args } => {
+            matches!(name.as_str(), "SUM" | "COUNT" | "AVG" | "MIN" | "MAX")
+                || args.iter().any(contains_aggregate_or_window)
+        }
+        Expr::Binary { left, right, .. } => {
+            contains_aggregate_or_window(left) || contains_aggregate_or_window(right)
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => contains_aggregate_or_window(expr),
+        Expr::Case { whens, else_expr } => {
+            whens
+                .iter()
+                .any(|(c, t)| contains_aggregate_or_window(c) || contains_aggregate_or_window(t))
+                || else_expr
+                    .as_deref()
+                    .is_some_and(contains_aggregate_or_window)
+        }
+        Expr::InList { expr, list, .. } => {
+            contains_aggregate_or_window(expr) || list.iter().any(contains_aggregate_or_window)
+        }
+        Expr::InSubquery { expr, .. } => contains_aggregate_or_window(expr),
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Wildcard => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Merge execution
+// ---------------------------------------------------------------------------
+
+/// Accumulator for one aggregate cell. Integer partials stay integers
+/// (exact counts); the first float partial promotes the accumulated total
+/// exactly (`i64 as f64` is exact for the count magnitudes here).
+#[derive(Debug, Clone)]
+enum Acc {
+    Empty,
+    Int(i64),
+    Float(f64),
+    Best(Datum),
+}
+
+impl Acc {
+    fn add(&mut self, v: &Datum) {
+        match v {
+            Datum::Null => {}
+            Datum::Int(x) => match self {
+                Acc::Empty => *self = Acc::Int(*x),
+                Acc::Int(t) => *t += *x,
+                Acc::Float(t) => *t += *x as f64,
+                Acc::Best(_) => unreachable!("sum into best"),
+            },
+            Datum::Float(x) => match self {
+                Acc::Empty => *self = Acc::Float(*x),
+                Acc::Int(t) => *self = Acc::Float(*t as f64 + *x),
+                Acc::Float(t) => *t += *x,
+                Acc::Best(_) => unreachable!("sum into best"),
+            },
+            Datum::Str(_) => {}
+        }
+    }
+
+    fn best(&mut self, v: &Datum, want_max: bool) {
+        if v.is_null() {
+            return;
+        }
+        match self {
+            Acc::Empty => *self = Acc::Best(v.clone()),
+            Acc::Best(cur) => {
+                let ord = v.sql_cmp(cur);
+                if (want_max && ord == std::cmp::Ordering::Greater)
+                    || (!want_max && ord == std::cmp::Ordering::Less)
+                {
+                    *cur = v.clone();
+                }
+            }
+            _ => unreachable!("best into sum"),
+        }
+    }
+
+    fn into_datum(self) -> Datum {
+        match self {
+            Acc::Empty => Datum::Null,
+            Acc::Int(v) => Datum::Int(v),
+            Acc::Float(v) => Datum::Float(v),
+            Acc::Best(d) => d,
+        }
+    }
+}
+
+/// `⊕`-merge per-shard partial aggregates. Groups are matched on the key
+/// columns; output rows are sorted by the keys so the merged table has a
+/// deterministic, backend-independent order.
+fn merge_partials(partials: Vec<Table>, specs: &[MergeSpec]) -> BackendResult {
+    let first = partials
+        .first()
+        .ok_or_else(|| EngineError::Other("no shard partials".into()))?;
+    if first.num_columns() != specs.len() {
+        return Err(EngineError::Other(format!(
+            "merge plan arity mismatch: {} columns, {} specs",
+            first.num_columns(),
+            specs.len()
+        )));
+    }
+    let meta: Vec<ColumnMeta> = first.meta.clone();
+    let key_cols: Vec<usize> = specs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s == MergeSpec::Key)
+        .map(|(i, _)| i)
+        .collect();
+    let mut slots: HashMap<Vec<HKey>, usize> = HashMap::new();
+    let mut keys: Vec<Vec<Datum>> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+    for t in &partials {
+        if t.num_columns() != specs.len() {
+            return Err(EngineError::Other("shard partial arity mismatch".into()));
+        }
+        for row in 0..t.num_rows() {
+            let hk: Vec<HKey> = key_cols.iter().map(|&c| t.columns[c].hkey(row)).collect();
+            let slot = *slots.entry(hk).or_insert_with(|| {
+                keys.push(key_cols.iter().map(|&c| t.columns[c].get(row)).collect());
+                accs.push(specs.iter().map(|_| Acc::Empty).collect());
+                keys.len() - 1
+            });
+            for (c, spec) in specs.iter().enumerate() {
+                let v = t.columns[c].get(row);
+                match spec {
+                    MergeSpec::Key => {}
+                    MergeSpec::Sum => accs[slot][c].add(&v),
+                    MergeSpec::Min => accs[slot][c].best(&v, false),
+                    MergeSpec::Max => accs[slot][c].best(&v, true),
+                }
+            }
+        }
+    }
+    // Deterministic output order: sort groups by their key values.
+    let mut order: Vec<usize> = (0..keys.len()).collect();
+    order.sort_by(|&a, &b| {
+        for (ka, kb) in keys[a].iter().zip(&keys[b]) {
+            let ord = ka.sql_cmp(kb);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    let mut out = Table::new();
+    for (c, (m, spec)) in meta.iter().zip(specs).enumerate() {
+        let vals: Vec<Datum> = order
+            .iter()
+            .map(|&slot| match spec {
+                MergeSpec::Key => {
+                    let ki = key_cols.iter().position(|&k| k == c).expect("key column");
+                    keys[slot][ki].clone()
+                }
+                _ => accs[slot][c].clone().into_datum(),
+            })
+            .collect();
+        out.push_column(ColumnMeta::new(m.name.clone()), Column::from_datums(&vals));
+    }
+    Ok(out)
+}
+
+/// Vertically concatenate shard results (layouts must match). Int and
+/// float columns without NULLs concatenate slice-to-slice; only string or
+/// nullable columns take the per-value fallback.
+fn concat_tables(parts: Vec<Table>) -> BackendResult {
+    let first = parts
+        .first()
+        .ok_or_else(|| EngineError::Other("no shard partials".into()))?;
+    let meta: Vec<ColumnMeta> = first.meta.clone();
+    let ncols = first.num_columns();
+    if parts.iter().any(|t| t.num_columns() != ncols) {
+        return Err(EngineError::Other("shard gather layout mismatch".into()));
+    }
+    let mut out = Table::new();
+    for (ci, m) in meta.iter().enumerate() {
+        let cols: Vec<&Column> = parts.iter().map(|t| &t.columns[ci]).collect();
+        out.push_column(ColumnMeta::new(m.name.clone()), concat_columns(&cols));
+    }
+    Ok(out)
+}
+
+fn concat_columns(cols: &[&Column]) -> Column {
+    let total: usize = cols.iter().map(|c| c.len()).sum();
+    if cols.iter().all(|c| c.validity.is_none()) {
+        if cols.iter().all(|c| c.as_i64_slice().is_some()) {
+            let mut v = Vec::with_capacity(total);
+            for c in cols {
+                v.extend_from_slice(c.as_i64_slice().expect("checked"));
+            }
+            return Column::int(v);
+        }
+        if cols.iter().all(|c| c.as_f64_slice().is_some()) {
+            let mut v = Vec::with_capacity(total);
+            for c in cols {
+                v.extend_from_slice(c.as_f64_slice().expect("checked"));
+            }
+            return Column::float(v);
+        }
+    }
+    let mut vals = Vec::with_capacity(total);
+    for c in cols {
+        for i in 0..c.len() {
+            vals.push(c.get(i));
+        }
+    }
+    Column::from_datums(&vals)
+}
+
+// ---------------------------------------------------------------------------
+// Table-reference collection
+// ---------------------------------------------------------------------------
+
+/// Tables in the FROM/JOIN closure, through nested `FROM`-subqueries —
+/// the positions where a sharded relation may legitimately appear.
+fn collect_from_tables(q: &Query, out: &mut Vec<String>) {
+    fn tref(t: &TableRef, out: &mut Vec<String>) {
+        match t {
+            TableRef::Named { name, .. } => out.push(name.clone()),
+            TableRef::Subquery { query, .. } => collect_from_tables(query, out),
+        }
+    }
+    if let Some(from) = &q.from {
+        tref(from, out);
+    }
+    for j in &q.joins {
+        tref(&j.table, out);
+    }
+}
+
+/// Tables referenced from *expression* position — select items, `WHERE`,
+/// `GROUP BY`, `ORDER BY`, join `ON` (each including any `IN (SELECT ..)`
+/// subquery in full) — through nested `FROM`-subqueries. Sharded
+/// relations here cannot be fanned out correctly and are rejected.
+fn collect_expr_position_tables(q: &Query, out: &mut Vec<String>) {
+    for item in &q.items {
+        collect_expr_tables(&item.expr, out);
+    }
+    if let Some(w) = &q.where_clause {
+        collect_expr_tables(w, out);
+    }
+    for g in &q.group_by {
+        collect_expr_tables(g, out);
+    }
+    for o in &q.order_by {
+        collect_expr_tables(&o.expr, out);
+    }
+    for j in &q.joins {
+        if let Some(on) = &j.on {
+            collect_expr_tables(on, out);
+        }
+        if let TableRef::Subquery { query, .. } = &j.table {
+            collect_expr_position_tables(query, out);
+        }
+    }
+    if let Some(TableRef::Subquery { query, .. }) = &q.from {
+        collect_expr_position_tables(query, out);
+    }
+}
+
+/// Every table a query references, in any position.
+fn collect_query_tables(q: &Query, out: &mut Vec<String>) {
+    if let Some(from) = &q.from {
+        collect_tref_tables(from, out);
+    }
+    for j in &q.joins {
+        collect_tref_tables(&j.table, out);
+        if let Some(on) = &j.on {
+            collect_expr_tables(on, out);
+        }
+    }
+    for item in &q.items {
+        collect_expr_tables(&item.expr, out);
+    }
+    if let Some(w) = &q.where_clause {
+        collect_expr_tables(w, out);
+    }
+    for g in &q.group_by {
+        collect_expr_tables(g, out);
+    }
+    for o in &q.order_by {
+        collect_expr_tables(&o.expr, out);
+    }
+}
+
+fn collect_tref_tables(t: &TableRef, out: &mut Vec<String>) {
+    match t {
+        TableRef::Named { name, .. } => out.push(name.clone()),
+        TableRef::Subquery { query, .. } => collect_query_tables(query, out),
+    }
+}
+
+fn collect_expr_tables(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Binary { left, right, .. } => {
+            collect_expr_tables(left, out);
+            collect_expr_tables(right, out);
+        }
+        Expr::Unary { expr, .. } | Expr::IsNull { expr, .. } => collect_expr_tables(expr, out),
+        Expr::Func { args, .. } => {
+            for a in args {
+                collect_expr_tables(a, out);
+            }
+        }
+        Expr::WindowSum { arg, order_by } => {
+            collect_expr_tables(arg, out);
+            collect_expr_tables(order_by, out);
+        }
+        Expr::Case { whens, else_expr } => {
+            for (c, t) in whens {
+                collect_expr_tables(c, out);
+                collect_expr_tables(t, out);
+            }
+            if let Some(el) = else_expr {
+                collect_expr_tables(el, out);
+            }
+        }
+        Expr::InSubquery { expr, query, .. } => {
+            collect_expr_tables(expr, out);
+            collect_query_tables(query, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_expr_tables(expr, out);
+            for i in list {
+                collect_expr_tables(i, out);
+            }
+        }
+        Expr::Column { .. } | Expr::Literal(_) | Expr::Wildcard => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star(n_shards: usize) -> ShardedBackend {
+        let b = ShardedBackend::new(n_shards, EngineConfig::duckdb_mem(), "fact", "k");
+        b.create_table(
+            "fact",
+            Table::from_columns(vec![
+                ("k", Column::int((0..100).map(|i| i % 10).collect())),
+                ("y", Column::float((0..100).map(|i| i as f64).collect())),
+            ]),
+        )
+        .unwrap();
+        b.create_table(
+            "dim",
+            Table::from_columns(vec![
+                ("k", Column::int((0..10).collect())),
+                ("grp", Column::int((0..10).map(|i| i % 2).collect())),
+            ]),
+        )
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn partitions_fact_and_replicates_dims() {
+        let b = star(4);
+        assert!(b.is_sharded("fact"));
+        assert!(!b.is_sharded("dim"));
+        assert_eq!(b.row_count("fact").unwrap(), 100);
+        let per_shard: Vec<usize> = (0..4)
+            .map(|i| b.shard(i).row_count("fact").unwrap())
+            .collect();
+        assert!(per_shard.iter().all(|&n| n > 0), "{per_shard:?}");
+        assert_eq!(b.coordinator().row_count("dim").unwrap(), 10);
+        assert!(!b.coordinator().has_table("fact"));
+    }
+
+    #[test]
+    fn grouped_aggregate_merges_exactly_across_shard_counts() {
+        let single = star(1);
+        let q = "SELECT grp, SUM(y) AS s, COUNT(*) AS c \
+                 FROM fact JOIN dim USING (k) GROUP BY grp";
+        let expected = single.query(q).unwrap();
+        for n in [2, 3, 4] {
+            let b = star(n);
+            let got = b.query(q).unwrap();
+            assert_eq!(got, expected, "{n} shards diverged");
+            assert!(b.stats().fanout_selects > 0);
+            assert!(b.stats().rows_shuffled > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_create_table_as_stays_shard_local() {
+        let b = star(3);
+        b.execute("CREATE TABLE msg AS SELECT k, SUM(y) AS s FROM fact GROUP BY k")
+            .unwrap();
+        assert!(b.is_sharded("msg"));
+        assert!(!b.coordinator().has_table("msg"));
+        // Joining the replicated dim against the shard-local message still
+        // merges to the global answer.
+        let t = b
+            .query("SELECT grp, SUM(s) AS s FROM dim JOIN msg USING (k) GROUP BY grp")
+            .unwrap();
+        let expected = star(1)
+            .query("SELECT grp, SUM(y) AS s FROM fact JOIN dim USING (k) GROUP BY grp")
+            .unwrap();
+        assert_eq!(
+            t.column(None, "s").unwrap(),
+            expected.column(None, "s").unwrap()
+        );
+        b.execute("DROP TABLE msg").unwrap();
+        assert!(!b.has_table("msg"));
+    }
+
+    #[test]
+    fn nested_split_query_runs_outer_layers_on_coordinator() {
+        // The Example-2 shape: window prefix sums + argmax over an
+        // absorbed aggregate of sharded data.
+        let q = "SELECT val, c, s FROM (SELECT val, SUM(c) OVER (ORDER BY val) AS c, \
+                 SUM(s) OVER (ORDER BY val) AS s FROM (SELECT grp AS val, COUNT(*) AS c, \
+                 SUM(y) AS s FROM fact JOIN dim USING (k) GROUP BY grp) AS g) AS w \
+                 ORDER BY s DESC LIMIT 1";
+        let expected = star(1).query(q).unwrap();
+        for n in [2, 4] {
+            let got = star(n).query(q).unwrap();
+            assert_eq!(got, expected, "{n} shards diverged");
+        }
+    }
+
+    #[test]
+    fn updates_broadcast_to_shards() {
+        let b = star(3);
+        b.execute("UPDATE fact SET y = 0.0 WHERE k IN (SELECT k FROM dim WHERE grp = 0)")
+            .unwrap();
+        let t = b.query("SELECT SUM(y) AS s FROM fact").unwrap();
+        let expected = {
+            let s1 = star(1);
+            s1.execute("UPDATE fact SET y = 0.0 WHERE k IN (SELECT k FROM dim WHERE grp = 0)")
+                .unwrap();
+            s1.query("SELECT SUM(y) AS s FROM fact").unwrap()
+        };
+        assert_eq!(t, expected);
+    }
+
+    #[test]
+    fn plain_scan_gathers_all_rows() {
+        let b = star(4);
+        let t = b.query("SELECT y FROM fact WHERE k = 3").unwrap();
+        assert_eq!(t.num_rows(), 10);
+    }
+
+    #[test]
+    fn joining_two_sharded_relations_is_rejected() {
+        let b = star(2);
+        b.execute("CREATE TABLE m1 AS SELECT k, SUM(y) AS s FROM fact GROUP BY k")
+            .unwrap();
+        let err = b
+            .query("SELECT SUM(fact.y) AS s FROM fact JOIN m1 USING (k)")
+            .unwrap_err();
+        assert!(err.to_string().contains("two sharded relations"), "{err}");
+    }
+
+    #[test]
+    fn binned_absorb_without_key_in_output_is_rejected_not_wrong() {
+        let b = star(2);
+        // GROUP BY FLOOR(..) with only MAX selected: groups cannot be
+        // matched across shards from the output alone.
+        let err = b
+            .query("SELECT MAX(y) AS val, COUNT(*) AS c FROM fact GROUP BY FLOOR(y / 10.0)")
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("not supported over sharded data"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sharded_ref_inside_expression_subquery_is_rejected_not_multiplied() {
+        // A replicated outer table filtered by an IN-subquery over the
+        // sharded fact: fanning out would scan the dim replica once per
+        // shard and ADD partials — silently shard-count-multiplied. Must
+        // error instead.
+        let b = star(4);
+        for q in [
+            "SELECT SUM(grp) AS s FROM dim WHERE k IN (SELECT k FROM fact WHERE y > 50.0)",
+            "SELECT grp FROM dim WHERE k IN (SELECT k FROM fact WHERE y > 50.0)",
+        ] {
+            let err = b.query(q).unwrap_err();
+            assert!(err.to_string().contains("expression subquery"), "{err}");
+        }
+        // Same shape with a replicated subquery target is fine.
+        let t = b
+            .query("SELECT SUM(y) AS s FROM fact WHERE k IN (SELECT k FROM dim WHERE grp = 0)")
+            .unwrap();
+        assert_eq!(
+            t,
+            star(1)
+                .query("SELECT SUM(y) AS s FROM fact WHERE k IN (SELECT k FROM dim WHERE grp = 0)")
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn update_of_replicated_table_with_sharded_predicate_is_rejected() {
+        // Broadcasting would leave the coordinator stale and make shard
+        // replicas diverge (each evaluates the subquery on its partition).
+        let b = star(2);
+        let err = b
+            .execute("UPDATE dim SET grp = 9 WHERE k IN (SELECT k FROM fact WHERE y > 0.0)")
+            .unwrap_err();
+        assert!(err.to_string().contains("expression subquery"), "{err}");
+        // Replicated-only updates still apply everywhere.
+        b.execute("UPDATE dim SET grp = 9 WHERE k = 0").unwrap();
+        for db in [b.coordinator(), b.shard(0), b.shard(1)] {
+            let t = db.query("SELECT grp FROM dim WHERE k = 0").unwrap();
+            assert_eq!(t.column(None, "grp").unwrap().get(0), Datum::Int(9));
+        }
+    }
+
+    #[test]
+    fn swap_between_sharded_and_replicated_is_rejected() {
+        let b = ShardedBackend::new(
+            2,
+            EngineConfig {
+                allow_swap: true,
+                ..EngineConfig::duckdb_mem()
+            },
+            "fact",
+            "k",
+        );
+        b.create_table(
+            "fact",
+            Table::from_columns(vec![
+                ("k", Column::int(vec![1, 2])),
+                ("y", Column::float(vec![1.0, 2.0])),
+            ]),
+        )
+        .unwrap();
+        b.create_table(
+            "dim",
+            Table::from_columns(vec![
+                ("k", Column::int(vec![1, 2])),
+                ("y", Column::float(vec![9.0, 9.0])),
+            ]),
+        )
+        .unwrap();
+        let err = b.execute("SWAP COLUMN fact.y WITH dim.y").unwrap_err();
+        assert!(err.to_string().contains("SWAP COLUMN"), "{err}");
+    }
+
+    #[test]
+    fn strided_integer_keys_still_spread_across_shards() {
+        // All-even surrogate ids: `v % shards` would land everything on
+        // shard 0; the FNV hash must spread them.
+        let b = ShardedBackend::new(2, EngineConfig::duckdb_mem(), "fact", "k");
+        b.create_table(
+            "fact",
+            Table::from_columns(vec![
+                ("k", Column::int((0..100).map(|i| i * 2).collect())),
+                ("y", Column::float(vec![1.0; 100])),
+            ]),
+        )
+        .unwrap();
+        let (a, c) = (
+            b.shard(0).row_count("fact").unwrap(),
+            b.shard(1).row_count("fact").unwrap(),
+        );
+        assert_eq!(a + c, 100);
+        assert!(a > 10 && c > 10, "skewed partition: {a}/{c}");
+    }
+
+    #[test]
+    fn snapshot_gathers_partitions() {
+        let b = star(3);
+        let t = b.snapshot("fact").unwrap();
+        assert_eq!(t.num_rows(), 100);
+        let sum: f64 = (0..t.num_rows())
+            .map(|i| t.column(None, "y").unwrap().f64_at(i).unwrap())
+            .sum();
+        assert_eq!(sum, 4950.0);
+    }
+}

@@ -31,14 +31,19 @@ use crate::tree::{Split, Tree};
 /// A trained gradient-boosting model.
 #[derive(Debug, Clone)]
 pub struct GbmModel {
+    /// Loss function the model was trained with.
     pub objective: Objective,
+    /// Constant initial prediction (raw score).
     pub init_score: f64,
+    /// Shrinkage applied to each tree's contribution.
     pub learning_rate: f64,
+    /// The boosted trees, in training order.
     pub trees: Vec<Tree>,
     /// Wall-clock spent finding splits (messages + split queries).
     pub train_time: Duration,
     /// Wall-clock spent on residual/gradient updates.
     pub update_time: Duration,
+    /// Query counters and timings accumulated over all iterations.
     pub stats: TrainStats,
 }
 
@@ -177,7 +182,7 @@ fn train_cuboid(
     if c_all == 0.0 {
         return Err(TrainError::Invalid("empty training data".into()));
     }
-    let init = s_all / c_all;
+    let init = params.snap_leaf(s_all / c_all);
     set.db
         .execute(&format!(
             "UPDATE {cuboid} SET jb_s = jb_s - {} * jb_c",
@@ -252,6 +257,7 @@ fn train_snowflake(
     fact: RelId,
     callback: &mut impl FnMut(usize, &GbmModel),
 ) -> Result<GbmModel> {
+    check_update_capability(set, params)?;
     let obj = params.objective;
     let use_variance = obj == Objective::SquaredError;
     let y_expr = target_expr_on_fact(set, fact)?;
@@ -275,6 +281,7 @@ fn train_snowflake(
         let ys = fetch_target_values(set, fact)?;
         obj.init_score(&ys)
     };
+    let init = params.snap_leaf(init);
 
     // Lift the fact table.
     let lifted = set.fresh_table("fact");
@@ -337,7 +344,7 @@ fn train_snowflake(
         // leaf's prediction on the actual residuals (LightGBM's
         // RenewTreeOutput); gradients only shape the tree structure.
         if let Some(q) = renewal_percentile(&obj) {
-            renew_leaves(set, fact, &lifted, &mut tree, q)?;
+            renew_leaves(set, fact, &lifted, &mut tree, q, params)?;
         }
         model.train_time += t0.elapsed();
 
@@ -381,6 +388,23 @@ fn train_snowflake(
     Ok(model)
 }
 
+/// Reject update methods the backend cannot execute, using its declared
+/// capability flags rather than a failing trial statement.
+fn check_update_capability(set: &Dataset, params: &TrainParams) -> Result<()> {
+    let caps = set.db.capabilities();
+    match params.update_method {
+        UpdateMethod::ColumnSwap if !caps.column_swap => Err(TrainError::Invalid(format!(
+            "backend {} does not support SWAP COLUMN (UpdateMethod::ColumnSwap)",
+            set.db.name()
+        ))),
+        UpdateMethod::Interop if !caps.external_interop => Err(TrainError::Invalid(format!(
+            "backend {} does not support external dataframe storage (UpdateMethod::Interop)",
+            set.db.name()
+        ))),
+        _ => Ok(()),
+    }
+}
+
 /// Objectives whose optimal leaf is a residual percentile (Table 3's
 /// `median(E)` / `pctl_α(E)` prediction rules).
 fn renewal_percentile(obj: &Objective) -> Option<f64> {
@@ -394,7 +418,14 @@ fn renewal_percentile(obj: &Objective) -> Option<f64> {
 /// Re-fit each leaf's value to the given percentile of its residuals
 /// `y − p`, read from the lifted fact table with the leaf's semi-join
 /// predicate.
-fn renew_leaves(set: &Dataset, fact: RelId, lifted: &str, tree: &mut Tree, q: f64) -> Result<()> {
+fn renew_leaves(
+    set: &Dataset,
+    fact: RelId,
+    lifted: &str,
+    tree: &mut Tree,
+    q: f64,
+    params: &TrainParams,
+) -> Result<()> {
     for (leaf, path) in tree.leaves_with_paths() {
         let pred = leaf_predicate_on_fact(set, fact, &path)?;
         let where_clause = pred.map(|p| format!(" WHERE {p}")).unwrap_or_default();
@@ -414,7 +445,7 @@ fn renew_leaves(set: &Dataset, fact: RelId, lifted: &str, tree: &mut Tree, q: f6
         }
         resid.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let pos = (q.clamp(0.0, 1.0) * (resid.len() - 1) as f64).round() as usize;
-        tree.nodes[leaf].value = resid[pos];
+        tree.nodes[leaf].value = params.snap_leaf(resid[pos]);
     }
     Ok(())
 }
@@ -482,7 +513,7 @@ fn create_lifted_fact(
             );
         }
         if external {
-            set.db.register_external(lifted, &t);
+            set.db.register_external(lifted, &t)?;
         } else {
             set.db.create_table(lifted, t)?;
         }
@@ -796,6 +827,7 @@ fn train_galaxy(
             "galaxy training supports UpdateInPlace, CreateTable and ColumnSwap".into(),
         ));
     }
+    check_update_capability(set, params)?;
     let g = &set.graph;
     let cluster_list = clusters(g);
     if cluster_list.is_empty() {
@@ -811,7 +843,7 @@ fn train_galaxy(
     if c == 0.0 {
         return Err(TrainError::Invalid("empty training data".into()));
     }
-    let init = s / c;
+    let init = params.snap_leaf(s / c);
     drop(fx0);
 
     // Lift: the target relation carries (1, y − init); every cluster fact

@@ -6,46 +6,56 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use joinboost_engine::{DataType, Database};
+use joinboost_engine::DataType;
 use joinboost_graph::{JoinGraph, RelId};
 
+use crate::backend::SqlBackend;
 use crate::error::{Result, TrainError};
 
 /// How a feature is split: numeric features use inequality splits over
 /// window prefix sums; categorical features use equality splits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeatureKind {
+    /// Inequality splits (`f <= v`) over window prefix sums.
     Numeric,
+    /// Equality splits (`f = v`) over per-value aggregates.
     Categorical,
 }
 
 static DATASET_COUNTER: AtomicUsize = AtomicUsize::new(0);
 
 /// A training dataset: a join graph whose relation names are tables in a
-/// [`Database`], plus the target variable.
+/// SQL backend, plus the target variable.
 ///
 /// Safety (Section 5.1): training never modifies user tables. Every write
 /// goes to a `jb_<id>_`-prefixed temporary table registered here; they are
 /// dropped when the dataset is dropped unless [`Dataset::keep_temp_tables`]
 /// is set (the paper keeps them for provenance/debugging on request).
 pub struct Dataset<'a> {
-    pub db: &'a Database,
+    /// The DBMS backend every training query runs against. A plain
+    /// [`joinboost_engine::Database`] coerces here directly; see
+    /// [`crate::backend`] for the other implementations.
+    pub db: &'a dyn SqlBackend,
+    /// The join graph binding relations, features and join keys.
     pub graph: JoinGraph,
+    /// Name of the relation holding the target column.
     pub target_relation: String,
+    /// Name of the target (label) column.
     pub target_column: String,
     target_rel_id: RelId,
     kinds: HashMap<String, FeatureKind>,
     prefix: String,
     temp_tables: Mutex<Vec<String>>,
     counter: AtomicUsize,
+    /// Keep `jb_`-prefixed temp tables alive on drop (provenance).
     pub keep_temp_tables: bool,
 }
 
 impl<'a> Dataset<'a> {
-    /// Validate the graph against the database and infer feature kinds
+    /// Validate the graph against the backend and infer feature kinds
     /// (string columns are categorical, numeric columns numeric).
     pub fn new(
-        db: &'a Database,
+        db: &'a dyn SqlBackend,
         graph: JoinGraph,
         target_relation: &str,
         target_column: &str,
@@ -107,6 +117,7 @@ impl<'a> Dataset<'a> {
         })
     }
 
+    /// Graph id of the relation holding the target column.
     pub fn target_rel(&self) -> RelId {
         self.target_rel_id
     }
@@ -116,6 +127,7 @@ impl<'a> Dataset<'a> {
         self.graph.all_features()
     }
 
+    /// How the named feature splits (numeric unless known categorical).
     pub fn feature_kind(&self, feature: &str) -> FeatureKind {
         self.kinds
             .get(&feature.to_ascii_lowercase())
@@ -152,7 +164,7 @@ impl<'a> Dataset<'a> {
     pub fn drop_temp_tables(&self) {
         let names: Vec<String> = self.temp_tables.lock().drain(..).collect();
         for n in names {
-            let _ = self.db.execute(&format!("DROP TABLE IF EXISTS {n}"));
+            let _ = self.db.drop_table_if_exists(&n);
         }
     }
 }
@@ -168,7 +180,7 @@ impl Drop for Dataset<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use joinboost_engine::{Column, Table};
+    use joinboost_engine::{Column, Database, Table};
 
     fn db_and_graph() -> (Database, JoinGraph) {
         let db = Database::in_memory();

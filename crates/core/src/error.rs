@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+/// Result type of every training-side operation.
 pub type Result<T> = std::result::Result<T, TrainError>;
 
 /// Errors raised while preparing or training a model.

@@ -29,11 +29,14 @@ use crate::tree::Tree;
 /// A trained random forest (predictions are averaged).
 #[derive(Debug, Clone)]
 pub struct RfModel {
+    /// The bagged trees.
     pub trees: Vec<Tree>,
+    /// Query counters and timings accumulated over all trees.
     pub stats: TrainStats,
 }
 
 impl RfModel {
+    /// Averaged prediction for every row of a materialized feature table.
     pub fn predict(&self, table: &joinboost_engine::Table) -> Vec<f64> {
         predict::predict_bagged(&self.trees, table)
     }

@@ -7,24 +7,48 @@
 //! computationally heavy step — evaluating split criteria — into plain
 //! SPJA SQL executed by a DBMS backend (here, `joinboost-engine`).
 //!
-//! ```no_run
-//! use joinboost::{Dataset, TrainParams, train_gbm};
-//! use joinboost_engine::Database;
+//! ```
+//! use joinboost::{train_gbm, Dataset, TrainParams};
+//! use joinboost_engine::{Column, Database, Table};
 //! use joinboost_graph::JoinGraph;
 //!
+//! // `sales` (fact, target net_profit) joins `dates` (dimension).
 //! let db = Database::in_memory();
-//! // ... load `sales` (fact, with target net_profit) and `dates` (dim) ...
+//! db.create_table(
+//!     "sales",
+//!     Table::from_columns(vec![
+//!         ("date_id", Column::int(vec![1, 1, 2, 2])),
+//!         ("net_profit", Column::float(vec![10.0, 12.0, 30.0, 34.0])),
+//!     ]),
+//! )
+//! .unwrap();
+//! db.create_table(
+//!     "dates",
+//!     Table::from_columns(vec![
+//!         ("date_id", Column::int(vec![1, 2])),
+//!         ("holiday", Column::int(vec![0, 1])),
+//!     ]),
+//! )
+//! .unwrap();
 //! let mut graph = JoinGraph::new();
 //! graph.add_relation("sales", &[]).unwrap();
-//! graph.add_relation("dates", &["holiday", "weekend"]).unwrap();
+//! graph.add_relation("dates", &["holiday"]).unwrap();
 //! graph.add_edge("sales", "dates", &["date_id"]).unwrap();
+//!
 //! let dataset = Dataset::new(&db, graph, "sales", "net_profit").unwrap();
-//! let params = TrainParams::default();
+//! let params = TrainParams { num_iterations: 3, ..TrainParams::default() };
 //! let model = train_gbm(&dataset, &params).unwrap();
+//! assert_eq!(model.trees.len(), 3);
+//! // Holiday days are more profitable; the model learns the gap.
+//! assert!(model.trees[0].num_leaves() > 1);
 //! ```
 //!
 //! ## Module map
 //!
+//! * [`backend`] — the [`SqlBackend`] trait every training query goes
+//!   through, and its implementations: the in-memory engine (AST fast
+//!   path), the SQL-text round-trip backend, and the sharded fan-out
+//!   backend (Section 5's portability claim, made pluggable).
 //! * [`dataset`] — binding a [`joinboost_graph::JoinGraph`] to database
 //!   tables; feature kinds; lifted (annotated) table creation. Training
 //!   never modifies user data: all writes go to `jb_`-prefixed temp tables.
@@ -47,6 +71,9 @@
 //!   queue over worker threads (Section 5.5.3).
 //! * [`tree`], [`predict`] — the returned models and their application.
 
+#![deny(missing_docs)]
+
+pub mod backend;
 pub mod boosting;
 pub mod dataset;
 pub mod error;
@@ -60,6 +87,9 @@ pub mod sqlgen;
 pub mod trainer;
 pub mod tree;
 
+pub use backend::{
+    BackendCapabilities, BackendResult, EngineBackend, ShardedBackend, SqlBackend, SqlTextBackend,
+};
 pub use boosting::{train_gbm, train_gbm_cb, GbmModel};
 pub use dataset::{Dataset, FeatureKind};
 pub use error::{Result, TrainError};

@@ -28,7 +28,9 @@ use crate::tree::{Split, SplitCondition};
 /// plus the parsed expression.
 #[derive(Debug, Clone)]
 pub struct Pred {
+    /// Canonical SQL rendering (cache signature key).
     pub sql: String,
+    /// The parsed predicate expression.
     pub expr: Expr,
 }
 
@@ -60,6 +62,7 @@ pub struct NodeContext {
 }
 
 impl NodeContext {
+    /// The empty context of the tree root (no predicates).
     pub fn root() -> NodeContext {
         NodeContext::default()
     }
@@ -71,6 +74,7 @@ impl NodeContext {
         next
     }
 
+    /// Predicates pushed to one relation.
     pub fn preds_of(&self, rel: RelId) -> &[Pred] {
         self.preds.get(&rel).map_or(&[], Vec::as_slice)
     }
@@ -161,9 +165,19 @@ pub enum MsgHandle {
     /// Dropped: joining would not change annotations or counts.
     Identity,
     /// Semi-join filter: `table` holds the surviving join-key values.
-    Semi { table: String, keys: Vec<String> },
+    Semi {
+        /// Materialized message table name.
+        table: String,
+        /// Join-key column names.
+        keys: Vec<String>,
+    },
     /// Full message: `table` holds the keys plus annotation columns.
-    Full { table: String, keys: Vec<String> },
+    Full {
+        /// Materialized message table name.
+        table: String,
+        /// Join-key column names.
+        keys: Vec<String>,
+    },
 }
 
 /// Execution statistics (drives Figure 9).
@@ -171,17 +185,23 @@ pub enum MsgHandle {
 pub struct FactorizerStats {
     /// Materialized message queries (CREATE TABLE ... AS).
     pub message_queries: u64,
+    /// Total wall-clock spent materializing messages.
     pub message_time: Duration,
     /// Per-message durations.
     pub message_durations: Vec<Duration>,
+    /// Messages served from the cross-node cache.
     pub cache_hits: u64,
+    /// Messages dropped by the identity optimization.
     pub identity_drops: u64,
+    /// Messages reduced to semi-join key filters.
     pub semi_messages: u64,
 }
 
 /// The factorizer: owns the per-relation annotations and the message cache.
 pub struct Factorizer<'a, 'b> {
+    /// The dataset being trained on.
     pub set: &'b Dataset<'a>,
+    /// Which semi-ring pair the annotations carry.
     pub ring: RingKind,
     /// Annotation expressions per relation, relative to its physical table.
     annotations: HashMap<RelId, Vec<Expr>>,
@@ -191,10 +211,12 @@ pub struct Factorizer<'a, 'b> {
     /// updates), invalidating cached messages that aggregated it.
     epochs: HashMap<RelId, u64>,
     cache: MessageCache<MsgHandle>,
+    /// Message-passing counters (drives Figure 9).
     pub stats: FactorizerStats,
 }
 
 impl<'a, 'b> Factorizer<'a, 'b> {
+    /// A factorizer with identity annotations and an empty cache.
     pub fn new(set: &'b Dataset<'a>, ring: RingKind) -> Self {
         Factorizer {
             set,
@@ -225,6 +247,8 @@ impl<'a, 'b> Factorizer<'a, 'b> {
         *self.epochs.entry(rel).or_insert(0) += 1;
     }
 
+    /// The physical table a relation currently reads from (lifted copies
+    /// override the graph name).
     pub fn table_of(&self, rel: RelId) -> &str {
         self.tables
             .get(&rel)
@@ -444,12 +468,18 @@ impl<'a, 'b> Factorizer<'a, 'b> {
 
     fn run_create(&mut self, q: Query, hint: &str) -> Result<String> {
         let name = self.set.fresh_table(hint);
-        let sql = format!("CREATE TABLE {name} AS {q}");
+        // Hand the statement to the backend as an AST: backends with the
+        // fast path skip print + re-parse entirely, the others serialize.
+        let stmt = joinboost_sql::ast::Statement::CreateTableAs {
+            name: name.clone(),
+            query: q,
+            or_replace: false,
+        };
         let start = Instant::now();
         self.set
             .db
-            .execute(&sql)
-            .map_err(|e| TrainError::Engine(format!("{e} in: {sql}")))?;
+            .execute_ast(&stmt)
+            .map_err(|e| TrainError::Engine(format!("{e} in: {stmt}")))?;
         let dt = start.elapsed();
         self.stats.message_queries += 1;
         self.stats.message_time += dt;
@@ -513,11 +543,12 @@ impl<'a, 'b> Factorizer<'a, 'b> {
     pub fn totals(&mut self, root: RelId, ctx: &NodeContext) -> Result<(f64, f64)> {
         let [n0, n1] = self.ring.components();
         let q = self.absorb(root, None, ctx)?;
+        let stmt = joinboost_sql::ast::Statement::Select(q);
         let t = self
             .set
             .db
-            .query(&q.to_string())
-            .map_err(|e| TrainError::Engine(format!("{e} in: {q}")))?;
+            .execute_ast(&stmt)
+            .map_err(|e| TrainError::Engine(format!("{e} in: {stmt}")))?;
         if t.num_rows() == 0 {
             return Ok((0.0, 0.0));
         }

@@ -37,14 +37,17 @@ pub enum UpdateMethod {
 /// best-first growth, 8 leaves, learning rate 0.1 (Section 6.1).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainParams {
+    /// Loss function being optimized (Table 3).
     pub objective: Objective,
     /// Number of boosting iterations / forest trees.
     pub num_iterations: usize,
+    /// Shrinkage applied to each tree's contribution.
     pub learning_rate: f64,
     /// Maximum leaves per tree.
     pub num_leaves: usize,
     /// Maximum depth (0 = unlimited).
     pub max_depth: usize,
+    /// Tree growth strategy (best-first vs depth-wise).
     pub growth: Growth,
     /// L2 regularization λ on leaf weights (gradient objectives).
     pub reg_lambda: f64,
@@ -58,6 +61,7 @@ pub struct TrainParams {
     /// Fraction of rows sampled per tree without replacement (random
     /// forest; paper uses 0.1).
     pub bagging_fraction: f64,
+    /// Seed for every random choice (sampling, feature shuffles).
     pub seed: u64,
     /// Histogram bins per numeric feature (0 = exact, no binning).
     pub max_bins: usize,
@@ -68,6 +72,15 @@ pub struct TrainParams {
     pub threads: usize,
     /// Residual update strategy for gradient boosting.
     pub update_method: UpdateMethod,
+    /// Round the initial score and every leaf value to multiples of this
+    /// grid (0 = off). With a power-of-two grid (e.g. `2⁻¹⁰`) and a dyadic
+    /// learning rate, every residual the trainer ever sums stays a dyadic
+    /// rational of bounded magnitude, making floating-point `⊕` exactly
+    /// associative — so partitioned backends ([`crate::ShardedBackend`])
+    /// train **bit-identical** models regardless of how rows are sharded.
+    /// This is the standard determinism trick of distributed GBDT systems;
+    /// see `DESIGN.md` § Backends for the full argument.
+    pub leaf_quantization: f64,
 }
 
 impl Default for TrainParams {
@@ -89,6 +102,7 @@ impl Default for TrainParams {
             use_cuboid: false,
             threads: 1,
             update_method: UpdateMethod::CreateTable,
+            leaf_quantization: 0.0,
         }
     }
 }
@@ -112,6 +126,7 @@ impl TrainParams {
         }
     }
 
+    /// Reject parameter combinations the trainers cannot honor.
     pub fn validate(&self) -> crate::Result<()> {
         use crate::TrainError;
         if self.num_leaves < 2 {
@@ -135,7 +150,24 @@ impl TrainParams {
                 "use_cuboid requires max_bins in 1..=64 (the cuboid grows exponentially)".into(),
             ));
         }
+        if self.leaf_quantization < 0.0 || !self.leaf_quantization.is_finite() {
+            return Err(TrainError::Invalid(
+                "leaf_quantization must be a finite value >= 0".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// Round a leaf value (or initial score) to the
+    /// [`leaf_quantization`](Self::leaf_quantization) grid; identity when
+    /// the grid is 0. With a power-of-two grid the division, rounding and
+    /// multiplication are all exact in `f64`.
+    pub fn snap_leaf(&self, v: f64) -> f64 {
+        if self.leaf_quantization > 0.0 {
+            (v / self.leaf_quantization).round() * self.leaf_quantization
+        } else {
+            v
+        }
     }
 }
 

@@ -16,7 +16,9 @@ use crate::tree::{FeatureRow, Tree};
 
 /// One row of a materialized table viewed as a feature row.
 pub struct TableRow<'a> {
+    /// The materialized feature table.
     pub table: &'a Table,
+    /// Row index within the table.
     pub index: usize,
 }
 

@@ -13,9 +13,10 @@ use std::collections::HashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use joinboost_engine::{Column, Database, Datum, Table};
+use joinboost_engine::{Column, Datum, Table};
 use joinboost_graph::{JoinGraph, RelId};
 
+use crate::backend::SqlBackend;
 use crate::error::{Result, TrainError};
 
 /// Per-relation data prepared for sampling.
@@ -46,7 +47,7 @@ fn key_of(table: &Table, cols: &[usize], row: usize) -> Vec<String> {
 /// sampling from `root`. Returns a table whose columns are the union of
 /// all relations' columns (join keys deduplicated, first occurrence wins).
 pub fn ancestral_sample(
-    db: &Database,
+    db: &dyn SqlBackend,
     graph: &JoinGraph,
     root: RelId,
     n: usize,
@@ -202,7 +203,7 @@ fn sample_weighted(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use joinboost_engine::Column;
+    use joinboost_engine::{Column, Database};
     use joinboost_graph::Multiplicity;
 
     /// R(A,B) — S(A,C): A=1 extends to 1×2=2 join tuples, A=2 to 2×1=2.

@@ -10,19 +10,22 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
-use joinboost_engine::{Database, Table};
+use joinboost_engine::Table;
 
+use crate::backend::SqlBackend;
 use crate::error::{Result, TrainError};
 
 /// One schedulable query.
 #[derive(Debug, Clone)]
 pub struct Task {
+    /// The SQL statement to execute.
     pub sql: String,
     /// Indices of tasks that must finish first.
     pub deps: Vec<usize>,
 }
 
 impl Task {
+    /// A task with no dependencies.
     pub fn new(sql: impl Into<String>) -> Task {
         Task {
             sql: sql.into(),
@@ -30,6 +33,7 @@ impl Task {
         }
     }
 
+    /// A task that runs only after `deps` complete.
     pub fn after(sql: impl Into<String>, deps: Vec<usize>) -> Task {
         Task {
             sql: sql.into(),
@@ -51,7 +55,7 @@ struct DagState {
 /// Results are returned in task order. A failed task still releases its
 /// dependents (they will typically fail on a missing table, surfacing the
 /// root cause in their own error).
-pub fn run_dag(db: &Database, tasks: &[Task], threads: usize) -> Vec<Result<Table>> {
+pub fn run_dag(db: &dyn SqlBackend, tasks: &[Task], threads: usize) -> Vec<Result<Table>> {
     let n = tasks.len();
     if n == 0 {
         return Vec::new();
@@ -139,7 +143,7 @@ pub fn run_dag(db: &Database, tasks: &[Task], threads: usize) -> Vec<Result<Tabl
         .collect()
 }
 
-fn run_sequential(db: &Database, tasks: &[Task]) -> Vec<Result<Table>> {
+fn run_sequential(db: &dyn SqlBackend, tasks: &[Task]) -> Vec<Result<Table>> {
     // Topological order via repeated sweeps (task lists are tiny).
     let n = tasks.len();
     let mut done = vec![false; n];
@@ -166,7 +170,7 @@ fn run_sequential(db: &Database, tasks: &[Task]) -> Vec<Result<Table>> {
 }
 
 /// Run independent queries in parallel, preserving input order.
-pub fn run_parallel(db: &Database, sqls: &[String], threads: usize) -> Vec<Result<Table>> {
+pub fn run_parallel(db: &dyn SqlBackend, sqls: &[String], threads: usize) -> Vec<Result<Table>> {
     let tasks: Vec<Task> = sqls.iter().map(Task::new).collect();
     run_dag(db, &tasks, threads)
 }

@@ -144,7 +144,9 @@ pub fn gradient_criterion(h_total: f64, g_total: f64, lambda: f64) -> Expr {
 /// Totals of a node, as `(component0, component1)` = `(C,S)` or `(H,G)`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeTotals {
+    /// First component (`C` count or `H` Hessian sum).
     pub c0: f64,
+    /// Second component (`S` target sum or `G` gradient sum).
     pub c1: f64,
 }
 
@@ -152,7 +154,10 @@ pub struct NodeTotals {
 /// window prefix sums over the per-value aggregates, criteria, argmax.
 ///
 /// `absorbed` must produce columns `val, c0, c1` (one row per distinct
-/// feature value, ordered arbitrarily).
+/// feature value, ordered arbitrarily). The middle layer orders its rows
+/// by `val`, so criteria ties resolve to the smallest value on *every*
+/// backend regardless of the absorbed row order (group scan order on the
+/// engine, merge order on a sharded backend).
 pub fn numeric_split_query(
     absorbed: Query,
     ring: RingKind,
@@ -184,13 +189,18 @@ pub fn numeric_split_query(
             query: Box::new(absorbed),
             alias: Some("g".into()),
         }),
+        order_by: vec![OrderByItem {
+            expr: Expr::col("val"),
+            desc: false,
+        }],
         ..Default::default()
     };
     outer_split_query(middle, ring, totals, lambda, min_leaf)
 }
 
 /// Build the best-split query for a **categorical** feature: per-value
-/// aggregates directly, no prefix sums.
+/// aggregates directly, no prefix sums. Rows are ordered by `val` for the
+/// same backend-independent tie-breaking as the numeric query.
 pub fn categorical_split_query(
     absorbed: Query,
     ring: RingKind,
@@ -209,6 +219,10 @@ pub fn categorical_split_query(
             query: Box::new(absorbed),
             alias: Some("g".into()),
         }),
+        order_by: vec![OrderByItem {
+            expr: Expr::col("val"),
+            desc: false,
+        }],
         ..Default::default()
     };
     outer_split_query(middle, ring, totals, lambda, min_leaf)

@@ -28,17 +28,24 @@ use crate::tree::{Split, SplitCondition, Tree, TreeNode};
 pub struct TrainStats {
     /// Queries that evaluate the best split of one feature.
     pub split_queries: u64,
+    /// Total wall-clock spent in split queries.
     pub split_time: Duration,
+    /// Per-split-query durations.
     pub split_durations: Vec<Duration>,
     /// Message queries materialized (copied from the factorizer).
     pub message_queries: u64,
+    /// Total wall-clock spent materializing messages.
     pub message_time: Duration,
+    /// Per-message durations.
     pub message_durations: Vec<Duration>,
+    /// Messages served from the cross-node cache.
     pub cache_hits: u64,
+    /// Messages dropped by the identity optimization.
     pub identity_drops: u64,
 }
 
 impl TrainStats {
+    /// Accumulate another stats block into this one.
     pub fn merge(&mut self, other: &TrainStats) {
         self.split_queries += other.split_queries;
         self.split_time += other.split_time;
@@ -56,7 +63,9 @@ impl TrainStats {
 /// A candidate split with the aggregates needed to build both children.
 #[derive(Debug, Clone)]
 pub struct CandidateSplit {
+    /// The winning split condition.
     pub split: Split,
+    /// Relation the split feature lives in.
     pub rel: RelId,
     /// Exact gain (variance reduction or 0.5·gain − α).
     pub gain: f64,
@@ -103,7 +112,9 @@ impl Ord for HeapItem {
 
 /// Grows one tree over a prepared factorizer.
 pub struct TreeGrower<'a, 'b, 'c> {
+    /// The factorizer computing split statistics.
     pub fx: &'c mut Factorizer<'a, 'b>,
+    /// Training parameters.
     pub params: &'c TrainParams,
     /// Features allowed for this tree (after sampling / CPT restriction),
     /// as `(feature, relation)` pairs.
@@ -120,10 +131,12 @@ pub struct TreeGrower<'a, 'b, 'c> {
     /// When false, the message cache is cleared before every node's split
     /// batch — the per-node `Batch` ablation of Figure 16a.
     pub share_messages_across_nodes: bool,
+    /// Query counters and timings for this tree.
     pub stats: TrainStats,
 }
 
 impl<'a, 'b, 'c> TreeGrower<'a, 'b, 'c> {
+    /// Prepare to grow one tree over the given features.
     pub fn new(
         fx: &'c mut Factorizer<'a, 'b>,
         params: &'c TrainParams,
@@ -142,7 +155,7 @@ impl<'a, 'b, 'c> TreeGrower<'a, 'b, 'c> {
     }
 
     fn leaf_value(&self, totals: NodeTotals) -> f64 {
-        match self.fx.ring {
+        let v = match self.fx.ring {
             RingKind::Variance => {
                 if totals.c0 > 0.0 {
                     totals.c1 / totals.c0
@@ -153,7 +166,8 @@ impl<'a, 'b, 'c> TreeGrower<'a, 'b, 'c> {
             RingKind::Gradient => {
                 joinboost_semiring::leaf_weight(totals.c1, totals.c0, self.params.reg_lambda)
             }
-        }
+        };
+        self.params.snap_leaf(v)
     }
 
     fn exact_gain(&self, totals: NodeTotals, left: NodeTotals) -> Option<f64> {
@@ -188,6 +202,18 @@ impl<'a, 'b, 'c> TreeGrower<'a, 'b, 'c> {
     ) -> Result<Option<CandidateSplit>> {
         if totals.c0 < 2.0 * self.params.min_data_in_leaf {
             return Ok(None);
+        }
+        // Numeric splits need window prefix sums (paper Example 2); refuse
+        // early on backends that cannot run them instead of failing deep
+        // inside a generated query.
+        if !self.fx.set.db.capabilities().window_functions
+            && allowed
+                .iter()
+                .any(|(f, _)| self.fx.set.feature_kind(f) == FeatureKind::Numeric)
+        {
+            return Err(TrainError::Invalid(
+                "backend does not support window functions, which numeric splits require".into(),
+            ));
         }
         if !self.share_messages_across_nodes {
             self.fx.clear_cache();

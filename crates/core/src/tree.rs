@@ -18,9 +18,11 @@ pub enum SplitCondition {
 /// A decision tree split.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Split {
+    /// Name of the feature column being split on.
     pub feature: String,
     /// The relation holding the feature (for predicate pushdown).
     pub relation: String,
+    /// The split condition (left-branch test).
     pub cond: SplitCondition,
     /// Where rows with a missing feature value go (Appendix D.2).
     pub default_left: bool,
@@ -57,15 +59,17 @@ impl Split {
 pub struct TreeNode {
     /// `None` for leaves.
     pub split: Option<Split>,
-    /// Child indices (into [`Tree::nodes`]); meaningful only when `split`
-    /// is `Some`.
+    /// Left child index (into [`Tree::nodes`]); meaningful only when
+    /// `split` is `Some`.
     pub left: usize,
+    /// Right child index; meaningful only when `split` is `Some`.
     pub right: usize,
     /// Leaf prediction value (defined on leaves; internal nodes carry the
     /// value they would predict if pruned here).
     pub value: f64,
     /// Weighted row count (C for variance trees, H for gradient trees).
     pub weight: f64,
+    /// Depth of this node (root = 0).
     pub depth: usize,
 }
 
@@ -78,6 +82,7 @@ pub struct Tree {
 
 /// Read access to one example's feature values during prediction.
 pub trait FeatureRow {
+    /// The example's value for the named feature (`None` = missing).
     fn feature(&self, name: &str) -> Option<Datum>;
 }
 
@@ -88,6 +93,7 @@ impl FeatureRow for std::collections::HashMap<String, Datum> {
 }
 
 impl Tree {
+    /// A tree with one leaf (the constant predictor).
     pub fn single_leaf(value: f64, weight: f64) -> Tree {
         Tree {
             nodes: vec![TreeNode {
@@ -101,10 +107,12 @@ impl Tree {
         }
     }
 
+    /// Number of leaf nodes.
     pub fn num_leaves(&self) -> usize {
         self.nodes.iter().filter(|n| n.split.is_none()).count()
     }
 
+    /// Depth of the deepest node (a single leaf has depth 0).
     pub fn max_depth(&self) -> usize {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
     }

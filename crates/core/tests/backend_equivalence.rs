@@ -1,0 +1,147 @@
+//! The portability claim, end to end: the same training run against every
+//! [`SqlBackend`] implementation must produce the *same model* — not just
+//! statistically, but bit for bit.
+//!
+//! Floating-point `⊕` is only associative on values where no addition ever
+//! rounds, so the workload pins everything to a dyadic grid (see
+//! `DESIGN.md` § Backends):
+//!
+//! * the target is quantized to multiples of 1/8 (exact in `f64`),
+//! * `leaf_quantization` rounds the initial score and every leaf value to
+//!   the 2⁻¹⁰ grid,
+//! * the learning rate is 0.5 (dyadic).
+//!
+//! Under those conditions every residual, message aggregate and split
+//! statistic the trainer ever sums is a dyadic rational of bounded
+//! magnitude, so shard merge order cannot change a single bit — which is
+//! exactly what this test asserts for 1-shard and 4-shard backends.
+
+use joinboost::backend::{EngineBackend, ShardedBackend, SqlBackend, SqlTextBackend};
+use joinboost::{train_gbm, Dataset, GbmModel, TrainParams};
+use joinboost_datagen::{favorita, FavoritaConfig};
+use joinboost_engine::EngineConfig;
+
+fn workload() -> joinboost_datagen::favorita::Generated {
+    favorita(&FavoritaConfig {
+        fact_rows: 3000,
+        dim_rows: 30,
+        noise: 1.0,
+        ..Default::default()
+    })
+}
+
+fn load_and_train(backend: &dyn SqlBackend) -> GbmModel {
+    let gen = workload();
+    for (name, t) in &gen.tables {
+        backend.create_table(name, t.clone()).unwrap();
+    }
+    // Quantize the target to the 1/8 grid: FLOOR(y*8) is exact for these
+    // magnitudes and /8 is an exponent shift, so the stored values are
+    // dyadic rationals and every sum of them is exact in f64.
+    backend
+        .execute("UPDATE sales SET net_profit = FLOOR(net_profit * 8.0) / 8.0")
+        .unwrap();
+    let set = Dataset::new(backend, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let params = TrainParams {
+        num_iterations: 4,
+        learning_rate: 0.5,
+        leaf_quantization: (2.0f64).powi(-10),
+        ..Default::default()
+    };
+    train_gbm(&set, &params).unwrap()
+}
+
+fn assert_bit_identical(reference: &GbmModel, model: &GbmModel, who: &str) {
+    assert_eq!(
+        reference.init_score.to_bits(),
+        model.init_score.to_bits(),
+        "{who}: init score diverged"
+    );
+    assert_eq!(
+        reference.trees.len(),
+        model.trees.len(),
+        "{who}: tree count diverged"
+    );
+    for (i, (a, b)) in reference.trees.iter().zip(&model.trees).enumerate() {
+        assert_eq!(a.nodes.len(), b.nodes.len(), "{who}: tree {i} shape");
+        for (na, nb) in a.nodes.iter().zip(&b.nodes) {
+            assert_eq!(na.split, nb.split, "{who}: tree {i} split");
+            assert_eq!(
+                na.value.to_bits(),
+                nb.value.to_bits(),
+                "{who}: tree {i} leaf value diverged ({} vs {})",
+                na.value,
+                nb.value
+            );
+            assert_eq!(
+                na.weight.to_bits(),
+                nb.weight.to_bits(),
+                "{who}: tree {i} weight diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_backends_train_bit_identical_gbms() {
+    // Reference: the plain engine behind the AST fast path.
+    let engine = EngineBackend::in_memory();
+    let reference = load_and_train(&engine);
+    assert_eq!(reference.trees.len(), 4);
+    assert!(
+        reference.trees.iter().any(|t| t.num_leaves() > 1),
+        "the workload must actually produce splits"
+    );
+
+    // SQL text: every statement through print ∘ parse ∘ print.
+    let text = SqlTextBackend::in_memory();
+    let model = load_and_train(&text);
+    assert_bit_identical(&reference, &model, "sql-text");
+    assert!(
+        text.round_trips() > 50,
+        "training must have exercised the text path ({} round-trips)",
+        text.round_trips()
+    );
+
+    // Sharded: 1 shard (degenerate) and 4 shards (real fan-out + merge).
+    for shards in [1usize, 4] {
+        let sharded = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "sales", "items_id");
+        let model = load_and_train(&sharded);
+        assert_bit_identical(&reference, &model, &format!("sharded x{shards}"));
+        let stats = sharded.stats();
+        assert!(stats.fanout_selects > 0, "aggregates must fan out");
+        assert!(stats.broadcast_statements > 0, "updates must broadcast");
+        if shards > 1 {
+            assert!(stats.rows_shuffled > 0, "merging must move rows");
+            // The fact partition really is spread out.
+            let nonempty = (0..shards)
+                .filter(|&i| sharded.shard(i).row_count("sales").unwrap_or(0) > 0)
+                .count();
+            assert!(nonempty > 1, "hash partitioning left all rows on one shard");
+        }
+    }
+}
+
+#[test]
+fn sharded_backend_trains_random_forests_via_gathered_snapshots() {
+    // Forest row-sampling snapshots the fact table — on a sharded backend
+    // that is a gather of all partitions — and trains over the sampled
+    // copy, which is replicated. This exercises the snapshot/gather path.
+    let sharded = ShardedBackend::new(3, EngineConfig::duckdb_mem(), "sales", "stores_id");
+    let gen = favorita(&FavoritaConfig {
+        fact_rows: 600,
+        dim_rows: 10,
+        ..Default::default()
+    });
+    for (name, t) in &gen.tables {
+        sharded.create_table(name, t.clone()).unwrap();
+    }
+    let set = Dataset::new(&sharded, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let params = TrainParams {
+        num_iterations: 3,
+        bagging_fraction: 0.5,
+        ..Default::default()
+    };
+    let model = joinboost::train_random_forest(&set, &params).unwrap();
+    assert_eq!(model.trees.len(), 3);
+}

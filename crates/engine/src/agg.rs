@@ -29,22 +29,30 @@ const PARALLEL_MIN_ROWS: usize = 8192;
 /// One aggregate call with its argument evaluated (once) into the typed
 /// form its accumulator consumes.
 pub enum PreparedAgg {
+    /// `COUNT(*)`: answered from the grouping pass's group sizes.
     CountStar,
     /// `COUNT(expr)`: counts valid rows of the argument.
     Count {
+        /// Validity mask of the argument (`None` = all valid).
         valid: Option<Vec<bool>>,
     },
-    /// `SUM(expr)` / `AVG(expr)` over an f64 view (NULL → NaN, skipped).
+    /// `SUM(expr)` over an f64 view (NULL → NaN, skipped).
     Sum {
+        /// Argument values (NULL encoded as NaN).
         vals: Vec<f64>,
+        /// Emit integer sums (argument column was integer-typed).
         int_input: bool,
     },
+    /// `AVG(expr)` over an f64 view (NULL → NaN, skipped).
     Avg {
+        /// Argument values (NULL encoded as NaN).
         vals: Vec<f64>,
     },
     /// `MIN(expr)` / `MAX(expr)` via SQL comparison on the argument.
     MinMax {
+        /// The evaluated argument column.
         col: Column,
+        /// `true` for MIN, `false` for MAX.
         is_min: bool,
     },
 }

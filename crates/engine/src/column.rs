@@ -7,25 +7,38 @@ use crate::datum::{DataType, Datum};
 /// into `dict`.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ColumnData {
+    /// 64-bit signed integers.
     Int(Vec<i64>),
+    /// 64-bit floats.
     Float(Vec<f64>),
-    Str { dict: Vec<String>, codes: Vec<u32> },
+    /// Dictionary-encoded strings.
+    Str {
+        /// Distinct values, in first-appearance order.
+        dict: Vec<String>,
+        /// Per-row indexes into `dict`.
+        codes: Vec<u32>,
+    },
 }
 
 /// A column: data plus an optional validity mask (`None` = no NULLs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Column {
+    /// The typed values.
     pub data: ColumnData,
+    /// Per-row validity mask (`None` = no NULLs).
     pub validity: Option<Vec<bool>>,
 }
 
 /// Hashable per-row key for joins and group-by.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum HKey {
+    /// NULL key (groups all NULLs together).
     Null,
+    /// Integer key.
     Int(i64),
     /// f64 bit pattern (canonicalized: -0.0 → 0.0, NaNs collapse).
     Float(u64),
+    /// String key (compared by content, not dictionary code).
     Str(String),
 }
 
@@ -41,6 +54,7 @@ pub(crate) fn canonical_f64_bits(v: f64) -> u64 {
 }
 
 impl Column {
+    /// An integer column with no NULLs.
     pub fn int(values: Vec<i64>) -> Column {
         Column {
             data: ColumnData::Int(values),
@@ -48,6 +62,7 @@ impl Column {
         }
     }
 
+    /// A float column with no NULLs.
     pub fn float(values: Vec<f64>) -> Column {
         Column {
             data: ColumnData::Float(values),
@@ -55,6 +70,7 @@ impl Column {
         }
     }
 
+    /// A dictionary-encoded string column with no NULLs.
     pub fn str(values: Vec<String>) -> Column {
         let mut dict: Vec<String> = Vec::new();
         let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
@@ -120,6 +136,7 @@ impl Column {
         Column { data, validity }
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         match &self.data {
             ColumnData::Int(v) => v.len(),
@@ -128,10 +145,12 @@ impl Column {
         }
     }
 
+    /// True when the column has no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The column's data type.
     pub fn dtype(&self) -> DataType {
         match &self.data {
             ColumnData::Int(_) => DataType::Int,
@@ -140,16 +159,19 @@ impl Column {
         }
     }
 
+    /// Is row `i` non-NULL?
     pub fn is_valid(&self, i: usize) -> bool {
         self.validity.as_ref().is_none_or(|v| v[i])
     }
 
+    /// Number of NULL rows.
     pub fn null_count(&self) -> usize {
         self.validity
             .as_ref()
             .map_or(0, |v| v.iter().filter(|b| !**b).count())
     }
 
+    /// Value at row `i` as a [`Datum`] (NULL-aware).
     pub fn get(&self, i: usize) -> Datum {
         if !self.is_valid(i) {
             return Datum::Null;

@@ -14,8 +14,11 @@ use crate::datum::DataType;
 /// code depending on `dtype`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompressedColumn {
+    /// Logical data type of the column.
     pub dtype: DataType,
+    /// Logical (uncompressed) row count.
     pub len: usize,
+    /// `(bits, run_len)` pairs in row order.
     pub runs: Vec<(u64, u32)>,
     /// Dictionary for string columns.
     pub dict: Option<Vec<String>>,

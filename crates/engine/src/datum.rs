@@ -7,8 +7,11 @@ use std::fmt;
 /// (the paper dictionary-encodes strings to 32-bit integers as well).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
+    /// 64-bit signed integer.
     Int,
+    /// 64-bit float.
     Float,
+    /// Dictionary-encoded string.
     Str,
 }
 
@@ -25,13 +28,18 @@ impl fmt::Display for DataType {
 /// A single scalar value (row-mode execution, constants, query results).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Datum {
+    /// Integer value.
     Int(i64),
+    /// Float value.
     Float(f64),
+    /// String value.
     Str(String),
+    /// SQL NULL.
     Null,
 }
 
 impl Datum {
+    /// Is this SQL NULL?
     pub fn is_null(&self) -> bool {
         matches!(self, Datum::Null)
     }
@@ -45,6 +53,7 @@ impl Datum {
         }
     }
 
+    /// Integer view (floats truncate); `None` for NULL/strings.
     pub fn as_i64(&self) -> Option<i64> {
         match self {
             Datum::Int(v) => Some(*v),
@@ -53,6 +62,7 @@ impl Datum {
         }
     }
 
+    /// String view; `None` for non-strings.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Datum::Str(s) => Some(s),

@@ -21,7 +21,9 @@ use crate::wal::Wal;
 /// Columnar vs row-oriented execution (the paper's `X-col` vs `X-row`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
+    /// Whole-column vectorized evaluation.
     Columnar,
+    /// Tuple-at-a-time evaluation.
     Row,
 }
 
@@ -29,7 +31,9 @@ pub enum ExecMode {
 /// write-ahead log on every write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StorageMode {
+    /// Tables live in memory only.
     Memory,
+    /// Disk-backed: writes pay for the write-ahead log.
     Disk,
 }
 
@@ -37,7 +41,9 @@ pub enum StorageMode {
 /// backends of the paper's evaluation (Section 6.3, Figure 15).
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
+    /// Columnar vs row execution.
     pub exec: ExecMode,
+    /// In-memory vs disk-backed storage.
     pub storage: StorageMode,
     /// Write-ahead logging of updates and created tables.
     pub wal: bool,
@@ -127,14 +133,23 @@ impl EngineConfig {
 /// Execution statistics (observable costs of the DBMS mechanisms).
 #[derive(Debug, Clone, Default)]
 pub struct DbStats {
+    /// `SELECT`/`CREATE TABLE AS` queries executed.
     pub queries: u64,
+    /// Total statements executed (queries included).
     pub statements: u64,
+    /// Bytes appended to the write-ahead log.
     pub wal_bytes: u64,
+    /// Records appended to the write-ahead log.
     pub wal_records: u64,
+    /// Bytes of MVCC before-images copied into the undo buffer.
     pub undo_bytes: u64,
+    /// Number of MVCC before-images recorded.
     pub undo_versions: u64,
+    /// Bytes deep-copied from external (dataframe) storage on scans.
     pub interop_bytes_copied: u64,
+    /// Bytes written through the compression path.
     pub compressed_bytes_written: u64,
+    /// `SWAP COLUMN` statements executed.
     pub swaps: u64,
 }
 
@@ -197,10 +212,12 @@ impl Database {
         Database::new(EngineConfig::duckdb_mem())
     }
 
+    /// The configuration this database was opened with.
     pub fn config(&self) -> &EngineConfig {
         &self.config
     }
 
+    /// Snapshot of the execution statistics.
     pub fn stats(&self) -> DbStats {
         let mut s = self.stats.lock().clone();
         let wal = self.wal.lock();
@@ -209,6 +226,7 @@ impl Database {
         s
     }
 
+    /// Zero the execution statistics (WAL counters restart too).
     pub fn reset_stats(&self) {
         *self.stats.lock() = DbStats::default();
     }
@@ -245,6 +263,7 @@ impl Database {
         }
     }
 
+    /// Remove a table from the catalog.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
         if self.catalog.write().remove(&key).is_none() {
@@ -256,10 +275,12 @@ impl Database {
         Ok(())
     }
 
+    /// Does a table with this name exist?
     pub fn has_table(&self, name: &str) -> bool {
         self.catalog.read().contains_key(&name.to_ascii_lowercase())
     }
 
+    /// All table names, sorted.
     pub fn table_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.catalog.read().keys().cloned().collect();
         v.sort();
@@ -311,6 +332,7 @@ impl Database {
         }
     }
 
+    /// Number of rows in a table.
     pub fn row_count(&self, name: &str) -> Result<usize> {
         match self.catalog.read().get(&name.to_ascii_lowercase()) {
             Some(Stored::Plain(t)) => Ok(t.num_rows()),

@@ -18,7 +18,9 @@ const AGGS: [&str; 5] = ["SUM", "COUNT", "AVG", "MIN", "MAX"];
 
 /// Executes queries against a [`Database`].
 pub struct Executor<'a> {
+    /// The database whose catalog the query reads.
     pub db: &'a Database,
+    /// Columnar vs row evaluation (from the database config).
     pub mode: ExecMode,
 }
 
@@ -29,6 +31,7 @@ impl SubqueryRunner for Executor<'_> {
 }
 
 impl<'a> Executor<'a> {
+    /// An executor in the database's configured execution mode.
     pub fn new(db: &'a Database) -> Self {
         let mode = db.config().exec;
         Executor { db, mode }

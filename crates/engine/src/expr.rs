@@ -15,18 +15,21 @@ use crate::table::Table;
 /// Something that can execute a subquery (implemented by the executor;
 /// needed for `IN (SELECT ..)` predicates).
 pub trait SubqueryRunner {
+    /// Execute a subquery to a materialized table.
     fn run_subquery(&self, q: &Query) -> Result<Table>;
 }
 
 /// Evaluation context: the subquery runner plus per-statement caches so
 /// that `IN (SELECT ..)` subqueries and window columns are computed once.
 pub struct EvalContext<'a> {
+    /// Executes `IN (SELECT ..)` subqueries.
     pub runner: &'a dyn SubqueryRunner,
     subquery_sets: RefCell<HashMap<usize, Rc<HashSet<HKey>>>>,
     window_cols: RefCell<HashMap<usize, Rc<Column>>>,
 }
 
 impl<'a> EvalContext<'a> {
+    /// A fresh context with empty subquery/window caches.
     pub fn new(runner: &'a dyn SubqueryRunner) -> Self {
         EvalContext {
             runner,

@@ -22,6 +22,7 @@ pub struct ExternalTable {
 }
 
 impl ExternalTable {
+    /// Deep-copy an engine table into external array storage.
     pub fn from_table(t: &Table) -> ExternalTable {
         ExternalTable {
             names: t.meta.iter().map(|m| m.name.clone()).collect(),
@@ -29,10 +30,12 @@ impl ExternalTable {
         }
     }
 
+    /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.columns.read().first().map_or(0, |c| c.len())
     }
 
+    /// Column names, in storage order.
     pub fn column_names(&self) -> &[String] {
         &self.names
     }

@@ -86,16 +86,21 @@ pub struct KeyCodec {
 
 /// Encoded keys for all rows of one table side.
 pub enum EncodedKeys {
+    /// Every row's key packed into one `u64`.
     U64 {
+        /// Packed key per row.
         keys: Vec<u64>,
         /// `nulls[i]` — row i has at least one NULL key component
         /// (joins skip these rows; grouping keeps them).
         nulls: Option<Vec<bool>>,
     },
+    /// Variable-width keys byte-packed into one flat buffer.
     Bytes {
+        /// Concatenated encoded keys.
         buf: Vec<u8>,
         /// `n + 1` offsets into `buf`.
         offsets: Vec<usize>,
+        /// `nulls[i]` — row i has at least one NULL key component.
         nulls: Option<Vec<bool>>,
     },
 }
@@ -411,6 +416,7 @@ pub struct Grouping {
     /// Group id per row (first-occurrence order, same as the previous
     /// `HashMap<Vec<HKey>, u32>` implementation).
     pub gids: Vec<u32>,
+    /// Number of distinct groups.
     pub num_groups: usize,
     /// Representative (first) row per group.
     pub reps: Vec<u32>,
@@ -491,6 +497,7 @@ pub fn group_rows(cols: &[&Column], n: usize) -> Grouping {
 
 /// Hash join index: built over the right side's key columns, probed with
 /// left rows. Rows with NULL key components never match (on either side).
+/// Hash join index: CSR row lists per encoded right-side key.
 pub struct JoinIndex {
     table: KeyTable,
     right_keys: EncodedKeys,
@@ -503,6 +510,8 @@ pub struct JoinIndex {
 }
 
 impl JoinIndex {
+    /// Build a hash index over the right side's encoded keys (the codec is
+    /// chosen jointly so both sides encode identically).
     pub fn build(left_cols: &[&Column], right_cols: &[&Column], ln: usize, rn: usize) -> JoinIndex {
         let codec = KeyCodec::for_join(left_cols, right_cols);
         let right_keys = codec.encode(right_cols, rn, true);

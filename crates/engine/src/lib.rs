@@ -27,6 +27,27 @@
 //!   ([`partition`]).
 //!
 //! Entry point: [`Database`].
+//!
+//! ```
+//! use joinboost_engine::{Column, Database, Table};
+//!
+//! let db = Database::in_memory();
+//! db.create_table(
+//!     "r",
+//!     Table::from_columns(vec![
+//!         ("a", Column::int(vec![1, 1, 2])),
+//!         ("y", Column::float(vec![2.0, 3.0, 5.0])),
+//!     ]),
+//! )
+//! .unwrap();
+//! let t = db
+//!     .query("SELECT a, SUM(y) AS s FROM r GROUP BY a ORDER BY a")
+//!     .unwrap();
+//! assert_eq!(t.num_rows(), 2);
+//! assert_eq!(t.column(None, "s").unwrap().f64_at(0), Some(5.0));
+//! ```
+
+#![deny(missing_docs)]
 
 pub mod agg;
 pub mod column;

@@ -33,10 +33,12 @@ impl PartitionedDatabase {
         }
     }
 
+    /// Number of machines in the cluster.
     pub fn num_machines(&self) -> usize {
         self.shards.len()
     }
 
+    /// One machine's database.
     pub fn shard(&self, i: usize) -> &Database {
         &self.shards[i]
     }

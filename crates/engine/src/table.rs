@@ -9,11 +9,14 @@ use crate::error::{EngineError, Result};
 /// column name.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ColumnMeta {
+    /// Binding name of the relation the column came from.
     pub qualifier: Option<String>,
+    /// The column name.
     pub name: String,
 }
 
 impl ColumnMeta {
+    /// Metadata with no qualifier.
     pub fn new(name: impl Into<String>) -> Self {
         ColumnMeta {
             qualifier: None,
@@ -21,6 +24,7 @@ impl ColumnMeta {
         }
     }
 
+    /// Metadata qualified by a relation binding name.
     pub fn qualified(qualifier: impl Into<String>, name: impl Into<String>) -> Self {
         ColumnMeta {
             qualifier: Some(qualifier.into()),
@@ -45,11 +49,14 @@ impl ColumnMeta {
 /// A materialized table (base table or intermediate result).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
+    /// Per-column metadata, parallel to `columns`.
     pub meta: Vec<ColumnMeta>,
+    /// The column data.
     pub columns: Vec<Column>,
 }
 
 impl Table {
+    /// An empty table (no columns, no rows).
     pub fn new() -> Table {
         Table::default()
     }
@@ -65,19 +72,23 @@ impl Table {
         t
     }
 
+    /// Append a column (must match the existing row count).
     pub fn push_column(&mut self, meta: ColumnMeta, col: Column) {
         self.meta.push(meta);
         self.columns.push(col);
     }
 
+    /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.columns.first().map_or(0, Column::len)
     }
 
+    /// Number of columns.
     pub fn num_columns(&self) -> usize {
         self.columns.len()
     }
 
+    /// Column names, in storage order.
     pub fn column_names(&self) -> Vec<&str> {
         self.meta.iter().map(|m| m.name.as_str()).collect()
     }
@@ -116,6 +127,7 @@ impl Table {
         })
     }
 
+    /// Resolve and return one column.
     pub fn column(&self, qualifier: Option<&str>, name: &str) -> Result<&Column> {
         Ok(&self.columns[self.resolve(qualifier, name)?])
     }

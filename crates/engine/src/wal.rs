@@ -19,8 +19,11 @@ use crate::error::Result;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum RecordKind {
+    /// Full-column after-image of an `UPDATE`.
     UpdateColumn = 1,
+    /// `CREATE TABLE` with its initial contents.
     CreateTable = 2,
+    /// `DROP TABLE`.
     DropTable = 3,
 }
 
@@ -64,6 +67,7 @@ impl Wal {
         })
     }
 
+    /// Is the log actually backed by a file?
     pub fn is_persistent(&self) -> bool {
         self.writer.is_some()
     }
