@@ -114,7 +114,7 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     ),
     (
         "shards",
-        "sharded-backend scaling: 1-4 fact partitions (build with --features sharded)",
+        "sharded split pushdown off/on: shuffle volume + wall-clock, 1-4 fact partitions (build with --features sharded)",
     ),
 ];
 
@@ -1230,27 +1230,36 @@ fn train_dyadic_gbm(
     train_gbm(&set, &params).map_err(|e| e.to_string())
 }
 
+/// Bit-level model comparison (plain `==` on f64 would accept
+/// 0.0 == -0.0) — shared by the `backends` and `shards` experiments.
+fn bit_identical(a: &joinboost::GbmModel, b: &joinboost::GbmModel) -> bool {
+    a.init_score.to_bits() == b.init_score.to_bits()
+        && a.trees.len() == b.trees.len()
+        && a.trees.iter().zip(&b.trees).all(|(ta, tb)| {
+            ta.nodes.len() == tb.nodes.len()
+                && ta.nodes.iter().zip(&tb.nodes).all(|(na, nb)| {
+                    na.split == nb.split
+                        && na.value.to_bits() == nb.value.to_bits()
+                        && na.weight.to_bits() == nb.weight.to_bits()
+                })
+        })
+}
+
 /// `backends`: the real multi-backend experiment — every [`SqlBackend`]
 /// implementation trains the same GBM; models are asserted bit-identical.
 fn backends_experiment() -> Result<(), String> {
     let gen = favorita_scaled(20_000, 50, 0);
     let mut report = Report::new(
         "Backends: 2 GBM iterations through every SqlBackend impl (bit-identical models)",
-        &["backend", "train", "update", "shards", "rows_shuffled"],
+        &[
+            "backend",
+            "train",
+            "update",
+            "shards",
+            "statements",
+            "rows_shipped",
+        ],
     );
-    // Bit-level comparison (plain `==` on f64 would accept 0.0 == -0.0).
-    fn bit_identical(a: &joinboost::GbmModel, b: &joinboost::GbmModel) -> bool {
-        a.init_score.to_bits() == b.init_score.to_bits()
-            && a.trees.len() == b.trees.len()
-            && a.trees.iter().zip(&b.trees).all(|(ta, tb)| {
-                ta.nodes.len() == tb.nodes.len()
-                    && ta.nodes.iter().zip(&tb.nodes).all(|(na, nb)| {
-                        na.split == nb.split
-                            && na.value.to_bits() == nb.value.to_bits()
-                            && na.weight.to_bits() == nb.weight.to_bits()
-                    })
-            })
-    }
     let mut reference: Option<joinboost::GbmModel> = None;
     let mut check = |model: &joinboost::GbmModel, who: &str| -> Result<(), String> {
         match &reference {
@@ -1262,84 +1271,185 @@ fn backends_experiment() -> Result<(), String> {
             Some(_) => Err(format!("backend {who} trained a different model")),
         }
     };
+    // Every backend reports its work through the same `SqlBackend::stats`
+    // surface — no downcasting per implementation.
+    let mut run =
+        |backend: &dyn SqlBackend, label: &str, report: &mut Report| -> Result<(), String> {
+            let model = train_dyadic_gbm(backend, &gen, 2)?;
+            check(&model, label)?;
+            let stats = backend.stats();
+            report.row(&[
+                label.to_string(),
+                secs(model.train_time),
+                secs(model.update_time),
+                backend.capabilities().shards.to_string(),
+                stats.statements.to_string(),
+                stats.rows_shipped.to_string(),
+            ]);
+            Ok(())
+        };
     for (label, config) in [
         ("D-mem", EngineConfig::duckdb_mem()),
         ("D-disk", EngineConfig::duckdb_disk()),
         ("X-row", EngineConfig::dbms_x_row()),
     ] {
         let backend = EngineBackend::labeled(config, label);
-        let model = train_dyadic_gbm(&backend, &gen, 2)?;
-        check(&model, label)?;
-        report.row(&[
-            label.to_string(),
-            secs(model.train_time),
-            secs(model.update_time),
-            "1".into(),
-            "0".into(),
-        ]);
+        run(&backend, label, &mut report)?;
     }
     {
         let backend = SqlTextBackend::in_memory();
-        let model = train_dyadic_gbm(&backend, &gen, 2)?;
-        check(&model, "sql-text")?;
-        report.row(&[
-            format!("sql-text ({} round-trips)", backend.round_trips()),
-            secs(model.train_time),
-            secs(model.update_time),
-            "1".into(),
-            "0".into(),
-        ]);
+        run(&backend, "sql-text", &mut report)?;
+        report.note(format!(
+            "sql-text survived {} print∘parse∘print round-trips",
+            backend.stats().text_round_trips
+        ));
     }
     for shards in [2usize, 4] {
         let backend = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "sales", "items_id");
-        let model = train_dyadic_gbm(&backend, &gen, 2)?;
-        check(&model, backend.name())?;
-        let stats = backend.stats();
-        report.row(&[
-            backend.name().to_string(),
-            secs(model.train_time),
-            secs(model.update_time),
-            shards.to_string(),
-            stats.rows_shuffled.to_string(),
-        ]);
+        let label = backend.name().to_string();
+        run(&backend, &label, &mut report)?;
     }
     report.note("every row trained the SAME model, bit for bit (dyadic recipe)");
-    report.note("shuffle volume is per-key message partials + merged split statistics");
+    report.note("shuffle volume is per-key message partials + split-query summaries");
     report.print();
     Ok(())
 }
 
-/// `shards`: sharded-backend scaling sweep. Gated behind the `sharded`
-/// cargo feature so CI can `--features`-check the fan-out path builds
-/// without paying for the sweep in default runs.
+/// `shards`: sharded-backend scaling sweep with the shard-local split
+/// evaluation toggled off/on — the showcase is a high-cardinality
+/// fact-resident feature, where the PR 3 path shipped O(cardinality)
+/// per-value rows to the coordinator per split query. Gated behind the
+/// `sharded` cargo feature so CI can `--features`-check the fan-out path
+/// builds without paying for the sweep in default runs.
 #[cfg(feature = "sharded")]
 fn shard_scale() -> Result<(), String> {
-    let gen = favorita_scaled(40_000, 50, 0);
+    use joinboost::backend::PushdownConfig;
+    use joinboost_engine::Table;
+    use joinboost_graph::JoinGraph;
+
+    // 40k-row fact; feature `f` lives on the fact with ~8000 distinct
+    // values, plus one small dimension. Targets follow the dyadic recipe
+    // so every configuration trains the same model bit for bit.
+    let rows = 40_000usize;
+    let card = 8_000i64;
+    let dim_rows = 100i64;
+    let fact = Table::from_columns(vec![
+        ("k", Column::int((0..rows as i64).collect())),
+        (
+            "d_id",
+            Column::int((0..rows as i64).map(|i| i % dim_rows).collect()),
+        ),
+        (
+            "f",
+            Column::int((0..rows as i64).map(|i| (i * 7919) % card).collect()),
+        ),
+        (
+            "y",
+            Column::float(
+                (0..rows as i64)
+                    .map(|i| {
+                        let f = ((i * 7919) % card) as f64;
+                        let noise = ((i * 2654435761) % 97) as f64;
+                        f / 8.0 + ((i % dim_rows) % 10) as f64 * 4.0 + noise / 8.0
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let dim = Table::from_columns(vec![
+        ("d_id", Column::int((0..dim_rows).collect())),
+        (
+            "f_d",
+            Column::int((0..dim_rows).map(|d| (d * 13) % 50).collect()),
+        ),
+    ]);
+    let mut graph = JoinGraph::new();
+    graph
+        .add_relation("fact", &["f"])
+        .map_err(|e| e.to_string())?;
+    graph
+        .add_relation("dim", &["f_d"])
+        .map_err(|e| e.to_string())?;
+    graph
+        .add_edge("fact", "dim", &["d_id"])
+        .map_err(|e| e.to_string())?;
+
     let mut report = Report::new(
-        "Sharded backend: GBM iteration vs number of fact partitions",
+        "Sharded split evaluation: 1 GBM iteration, high-cardinality feature (~8000 values)",
         &[
             "shards",
-            "train",
-            "update",
-            "fanout_selects",
-            "rows_shuffled",
+            "pushdown",
+            "train(median of 3)",
+            "pushdown_splits",
+            "rows_shipped",
         ],
     );
-    for shards in 1..=4usize {
-        let backend = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "sales", "items_id");
-        let model = train_dyadic_gbm(&backend, &gen, 1)?;
-        let stats = backend.stats();
+    let mut reference: Option<joinboost::GbmModel> = None;
+    let mut dense_rows: u64 = 0;
+    let mut pushed_rows: u64 = 0;
+    for &(shards, pushdown) in &[(1usize, true), (2, false), (2, true), (4, false), (4, true)] {
+        let mut times: Vec<f64> = Vec::new();
+        let mut shipped = 0u64;
+        let mut splits = 0u64;
+        for _ in 0..3 {
+            let backend = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "fact", "k");
+            if !pushdown {
+                backend.set_pushdown(false);
+            } else {
+                backend.set_pushdown_config(PushdownConfig::default());
+            }
+            backend
+                .create_table("fact", fact.clone())
+                .map_err(|e| e.to_string())?;
+            backend
+                .create_table("dim", dim.clone())
+                .map_err(|e| e.to_string())?;
+            let set =
+                Dataset::new(&backend, graph.clone(), "fact", "y").map_err(|e| e.to_string())?;
+            let mut params = TrainParams::default();
+            params.num_iterations = 1;
+            params.learning_rate = 0.5;
+            params.leaf_quantization = (2.0f64).powi(-10);
+            let (model, t) = time(|| train_gbm(&set, &params).expect("gbm"));
+            times.push(t.as_secs_f64());
+            let stats = backend.stats();
+            shipped = stats.rows_shipped;
+            splits = stats.pushdown_splits;
+            match &reference {
+                None => reference = Some(model),
+                Some(r) => {
+                    if !bit_identical(r, &model) {
+                        return Err(format!(
+                            "sharded x{shards} pushdown={pushdown} trained a different model"
+                        ));
+                    }
+                }
+            }
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        if shards == 4 {
+            if pushdown {
+                pushed_rows = shipped;
+            } else {
+                dense_rows = shipped;
+            }
+        }
         report.row(&[
             shards.to_string(),
-            secs(model.train_time),
-            secs(model.update_time),
-            stats.fanout_selects.to_string(),
-            stats.rows_shuffled.to_string(),
+            if pushdown { "on" } else { "off" }.to_string(),
+            format!("{:.3}", times[times.len() / 2]),
+            splits.to_string(),
+            shipped.to_string(),
         ]);
     }
-    report.note(
-        "shuffle volume is constant-ish (per-key partials x shards); scan work divides by shards",
-    );
+    if dense_rows > 0 && pushed_rows > 0 {
+        report.note(format!(
+            "4-shard shuffle volume per boosting round: {dense_rows} rows dense vs \
+             {pushed_rows} rows pushed down ({:.1}x fewer)",
+            dense_rows as f64 / pushed_rows as f64
+        ));
+    }
+    report.note("every configuration trained the SAME model, bit for bit (dyadic recipe)");
     report.print();
     Ok(())
 }

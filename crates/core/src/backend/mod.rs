@@ -46,7 +46,7 @@
 
 mod sharded;
 
-pub use sharded::{ShardedBackend, ShardedStats};
+pub use sharded::{PushdownConfig, ShardedBackend};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -97,6 +97,41 @@ impl BackendCapabilities {
             shards: 1,
         }
     }
+}
+
+/// Observable work done by a backend, in one vocabulary for every
+/// implementation (the unified successor of the engine's `DbStats`, the
+/// sharded backend's fan-out counters and the text backend's
+/// `round_trips()`): experiments and examples report any backend's work
+/// through [`SqlBackend::stats`] without downcasting.
+///
+/// Single-node backends leave the distribution counters at zero; the
+/// text backend is the only one that bumps `text_round_trips`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// Statements executed (every kind, `SELECT`s included). For the
+    /// sharded backend this counts *logical* statements — one per
+    /// routing decision, window/argmax layers included — not the
+    /// internal temp-table bookkeeping of its merge paths.
+    pub statements: u64,
+    /// `SELECT`/`CREATE TABLE AS` queries executed.
+    pub selects: u64,
+    /// `SELECT`s fanned out to every shard and `⊕`-merged.
+    pub fanout_selects: u64,
+    /// Statements broadcast to every shard (DDL, updates on sharded data).
+    pub broadcast_statements: u64,
+    /// Statements executed on replicated tables (coordinator + shards).
+    pub replicated_statements: u64,
+    /// Queries answered by the coordinator alone.
+    pub coordinator_selects: u64,
+    /// Split queries evaluated shard-locally (boundary summaries + top-k
+    /// candidates shipped instead of full per-value aggregates).
+    pub pushdown_splits: u64,
+    /// Rows moved shard → coordinator by gathers, merges, summaries and
+    /// samples — the shuffle volume of the paper's multi-node experiments.
+    pub rows_shipped: u64,
+    /// Statements that survived a `print ∘ parse ∘ print` round-trip.
+    pub text_round_trips: u64,
 }
 
 /// A DBMS seen through JoinBoost's eyes.
@@ -175,6 +210,37 @@ pub trait SqlBackend: Send + Sync {
     /// Number of rows in a table (summed over shards when partitioned).
     fn row_count(&self, name: &str) -> BackendResult<usize>;
 
+    /// Gather the rows at the given positions of the table's
+    /// [`snapshot`](SqlBackend::snapshot) order, in the given index order
+    /// (random-forest row sampling). A partitioned backend overrides this
+    /// to take each row from the shard that owns it and ship only the
+    /// sample — not whole partitions.
+    fn gather_rows(&self, name: &str, rows: &[u32]) -> BackendResult<Table> {
+        Ok(self.snapshot(name)?.take(rows))
+    }
+
+    /// Run `f` against every partition of `name`, *where the partition
+    /// lives*: `f` receives the partition index and the partition's rows
+    /// and returns the (small) table to ship back; results come back in
+    /// partition order. Single-node backends present one partition — the
+    /// whole table. Partitioned backends count only the returned rows as
+    /// shipped, which is what makes per-shard ancestral sampling a
+    /// ship-messages-not-scans operation.
+    fn map_partitions(
+        &self,
+        name: &str,
+        f: &mut dyn FnMut(usize, &Table) -> BackendResult<Table>,
+    ) -> BackendResult<Vec<Table>> {
+        Ok(vec![f(0, &self.snapshot(name)?)?])
+    }
+
+    /// Snapshot of the backend's work counters. The default reports a
+    /// backend that counts nothing; all bundled implementations override
+    /// it (see [`BackendStats`]).
+    fn stats(&self) -> BackendStats {
+        BackendStats::default()
+    }
+
     /// Temp-table lifecycle: drop a (possibly already dropped) table.
     /// [`crate::Dataset`] calls this for every registered temp table.
     fn drop_table_if_exists(&self, name: &str) -> BackendResult<()> {
@@ -200,6 +266,16 @@ pub trait SqlBackend: Send + Sync {
 
 fn unsupported(backend: &str, what: &str) -> EngineError {
     EngineError::Other(format!("backend {backend} does not support {what}"))
+}
+
+/// [`BackendStats`] view of a single engine's `DbStats`.
+fn engine_stats(db: &Database) -> BackendStats {
+    let s = db.stats();
+    BackendStats {
+        statements: s.statements,
+        selects: s.queries,
+        ..BackendStats::default()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -247,6 +323,10 @@ impl SqlBackend for Database {
 
     fn row_count(&self, name: &str) -> BackendResult<usize> {
         Database::row_count(self, name)
+    }
+
+    fn stats(&self) -> BackendStats {
+        engine_stats(self)
     }
 
     fn register_external(&self, name: &str, table: &Table) -> BackendResult<()> {
@@ -341,6 +421,10 @@ impl SqlBackend for EngineBackend {
 
     fn row_count(&self, name: &str) -> BackendResult<usize> {
         self.db.row_count(name)
+    }
+
+    fn stats(&self) -> BackendStats {
+        engine_stats(&self.db)
     }
 
     fn register_external(&self, name: &str, table: &Table) -> BackendResult<()> {
@@ -455,6 +539,13 @@ impl SqlBackend for SqlTextBackend {
 
     fn row_count(&self, name: &str) -> BackendResult<usize> {
         self.db.row_count(name)
+    }
+
+    fn stats(&self) -> BackendStats {
+        BackendStats {
+            text_round_trips: self.round_trips(),
+            ..engine_stats(&self.db)
+        }
     }
 
     fn register_external(&self, name: &str, table: &Table) -> BackendResult<()> {

@@ -76,18 +76,24 @@ pub fn train_random_forest(set: &Dataset, params: &TrainParams) -> Result<RfMode
         // Row sample.
         let plan = match fact {
             Some(f) => {
-                let base = set
+                // Sample positions first, then gather only those rows —
+                // a partitioned backend takes each row from the shard
+                // that owns it instead of shipping whole partitions.
+                let n = set
                     .db
-                    .snapshot(set.graph.name(f))
+                    .row_count(set.graph.name(f))
                     .map_err(TrainError::from)?;
-                let n = base.num_rows();
                 let take = ((n as f64 * params.bagging_fraction).round() as usize).clamp(1, n);
                 let mut idx: Vec<u32> = (0..n as u32).collect();
                 idx.shuffle(&mut rng);
                 idx.truncate(take);
+                let sample = set
+                    .db
+                    .gather_rows(set.graph.name(f), &idx)
+                    .map_err(TrainError::from)?;
                 let name = set.fresh_table("rf_fact");
                 set.db
-                    .create_table(&name, base.take(&idx))
+                    .create_table(&name, sample)
                     .map_err(TrainError::from)?;
                 TreePlan::Snowflake {
                     fact: f,

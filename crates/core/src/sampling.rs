@@ -16,7 +16,7 @@ use rand::{Rng, SeedableRng};
 use joinboost_engine::{Column, Datum, Table};
 use joinboost_graph::{JoinGraph, RelId};
 
-use crate::backend::SqlBackend;
+use crate::backend::{BackendResult, SqlBackend};
 use crate::error::{Result, TrainError};
 
 /// Per-relation data prepared for sampling.
@@ -46,6 +46,14 @@ fn key_of(table: &Table, cols: &[usize], row: usize) -> Vec<String> {
 /// Draw `n` tuples of `R⋈` uniformly (with replacement) by ancestral
 /// sampling from `root`. Returns a table whose columns are the union of
 /// all relations' columns (join keys deduplicated, first occurrence wins).
+///
+/// The root relation is sampled *per partition* through
+/// [`SqlBackend::map_partitions`]: each partition reports its total
+/// marginal weight (one row), the per-partition sample counts are drawn
+/// from those totals, and each partition then ships only its sampled
+/// rows — on a sharded backend the (large) root never crosses the wire,
+/// only `n` rows plus one total per shard do. Non-root relations are the
+/// small replicated side of the tree and are snapshot as before.
 pub fn ancestral_sample(
     db: &dyn SqlBackend,
     graph: &JoinGraph,
@@ -54,11 +62,16 @@ pub fn ancestral_sample(
     seed: u64,
 ) -> Result<Table> {
     graph.validate_tree()?;
-    // Load snapshots and build the BFS tree from root.
+    // Load snapshots of every non-root relation and build the BFS tree.
     let nrel = graph.num_relations();
     let mut tables: Vec<Option<Table>> = (0..nrel).map(|_| None).collect();
+    let mut root_name = String::new();
     for (rel, info) in graph.relations() {
-        tables[rel] = Some(db.snapshot(&info.name)?);
+        if rel == root {
+            root_name = info.name.clone();
+        } else {
+            tables[rel] = Some(db.snapshot(&info.name)?);
+        }
     }
     let order = graph.sampling_order(root);
     let mut parent_of: HashMap<RelId, RelId> = HashMap::new();
@@ -81,10 +94,11 @@ pub fn ancestral_sample(
     for (&c, &p) in &parent_of {
         children_of[p].push(c);
     }
-    // Bottom-up COUNT message passing: weight of a row = Π over children
-    // of (Σ weights of matching child rows).
+    // Bottom-up COUNT message passing over the non-root relations:
+    // weight of a row = Π over children of (Σ weights of matching child
+    // rows).
     let mut data: Vec<Option<RelData>> = (0..nrel).map(|_| None).collect();
-    for (rel, _) in order.iter().rev() {
+    for (rel, _) in order.iter().rev().filter(|(r, _)| *r != root) {
         let table = tables[*rel].take().expect("loaded");
         let nrows = table.num_rows();
         let mut weights = vec![1.0f64; nrows];
@@ -96,18 +110,7 @@ pub fn ancestral_sample(
                 .iter()
                 .map(|k| table.resolve(None, k).map_err(TrainError::from))
                 .collect::<Result<_>>()?;
-            let child_keys: Vec<usize> = keys
-                .iter()
-                .map(|k| cdata.table.resolve(None, k).map_err(TrainError::from))
-                .collect::<Result<_>>()?;
-            // Group child rows by key with summed weights.
-            let mut index: HashMap<Vec<String>, Vec<u32>> = HashMap::new();
-            let mut sums: HashMap<Vec<String>, f64> = HashMap::new();
-            for i in 0..cdata.table.num_rows() {
-                let k = key_of(&cdata.table, &child_keys, i);
-                index.entry(k.clone()).or_default().push(i as u32);
-                *sums.entry(k).or_insert(0.0) += cdata.weights[i];
-            }
+            let (index, sums) = index_child(cdata, keys)?;
             for (i, w) in weights.iter_mut().enumerate() {
                 let k = key_of(&table, &parent_keys, i);
                 *w *= sums.get(&k).copied().unwrap_or(0.0);
@@ -124,18 +127,106 @@ pub fn ancestral_sample(
             children: child_indexes,
         });
     }
-    // Sample.
-    let root_data = data[root].as_ref().expect("root prepared");
-    let total: f64 = root_data.weights.iter().sum();
+    // The root's COUNT messages: per-child key → summed weight (used to
+    // weight partition rows) and key → candidate rows (used for the
+    // descent after sampling). Key column indices on the root side are
+    // resolved lazily per partition table.
+    struct RootChild {
+        rel: RelId,
+        key_names: Vec<String>,
+        index: HashMap<Vec<String>, Vec<u32>>,
+        sums: HashMap<Vec<String>, f64>,
+    }
+    let mut root_children: Vec<RootChild> = Vec::new();
+    for &c in &children_of[root] {
+        let cdata = data[c].as_ref().expect("children prepared");
+        let keys = graph.join_keys(root, c).expect("edge");
+        let (index, sums) = index_child(cdata, keys)?;
+        root_children.push(RootChild {
+            rel: c,
+            key_names: keys.to_vec(),
+            index,
+            sums,
+        });
+    }
+    let local_weights = |t: &Table| -> Result<Vec<f64>> {
+        let mut weights = vec![1.0f64; t.num_rows()];
+        for child in &root_children {
+            let cols: Vec<usize> = child
+                .key_names
+                .iter()
+                .map(|k| t.resolve(None, k).map_err(TrainError::from))
+                .collect::<Result<_>>()?;
+            for (i, w) in weights.iter_mut().enumerate() {
+                let k = key_of(t, &cols, i);
+                *w *= child.sums.get(&k).copied().unwrap_or(0.0);
+            }
+        }
+        Ok(weights)
+    };
+    // Pass 1: each partition reports its total marginal weight (1 row).
+    // Totals are indexed by the *partition index* the backend hands the
+    // closure — the only ordering `map_partitions` promises.
+    let mut totals: Vec<f64> = Vec::new();
+    db.map_partitions(&root_name, &mut |i, t| {
+        let w: f64 = local_weights(t).map_err(engine_err)?.iter().sum();
+        if totals.len() <= i {
+            totals.resize(i + 1, 0.0);
+        }
+        totals[i] = w;
+        Ok(Table::from_columns(vec![("w", Column::float(vec![w]))]))
+    })
+    .map_err(TrainError::from)?;
+    let total: f64 = totals.iter().sum();
     if total <= 0.0 {
         return Err(TrainError::Invalid("empty join result".into()));
     }
+    // Per-partition sample counts: each of the n draws picks a partition
+    // by its share of the total weight (zero-weight partitions — an
+    // empty shard, say — can never be drawn).
     let mut rng = StdRng::seed_from_u64(seed);
-    // Output schema: union of columns, first occurrence per name.
+    let mut counts = vec![0usize; totals.len()];
+    for _ in 0..n {
+        let p = sample_weighted(&mut rng, &totals, total)
+            .ok_or_else(|| TrainError::Invalid("no partition carries sampling weight".into()))?;
+        counts[p] += 1;
+    }
+    // Pass 2: each partition draws its count of root rows by local
+    // weight and ships exactly those rows.
+    let parts: Vec<Table> = {
+        let rng = &mut rng;
+        let counts = &counts;
+        db.map_partitions(&root_name, &mut |i, t| {
+            let weights = local_weights(t).map_err(engine_err)?;
+            let wtotal: f64 = weights.iter().sum();
+            let picks: Vec<u32> = (0..counts.get(i).copied().unwrap_or(0))
+                .map(|_| {
+                    sample_weighted(rng, &weights, wtotal)
+                        .map(|p| p as u32)
+                        .ok_or_else(|| {
+                            joinboost_engine::EngineError::Other(
+                                "partition drew samples but carries no weight".into(),
+                            )
+                        })
+                })
+                .collect::<BackendResult<_>>()?;
+            Ok(t.take(&picks))
+        })
+        .map_err(TrainError::from)?
+    };
+    // Output schema: union of columns, first occurrence per name; the
+    // root contributes through its sampled partitions.
+    let root_schema: &Table = parts.first().ok_or_else(|| {
+        TrainError::Invalid("backend reported no partitions for the root relation".into())
+    })?;
     let mut out_names: Vec<String> = Vec::new();
     let mut out_sources: Vec<(RelId, usize)> = Vec::new();
     for (rel, _) in &order {
-        let t = &data[*rel].as_ref().expect("prepared").table;
+        let t = if *rel == root {
+            root_schema
+        } else {
+            &data[*rel].as_ref().expect("prepared").table
+        };
         for (ci, m) in t.meta.iter().enumerate() {
             if !out_names.iter().any(|n| n.eq_ignore_ascii_case(&m.name)) {
                 out_names.push(m.name.clone());
@@ -143,39 +234,72 @@ pub fn ancestral_sample(
             }
         }
     }
+    // Walk down the tree from every sampled root row.
     let mut rows: Vec<Vec<Datum>> = Vec::with_capacity(n);
-    for _ in 0..n {
-        // Chosen row per relation.
-        let mut chosen: HashMap<RelId, usize> = HashMap::new();
-        let r = sample_weighted(&mut rng, &root_data.weights, total);
-        chosen.insert(root, r);
-        // Walk down the tree.
-        let mut stack = vec![root];
-        while let Some(rel) = stack.pop() {
-            let rd = data[rel].as_ref().expect("prepared");
-            let row = chosen[&rel];
-            for child in &rd.children {
-                let key = key_of(&rd.table, &child.parent_keys, row);
+    for part in &parts {
+        let root_key_cols: Vec<Vec<usize>> = root_children
+            .iter()
+            .map(|child| {
+                child
+                    .key_names
+                    .iter()
+                    .map(|k| part.resolve(None, k).map_err(TrainError::from))
+                    .collect::<Result<_>>()
+            })
+            .collect::<Result<_>>()?;
+        for row in 0..part.num_rows() {
+            let mut chosen: HashMap<RelId, usize> = HashMap::new();
+            let mut stack: Vec<RelId> = Vec::new();
+            for (child, cols) in root_children.iter().zip(&root_key_cols) {
+                let key = key_of(part, cols, row);
                 let cdata = data[child.rel].as_ref().expect("prepared");
                 let cands = child.index.get(&key).ok_or_else(|| {
                     TrainError::Invalid("dangling join key during sampling".into())
                 })?;
                 let ws: Vec<f64> = cands.iter().map(|&i| cdata.weights[i as usize]).collect();
                 let wtotal: f64 = ws.iter().sum();
-                let pick = cands[sample_weighted(&mut rng, &ws, wtotal)] as usize;
+                let pick = sample_weighted(&mut rng, &ws, wtotal)
+                    .map(|p| cands[p] as usize)
+                    .ok_or_else(|| {
+                        TrainError::Invalid("weightless join candidates during sampling".into())
+                    })?;
                 chosen.insert(child.rel, pick);
                 stack.push(child.rel);
             }
+            while let Some(rel) = stack.pop() {
+                let rd = data[rel].as_ref().expect("prepared");
+                let at = chosen[&rel];
+                for child in &rd.children {
+                    let key = key_of(&rd.table, &child.parent_keys, at);
+                    let cdata = data[child.rel].as_ref().expect("prepared");
+                    let cands = child.index.get(&key).ok_or_else(|| {
+                        TrainError::Invalid("dangling join key during sampling".into())
+                    })?;
+                    let ws: Vec<f64> = cands.iter().map(|&i| cdata.weights[i as usize]).collect();
+                    let wtotal: f64 = ws.iter().sum();
+                    let pick = sample_weighted(&mut rng, &ws, wtotal)
+                        .map(|p| cands[p] as usize)
+                        .ok_or_else(|| {
+                            TrainError::Invalid("weightless join candidates during sampling".into())
+                        })?;
+                    chosen.insert(child.rel, pick);
+                    stack.push(child.rel);
+                }
+            }
+            rows.push(
+                out_sources
+                    .iter()
+                    .map(|&(rel, ci)| {
+                        if rel == root {
+                            part.columns[ci].get(row)
+                        } else {
+                            let rd = data[rel].as_ref().expect("prepared");
+                            rd.table.columns[ci].get(chosen[&rel])
+                        }
+                    })
+                    .collect(),
+            );
         }
-        rows.push(
-            out_sources
-                .iter()
-                .map(|&(rel, ci)| {
-                    let rd = data[rel].as_ref().expect("prepared");
-                    rd.table.columns[ci].get(chosen[&rel])
-                })
-                .collect(),
-        );
     }
     // Assemble the output table column-wise.
     let mut out = Table::new();
@@ -189,15 +313,50 @@ pub fn ancestral_sample(
     Ok(out)
 }
 
-fn sample_weighted(rng: &mut StdRng, weights: &[f64], total: f64) -> usize {
+/// Group a child's rows by join key: key → row indices, and key → summed
+/// weights (its COUNT message to the parent).
+#[allow(clippy::type_complexity)]
+fn index_child(
+    cdata: &RelData,
+    keys: &[String],
+) -> Result<(HashMap<Vec<String>, Vec<u32>>, HashMap<Vec<String>, f64>)> {
+    let child_keys: Vec<usize> = keys
+        .iter()
+        .map(|k| cdata.table.resolve(None, k).map_err(TrainError::from))
+        .collect::<Result<_>>()?;
+    let mut index: HashMap<Vec<String>, Vec<u32>> = HashMap::new();
+    let mut sums: HashMap<Vec<String>, f64> = HashMap::new();
+    for i in 0..cdata.table.num_rows() {
+        let k = key_of(&cdata.table, &child_keys, i);
+        index.entry(k.clone()).or_default().push(i as u32);
+        *sums.entry(k).or_insert(0.0) += cdata.weights[i];
+    }
+    Ok((index, sums))
+}
+
+/// Map a [`TrainError`] into the engine-error vocabulary the backend
+/// partition closures speak.
+fn engine_err(e: TrainError) -> joinboost_engine::EngineError {
+    joinboost_engine::EngineError::Other(e.to_string())
+}
+
+/// Draw an index proportionally to `weights`. Zero-weight entries are
+/// never returned (rounding in the running subtraction could otherwise
+/// land the draw past the last positive weight); `None` when no entry
+/// carries positive weight — including the empty slice.
+fn sample_weighted(rng: &mut StdRng, weights: &[f64], total: f64) -> Option<usize> {
     let mut x = rng.random::<f64>() * total;
+    let mut last_positive = None;
     for (i, &w) in weights.iter().enumerate() {
-        x -= w;
-        if x <= 0.0 {
-            return i;
+        if w > 0.0 {
+            last_positive = Some(i);
+            x -= w;
+            if x <= 0.0 {
+                return last_positive;
+            }
         }
     }
-    weights.len() - 1
+    last_positive
 }
 
 #[cfg(test)]
@@ -269,6 +428,65 @@ mod tests {
                 (p - 0.25).abs() < 0.03,
                 "tuple {k:?} frequency {p} far from uniform"
             );
+        }
+    }
+
+    #[test]
+    fn sharded_root_ships_samples_not_partitions() {
+        use crate::backend::ShardedBackend;
+        use joinboost_engine::EngineConfig;
+        // Same R(A,B) ⋈ S(A,C) workload, with R hash-partitioned over 3
+        // engines: samples must still be valid, uniform join tuples, and
+        // the shuffle volume must stay proportional to the sample — the
+        // partitions themselves never cross to the coordinator.
+        let b = ShardedBackend::new(3, EngineConfig::duckdb_mem(), "r", "b");
+        b.create_table(
+            "r",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 2, 2])),
+                ("b", Column::int(vec![10, 20, 21])),
+            ]),
+        )
+        .unwrap();
+        b.create_table(
+            "s",
+            Table::from_columns(vec![
+                ("a", Column::int(vec![1, 1, 2])),
+                ("c", Column::int(vec![100, 101, 102])),
+            ]),
+        )
+        .unwrap();
+        let mut g = JoinGraph::new();
+        g.add_relation("r", &["b"]).unwrap();
+        g.add_relation("s", &["c"]).unwrap();
+        g.add_edge_with("r", "s", &["a"], Multiplicity::ManyToMany)
+            .unwrap();
+        let n = 8000;
+        let before = b.stats().rows_shipped;
+        let t = ancestral_sample(&b, &g, 0, n, 11).unwrap();
+        let shipped = b.stats().rows_shipped - before;
+        assert_eq!(t.num_rows(), n);
+        // n sampled rows + one total row per partition pass; the 3-row
+        // partitions stay put.
+        assert!(
+            shipped <= (n + 6) as u64,
+            "sampling gathered whole partitions ({shipped} rows)"
+        );
+        let mut counts: HashMap<(i64, i64), usize> = HashMap::new();
+        for i in 0..t.num_rows() {
+            let b_ = t.column(None, "b").unwrap().get(i).as_i64().unwrap();
+            let c = t.column(None, "c").unwrap().get(i).as_i64().unwrap();
+            if b_ == 10 {
+                assert!(c == 100 || c == 101);
+            } else {
+                assert_eq!(c, 102);
+            }
+            *counts.entry((b_, c)).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 4, "all join tuples reachable");
+        for (&k, &cnt) in &counts {
+            let p = cnt as f64 / n as f64;
+            assert!((p - 0.25).abs() < 0.03, "tuple {k:?} frequency {p}");
         }
     }
 
