@@ -50,6 +50,7 @@ pub fn run(name: &str) -> Result<(), String> {
         "agg" => agg(),
         "backends" => backends_experiment(),
         "shards" => shard_scale(),
+        "remote" => remote_scale(),
         "all" => {
             for n in [
                 "fig5", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -115,6 +116,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "shards",
         "sharded split pushdown off/on: shuffle volume + wall-clock, 1-4 fact partitions (build with --features sharded)",
+    ),
+    (
+        "remote",
+        "multi-process sharding over sockets: wire bytes + rows shipped, pushdown off/on (build with --features sharded)",
     ),
 ];
 
@@ -1321,15 +1326,19 @@ fn backends_experiment() -> Result<(), String> {
 /// per-value rows to the coordinator per split query. Gated behind the
 /// `sharded` cargo feature so CI can `--features`-check the fan-out path
 /// builds without paying for the sweep in default runs.
+/// The shared scaling workload of the `shards` / `remote` sweeps: a
+/// 40k-row fact with a high-cardinality (~8000 values) fact-resident
+/// feature plus one small dimension, targets on the dyadic grid so every
+/// configuration trains the same model bit for bit.
 #[cfg(feature = "sharded")]
-fn shard_scale() -> Result<(), String> {
-    use joinboost::backend::PushdownConfig;
+fn highcard_star() -> (
+    joinboost_engine::Table,
+    joinboost_engine::Table,
+    joinboost_graph::JoinGraph,
+) {
     use joinboost_engine::Table;
     use joinboost_graph::JoinGraph;
 
-    // 40k-row fact; feature `f` lives on the fact with ~8000 distinct
-    // values, plus one small dimension. Targets follow the dyadic recipe
-    // so every configuration trains the same model bit for bit.
     let rows = 40_000usize;
     let card = 8_000i64;
     let dim_rows = 100i64;
@@ -1364,16 +1373,17 @@ fn shard_scale() -> Result<(), String> {
         ),
     ]);
     let mut graph = JoinGraph::new();
-    graph
-        .add_relation("fact", &["f"])
-        .map_err(|e| e.to_string())?;
-    graph
-        .add_relation("dim", &["f_d"])
-        .map_err(|e| e.to_string())?;
-    graph
-        .add_edge("fact", "dim", &["d_id"])
-        .map_err(|e| e.to_string())?;
+    graph.add_relation("fact", &["f"]).expect("fact relation");
+    graph.add_relation("dim", &["f_d"]).expect("dim relation");
+    graph.add_edge("fact", "dim", &["d_id"]).expect("star edge");
+    (fact, dim, graph)
+}
 
+#[cfg(feature = "sharded")]
+fn shard_scale() -> Result<(), String> {
+    use joinboost::backend::PushdownConfig;
+
+    let (fact, dim, graph) = highcard_star();
     let mut report = Report::new(
         "Sharded split evaluation: 1 GBM iteration, high-cardinality feature (~8000 values)",
         &[
@@ -1457,4 +1467,122 @@ fn shard_scale() -> Result<(), String> {
 #[cfg(not(feature = "sharded"))]
 fn shard_scale() -> Result<(), String> {
     Err("the `shards` sweep needs `--features sharded` (cargo run -p joinboost-bench --features sharded --release --bin experiments -- shards)".into())
+}
+
+/// `remote`: the same scaling sweep over *multi-process* sharding — each
+/// shard is an engine behind a wire server on a loopback socket, so the
+/// PR-4 shuffle-reduction claim becomes measurable in real bytes on the
+/// wire, not just `rows_shipped` accounting. Models are asserted
+/// bit-identical across every configuration, transport included.
+#[cfg(feature = "sharded")]
+fn remote_scale() -> Result<(), String> {
+    use joinboost::backend::{PushdownConfig, RemoteOptions, ServeOptions, WireServer};
+    use joinboost_engine::Database;
+
+    let (fact, dim, graph) = highcard_star();
+    let mut report = Report::new(
+        "Remote sharding over sockets: 1 GBM iteration, high-cardinality feature (~8000 values)",
+        &[
+            "servers",
+            "pushdown",
+            "train(median of 3)",
+            "rows_shipped",
+            "wire sent",
+            "wire recv",
+        ],
+    );
+    let mb = |b: u64| format!("{:.2} MB", b as f64 / (1024.0 * 1024.0));
+    let mut reference: Option<joinboost::GbmModel> = None;
+    let mut dense_recv: u64 = 0;
+    let mut pushed_recv: u64 = 0;
+    for &(shards, pushdown) in &[(1usize, true), (2, false), (2, true), (4, false), (4, true)] {
+        let mut times: Vec<f64> = Vec::new();
+        let (mut shipped, mut sent, mut received) = (0u64, 0u64, 0u64);
+        for _ in 0..3 {
+            // Real socket servers, one engine process-alike each (spawned
+            // in-process so the sweep is self-contained; the shard_server
+            // binary serves the same loop standalone).
+            let servers: Vec<WireServer> = (0..shards)
+                .map(|_| {
+                    WireServer::spawn(Database::in_memory(), ServeOptions::default())
+                        .expect("spawn wire server")
+                })
+                .collect();
+            let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+            let backend = ShardedBackend::remote(
+                &addrs,
+                EngineConfig::duckdb_mem(),
+                "fact",
+                "k",
+                RemoteOptions::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            if !pushdown {
+                backend.set_pushdown(false);
+            } else {
+                backend.set_pushdown_config(PushdownConfig::default());
+            }
+            backend
+                .create_table("fact", fact.clone())
+                .map_err(|e| e.to_string())?;
+            backend
+                .create_table("dim", dim.clone())
+                .map_err(|e| e.to_string())?;
+            let set =
+                Dataset::new(&backend, graph.clone(), "fact", "y").map_err(|e| e.to_string())?;
+            let mut params = TrainParams::default();
+            params.num_iterations = 1;
+            params.learning_rate = 0.5;
+            params.leaf_quantization = (2.0f64).powi(-10);
+            let (model, t) = time(|| train_gbm(&set, &params).expect("gbm"));
+            times.push(t.as_secs_f64());
+            let stats = backend.stats();
+            shipped = stats.rows_shipped;
+            sent = stats.bytes_sent;
+            received = stats.bytes_received;
+            match &reference {
+                None => reference = Some(model),
+                Some(r) => {
+                    if !bit_identical(r, &model) {
+                        return Err(format!(
+                            "remote x{shards} pushdown={pushdown} trained a different model"
+                        ));
+                    }
+                }
+            }
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        if shards == 4 {
+            if pushdown {
+                pushed_recv = received;
+            } else {
+                dense_recv = received;
+            }
+        }
+        report.row(&[
+            shards.to_string(),
+            if pushdown { "on" } else { "off" }.to_string(),
+            format!("{:.3}", times[times.len() / 2]),
+            shipped.to_string(),
+            mb(sent),
+            mb(received),
+        ]);
+    }
+    if dense_recv > 0 && pushed_recv > 0 {
+        report.note(format!(
+            "4-server bytes received by the coordinator: {} dense vs {} pushed down \
+             ({:.1}x fewer wire bytes)",
+            mb(dense_recv),
+            mb(pushed_recv),
+            dense_recv as f64 / pushed_recv as f64
+        ));
+    }
+    report.note("every configuration trained the SAME model, bit for bit, across processes");
+    report.print();
+    Ok(())
+}
+
+#[cfg(not(feature = "sharded"))]
+fn remote_scale() -> Result<(), String> {
+    Err("the `remote` sweep needs `--features sharded` (cargo run -p joinboost-bench --features sharded --release --bin experiments -- remote)".into())
 }

@@ -6,7 +6,7 @@
 //! lifecycle, and a set of [`BackendCapabilities`] flags that gate the
 //! optional extensions (column swap, dataframe interop, window functions).
 //!
-//! Three implementations ship with this crate:
+//! Four implementations ship with this crate:
 //!
 //! * [`EngineBackend`] — wraps one in-memory [`Database`] and hands it
 //!   pre-parsed statements directly (the *AST fast path*; bit-identical to
@@ -15,11 +15,18 @@
 //!   `print ∘ parse ∘ print` round-trip before execution, proving end to
 //!   end that the emitted SQL subset survives serialization to text (what
 //!   a wire-protocol backend would send to a real DBMS),
+//! * [`RemoteBackend`] — an engine hosted in *another process*, spoken to
+//!   over the length-prefixed [`wire`] protocol (SQL as text, tables as
+//!   framed columnar blocks); [`WireServer`] and the `shard_server`
+//!   binary provide the server side,
 //! * [`ShardedBackend`] — hash-partitions the fact relation across N
 //!   engine instances, fans the per-node SPJA aggregates out to every
 //!   shard and `⊕`-merges the partial semi-ring aggregates (exact by
 //!   Definition 1 of the paper; see `DESIGN.md` § Backends for the
-//!   floating-point side of that argument).
+//!   floating-point side of that argument). Its shards sit behind the
+//!   pluggable [`ShardTransport`] seam: in-process engines by default,
+//!   [`RemoteConnection`]s for multi-*process* sharding over sockets —
+//!   the fan-out, merge and split-pushdown logic is identical either way.
 //!
 //! [`Database`] itself also implements the trait, so existing code that
 //! holds a `Database` keeps working unchanged: `&Database` coerces to
@@ -44,9 +51,13 @@
 //! assert!(text.round_trips() >= 2);
 //! ```
 
+mod remote;
 mod sharded;
+pub mod split;
+pub mod wire;
 
-pub use sharded::{PushdownConfig, ShardedBackend};
+pub use remote::{serve, RemoteBackend, RemoteConnection, RemoteOptions, ServeOptions, WireServer};
+pub use sharded::{PushdownConfig, ShardTransport, ShardedBackend, SplitOpen};
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -132,6 +143,12 @@ pub struct BackendStats {
     pub rows_shipped: u64,
     /// Statements that survived a `print ∘ parse ∘ print` round-trip.
     pub text_round_trips: u64,
+    /// Bytes written to remote sockets (framing included). Zero for
+    /// in-process backends — together with `bytes_received` this turns
+    /// `rows_shipped` into *measured* wire volume on remote transports.
+    pub bytes_sent: u64,
+    /// Bytes read back from remote sockets (framing included).
+    pub bytes_received: u64,
 }
 
 /// A DBMS seen through JoinBoost's eyes.

@@ -1,0 +1,949 @@
+//! The remote backend: a JoinBoost engine hosted in *another process*,
+//! spoken to over the wire protocol of [`crate::backend::wire`].
+//!
+//! Two halves:
+//!
+//! * **Server** — [`serve`] runs an accept loop over a [`TcpListener`],
+//!   hosting one shared [`Database`]: every connection gets an OS thread,
+//!   every request maps onto the same engine entry points the in-process
+//!   backends use. [`WireServer::spawn`] runs the same loop on a
+//!   background thread (examples, experiments, tests); the
+//!   `shard_server` binary wraps [`serve`] for true multi-process
+//!   deployments. [`ServeOptions`] carries the fault-injection knobs the
+//!   test suite uses to kill or stall a server mid-round.
+//! * **Client** — [`RemoteConnection`] is one framed, timeout-guarded
+//!   socket (the pluggable shard transport of
+//!   [`crate::backend::ShardedBackend`]); [`RemoteBackend`] wraps a
+//!   connection into a full [`SqlBackend`], so a training run can target a
+//!   single remote engine exactly like a local one.
+//!
+//! SQL travels as text — the soundness of that rests on the
+//! `print ∘ parse ∘ print` fixed point proved by
+//! [`crate::backend::SqlTextBackend`] (see `DESIGN.md` § "Wire
+//! protocol"). Failure handling is deliberately *fail-fast*: connect and
+//! I/O timeouts bound every wait, and the first transport error poisons
+//! the connection so later calls (temp-table cleanup included) return
+//! immediately instead of re-waiting on a dead peer.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use joinboost_engine::{DataType, Database, EngineError, Table};
+use joinboost_sql::ast::Statement;
+
+use super::sharded::SplitOpen;
+use super::split::{
+    keys_from_table, keys_to_table, summaries_from_table, summaries_to_table, IntervalSummary,
+    LocalSplitState, MergeSpec, SplitHandle, SplitSpec,
+};
+use super::wire::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response, MAGIC, MAX_FRAME, VERSION,
+};
+use super::{BackendCapabilities, BackendResult, BackendStats, ShardTransport, SqlBackend};
+use joinboost_engine::Datum;
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server-side knobs. The fault-injection fields exist for the test rig:
+/// a real deployment leaves them at `Default`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions {
+    /// After this many requests have been *received* (across all
+    /// connections), the server stops serving: with [`ServeOptions::stall`]
+    /// unset it drops every connection (a killed process — clients see
+    /// EOF/reset immediately); with it set the sockets stay open but no
+    /// reply ever comes (a hung process — clients run into their read
+    /// timeout). `None` serves forever.
+    pub fail_after: Option<u64>,
+    /// Fault mode: stall (hold sockets silently) instead of dropping them.
+    pub stall: bool,
+}
+
+struct ServeState {
+    db: Database,
+    opts: ServeOptions,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+    /// Clones of the live sockets (keyed by connection id), so `kill`
+    /// can yank connections out from under their threads. Entries leave
+    /// when their connection ends — a long-running server does not
+    /// accumulate dead fds.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn: AtomicU64,
+}
+
+impl ServeState {
+    fn new(db: Database, opts: ServeOptions) -> ServeState {
+        ServeState {
+            db,
+            opts,
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        }
+    }
+
+    /// Has the fault-injection threshold been crossed (or `kill` called)?
+    fn failed(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+            || self
+                .opts
+                .fail_after
+                .is_some_and(|n| self.requests.load(Ordering::Relaxed) >= n)
+    }
+}
+
+/// Per-connection state: open split-protocol handles. Handles live and
+/// die with their connection — a vanished client cannot leak state past
+/// its socket.
+#[derive(Default)]
+struct Session {
+    splits: std::collections::HashMap<u64, LocalSplitState>,
+    next_split: u64,
+}
+
+/// Handle one `Split*` request against the connection's session.
+fn handle_split_request(db: &Database, session: &mut Session, req: Request) -> Response {
+    match req {
+        Request::SplitOpen {
+            sql,
+            key_col,
+            c0_col,
+            c1_col,
+            specs,
+        } => {
+            let specs: Option<Vec<MergeSpec>> =
+                specs.iter().map(|&t| MergeSpec::from_tag(t)).collect();
+            let Some(specs) = specs else {
+                return Response::Err(EngineError::Other("bad merge-spec tag".into()));
+            };
+            let table = match db.execute(&sql) {
+                Ok(t) => t,
+                Err(e) => return Response::Err(e),
+            };
+            if [key_col, c0_col, c1_col]
+                .iter()
+                .any(|&c| c as usize >= table.num_columns())
+                || specs.len() != table.num_columns()
+            {
+                return Response::Err(EngineError::Other(
+                    "split spec does not match the absorbed result".into(),
+                ));
+            }
+            let spec = SplitSpec {
+                key_col: key_col as usize,
+                c0_col: c0_col as usize,
+                c1_col: c1_col as usize,
+                specs,
+            };
+            match LocalSplitState::build(table, spec) {
+                // Protocol inapplicable here: hand the absorbed result
+                // back so the client's dense fallback needs no second
+                // execution.
+                Err(table) => Response::Table(table),
+                Ok(state) => {
+                    let rows = state.num_rows() as u64;
+                    let id = session.next_split;
+                    session.next_split += 1;
+                    session.splits.insert(id, state);
+                    Response::SplitOpened(id, rows)
+                }
+            }
+        }
+        Request::SplitClose { id } => {
+            session.splits.remove(&id);
+            Response::Unit
+        }
+        Request::SplitBoundaries { id, .. }
+        | Request::SplitSummaries { id, .. }
+        | Request::SplitRefine { id, .. }
+        | Request::SplitFetch { id, .. } => {
+            let Some(state) = session.splits.get(&id) else {
+                return Response::Err(EngineError::Other(format!("unknown split handle {id}")));
+            };
+            let result = match req {
+                Request::SplitBoundaries { k, .. } => state
+                    .boundaries(k as usize)
+                    .map(|keys| Response::Table(keys_to_table(&keys))),
+                Request::SplitSummaries { grid, .. } => state
+                    .summaries(&keys_from_table(&grid))
+                    .map(|s| Response::Table(summaries_to_table(&s))),
+                Request::SplitRefine { grid, targets, .. } => {
+                    let targets: Vec<(usize, usize)> = targets
+                        .iter()
+                        .map(|&(j, per)| (j as usize, per as usize))
+                        .collect();
+                    let grid = keys_from_table(&grid);
+                    if targets.iter().any(|&(j, _)| j >= grid.len()) {
+                        return Response::Err(EngineError::Other(
+                            "refine interval out of grid range".into(),
+                        ));
+                    }
+                    state
+                        .refine(&grid, &targets)
+                        .map(|keys| Response::Table(keys_to_table(&keys)))
+                }
+                Request::SplitFetch { grid, retain, .. } => {
+                    let grid = keys_from_table(&grid);
+                    if retain.len() != grid.len() {
+                        return Response::Err(EngineError::Other(
+                            "retain mask does not match the grid".into(),
+                        ));
+                    }
+                    state.fetch(&grid, &retain).map(Response::Table)
+                }
+                _ => unreachable!("outer match covers the split requests"),
+            };
+            result.unwrap_or_else(Response::Err)
+        }
+        _ => unreachable!("caller routes only split requests here"),
+    }
+}
+
+/// Execute one decoded request against the hosted engine.
+fn handle_request(db: &Database, req: Request) -> Response {
+    let table = |r: Result<Table, EngineError>| match r {
+        Ok(t) => Response::Table(t),
+        Err(e) => Response::Err(e),
+    };
+    match req {
+        Request::Hello { magic, version } => {
+            if magic != MAGIC {
+                Response::Err(EngineError::Other("bad protocol magic".into()))
+            } else if version != VERSION {
+                Response::Err(EngineError::Other(format!(
+                    "protocol version mismatch: client {version}, server {VERSION}"
+                )))
+            } else {
+                Response::Caps {
+                    column_swap: db.config().allow_swap,
+                }
+            }
+        }
+        Request::Execute { sql } => table(db.execute(&sql)),
+        Request::CreateTable { name, table: t } => match db.create_table(&name, t) {
+            Ok(()) => Response::Unit,
+            Err(e) => Response::Err(e),
+        },
+        Request::Snapshot { name } => table(db.snapshot(&name)),
+        Request::ColumnNames { name } => match db.column_names(&name) {
+            Ok(names) => Response::Names(names),
+            Err(e) => Response::Err(e),
+        },
+        Request::ColumnDtype { table, column } => match db.column_dtype(&table, &column) {
+            Ok(d) => Response::Dtype(d),
+            Err(e) => Response::Err(e),
+        },
+        Request::HasTable { name } => Response::Bool(db.has_table(&name)),
+        Request::RowCount { name } => match db.row_count(&name) {
+            Ok(n) => Response::Count(n as u64),
+            Err(e) => Response::Err(e),
+        },
+        // Tolerant drop and bounds-checked gather share the in-process
+        // transport's implementation — one copy of the semantics for
+        // local and remote shards.
+        Request::DropTableIfExists { name } => match ShardTransport::drop_table(db, &name) {
+            Ok(()) => Response::Unit,
+            Err(e) => Response::Err(e),
+        },
+        Request::GatherRows { name, rows } => table(ShardTransport::gather_rows(db, &name, &rows)),
+        Request::TableNames => Response::Names(db.table_names()),
+        Request::SplitOpen { .. }
+        | Request::SplitBoundaries { .. }
+        | Request::SplitSummaries { .. }
+        | Request::SplitRefine { .. }
+        | Request::SplitFetch { .. }
+        | Request::SplitClose { .. } => {
+            // The connection loop routes these to the session-aware
+            // handler first; reaching here is a protocol bug.
+            Response::Err(EngineError::Other("split request outside a session".into()))
+        }
+    }
+}
+
+/// One connection's request loop. Ends on EOF, I/O error, or fault
+/// injection.
+fn serve_connection(state: &ServeState, mut stream: TcpStream) {
+    let mut session = Session::default();
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(p) => p,
+            Err(_) => return, // client went away (or kill() shut us down)
+        };
+        // Fault injection is checked *after* a request arrives — the
+        // failure lands mid-round, between statements of a training run.
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        if state.failed() {
+            if state.opts.stall {
+                // Hung process: never answer, hold the socket until the
+                // client's read timeout fires (or kill() closes us).
+                loop {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if state.shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                }
+            }
+            // Killed process: drop the connection, client sees EOF.
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let resp = match decode_request(&payload) {
+            Ok(
+                req @ (Request::SplitOpen { .. }
+                | Request::SplitBoundaries { .. }
+                | Request::SplitSummaries { .. }
+                | Request::SplitRefine { .. }
+                | Request::SplitFetch { .. }
+                | Request::SplitClose { .. }),
+            ) => handle_split_request(&state.db, &mut session, req),
+            Ok(req) => handle_request(&state.db, req),
+            Err(e) => Response::Err(e),
+        };
+        // A result too large for one frame becomes a *typed* error on a
+        // live connection, not a silent hangup the client would read as
+        // a crashed server.
+        let mut out = encode_response(&resp);
+        if out.len() > MAX_FRAME as usize {
+            out = encode_response(&Response::Err(EngineError::Other(format!(
+                "result frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
+                 transfer large tables in parts",
+                out.len()
+            ))));
+        }
+        if write_frame(&mut stream, &out).is_err() {
+            return;
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(x) => x,
+            Err(_) => return,
+        };
+        if state.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        if state.failed() && !state.opts.stall {
+            // Refuse service once failed: drop fresh connections too.
+            continue;
+        }
+        let _ = stream.set_nodelay(true);
+        let id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            state.conns.lock().push((id, clone));
+        }
+        let st = Arc::clone(&state);
+        std::thread::spawn(move || {
+            serve_connection(&st, stream);
+            st.conns.lock().retain(|(i, _)| *i != id);
+        });
+    }
+}
+
+/// Serve `db` on `listener` until the process exits. This is the
+/// single-threaded entry point the `shard_server` binary uses; each
+/// accepted connection still gets its own thread.
+pub fn serve(listener: TcpListener, db: Database, opts: ServeOptions) {
+    let state = Arc::new(ServeState::new(db, opts));
+    accept_loop(listener, state);
+}
+
+/// An in-process wire server: the full remote protocol over a real
+/// loopback TCP socket, hosted on a background thread. What the examples,
+/// experiments and most tests use; the `shard_server` binary provides the
+/// same loop as a standalone process.
+pub struct WireServer {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Bind an ephemeral loopback port and serve `db` on a background
+    /// thread.
+    pub fn spawn(db: Database, opts: ServeOptions) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServeState::new(db, opts));
+        let st = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(listener, st));
+        Ok(WireServer {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The server's socket address (`127.0.0.1:<ephemeral>`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted engine — tests use it to assert on server-side state
+    /// (temp-table cleanup, concurrent clients' tables).
+    pub fn database(&self) -> &Database {
+        &self.state.db
+    }
+
+    /// Requests received so far (across all connections).
+    pub fn requests(&self) -> u64 {
+        self.state.requests.load(Ordering::Relaxed)
+    }
+
+    /// Kill the server: stop accepting and sever every live connection.
+    /// Clients observe the same thing a crashed process produces.
+    pub fn kill(&mut self) {
+        self.state.shutdown.store(true, Ordering::Relaxed);
+        for (_, c) in self.state.conns.lock().drain(..) {
+            let _ = c.shutdown(std::net::Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Client-side transport knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteOptions {
+    /// Bound on establishing the TCP connection.
+    pub connect_timeout: Duration,
+    /// Bound on every request/response exchange (read + write timeouts on
+    /// the socket): a dead or hung server surfaces as an error after at
+    /// most this long, never as a hang.
+    pub io_timeout: Duration,
+}
+
+impl Default for RemoteOptions {
+    fn default() -> Self {
+        RemoteOptions {
+            connect_timeout: Duration::from_secs(5),
+            io_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// One framed connection to a wire server: the remote flavor of
+/// [`ShardTransport`], and the engine half of [`RemoteBackend`].
+///
+/// A connection serializes its requests behind a mutex (the protocol is
+/// strictly request/response); the sharded fan-out gets its parallelism
+/// from holding one connection per shard. The first transport failure
+/// *poisons* the connection: every later call fails immediately with the
+/// original error, so cleanup paths touching a dead shard cost nothing —
+/// they do not re-wait on timeouts.
+pub struct RemoteConnection {
+    stream: Mutex<TcpStream>,
+    addr: String,
+    column_swap: bool,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    requests: AtomicU64,
+    poisoned: Mutex<Option<String>>,
+}
+
+impl RemoteConnection {
+    /// Connect, handshake, and learn the server's capabilities.
+    pub fn connect(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+    ) -> BackendResult<RemoteConnection> {
+        RemoteConnection::connect_with(addr, RemoteOptions::default())
+    }
+
+    /// [`RemoteConnection::connect`] with explicit timeouts.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        opts: RemoteOptions,
+    ) -> BackendResult<RemoteConnection> {
+        let label = addr.to_string();
+        let ctx = |e: io::Error| {
+            EngineError::Other(format!("shard server at {label}: connect failed: {e}"))
+        };
+        let sock_addr =
+            addr.to_socket_addrs().map_err(ctx)?.next().ok_or_else(|| {
+                EngineError::Other(format!("shard server at {label}: no address"))
+            })?;
+        let stream = TcpStream::connect_timeout(&sock_addr, opts.connect_timeout).map_err(ctx)?;
+        stream
+            .set_read_timeout(Some(opts.io_timeout))
+            .map_err(ctx)?;
+        stream
+            .set_write_timeout(Some(opts.io_timeout))
+            .map_err(ctx)?;
+        let _ = stream.set_nodelay(true);
+        let conn = RemoteConnection {
+            stream: Mutex::new(stream),
+            addr: label,
+            column_swap: false,
+            bytes_sent: AtomicU64::new(0),
+            bytes_received: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            poisoned: Mutex::new(None),
+        };
+        let column_swap = match conn.call(&Request::Hello {
+            magic: MAGIC,
+            version: VERSION,
+        })? {
+            Response::Caps { column_swap } => column_swap,
+            other => {
+                return Err(EngineError::Other(format!(
+                    "shard server at {}: bad handshake reply: {other:?}",
+                    conn.addr
+                )))
+            }
+        };
+        Ok(RemoteConnection {
+            column_swap,
+            ..conn
+        })
+    }
+
+    /// The address this connection talks to (diagnostics).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Whether the server's engine accepts `SWAP COLUMN`.
+    pub fn server_column_swap(&self) -> bool {
+        self.column_swap
+    }
+
+    /// `(bytes_sent, bytes_received)` on this connection, framing
+    /// included — the real shuffle volume of a distributed run.
+    pub fn wire_byte_counts(&self) -> (u64, u64) {
+        (
+            self.bytes_sent.load(Ordering::Relaxed),
+            self.bytes_received.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Requests completed on this connection.
+    pub fn request_count(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// One request/response exchange. Transport failures poison the
+    /// connection and carry the shard address; server-side engine errors
+    /// come back as the exact [`EngineError`] variant the engine raised.
+    fn request(&self, req: &Request) -> BackendResult<Response> {
+        if let Some(why) = self.poisoned.lock().as_ref() {
+            return Err(EngineError::Other(format!(
+                "shard server at {}: connection previously failed: {why}",
+                self.addr
+            )));
+        }
+        let payload = encode_request(req);
+        if payload.len() > MAX_FRAME as usize {
+            // A purely client-side limit: nothing touched the socket, so
+            // the connection stays healthy — no poison, typed error.
+            return Err(EngineError::Other(format!(
+                "request frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
+                 transfer large tables in parts",
+                payload.len()
+            )));
+        }
+        let result = self.exchange(&payload);
+        if let Err(e) = &result {
+            let mut p = self.poisoned.lock();
+            if p.is_none() {
+                *p = Some(e.to_string());
+            }
+        }
+        result.map_err(|e| EngineError::Other(format!("shard server at {}: {e}", self.addr)))
+    }
+
+    fn exchange(&self, payload: &[u8]) -> Result<Response, io::Error> {
+        let mut stream = self.stream.lock();
+        let sent = write_frame(&mut *stream, payload)?;
+        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
+        let frame = read_frame(&mut *stream)?;
+        self.bytes_received
+            .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        decode_response(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Request + unwrap a server-side error into the engine error it was.
+    fn call(&self, req: &Request) -> BackendResult<Response> {
+        match self.request(req)? {
+            Response::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+
+    fn unexpected(&self, what: &str, got: &Response) -> EngineError {
+        EngineError::Other(format!(
+            "shard server at {}: unexpected reply to {what}: {got:?}",
+            self.addr
+        ))
+    }
+
+    /// Execute one SQL statement given as text.
+    pub fn execute_text(&self, sql: &str) -> BackendResult {
+        match self.call(&Request::Execute { sql: sql.into() })? {
+            Response::Table(t) => Ok(t),
+            other => Err(self.unexpected("Execute", &other)),
+        }
+    }
+
+    /// Names of every table the server holds (diagnostics / tests).
+    pub fn table_names(&self) -> BackendResult<Vec<String>> {
+        match self.call(&Request::TableNames)? {
+            Response::Names(n) => Ok(n),
+            other => Err(self.unexpected("TableNames", &other)),
+        }
+    }
+}
+
+impl ShardTransport for RemoteConnection {
+    fn execute(&self, stmt: &Statement) -> BackendResult {
+        // SQL ships as text; the server re-parses the identical statement
+        // (the round-trip fixed point of the SQL-text backend).
+        self.execute_text(&stmt.to_string())
+    }
+
+    fn create_table(&self, name: &str, table: Table) -> BackendResult<()> {
+        match self.call(&Request::CreateTable {
+            name: name.into(),
+            table,
+        })? {
+            Response::Unit => Ok(()),
+            other => Err(self.unexpected("CreateTable", &other)),
+        }
+    }
+
+    fn snapshot(&self, name: &str) -> BackendResult<Table> {
+        match self.call(&Request::Snapshot { name: name.into() })? {
+            Response::Table(t) => Ok(t),
+            other => Err(self.unexpected("Snapshot", &other)),
+        }
+    }
+
+    fn gather_rows(&self, name: &str, rows: &[u32]) -> BackendResult<Table> {
+        match self.call(&Request::GatherRows {
+            name: name.into(),
+            rows: rows.to_vec(),
+        })? {
+            Response::Table(t) => Ok(t),
+            other => Err(self.unexpected("GatherRows", &other)),
+        }
+    }
+
+    fn column_names(&self, table: &str) -> BackendResult<Vec<String>> {
+        match self.call(&Request::ColumnNames { name: table.into() })? {
+            Response::Names(n) => Ok(n),
+            other => Err(self.unexpected("ColumnNames", &other)),
+        }
+    }
+
+    fn column_dtype(&self, table: &str, column: &str) -> BackendResult<DataType> {
+        match self.call(&Request::ColumnDtype {
+            table: table.into(),
+            column: column.into(),
+        })? {
+            Response::Dtype(d) => Ok(d),
+            other => Err(self.unexpected("ColumnDtype", &other)),
+        }
+    }
+
+    fn has_table(&self, name: &str) -> bool {
+        matches!(
+            self.call(&Request::HasTable { name: name.into() }),
+            Ok(Response::Bool(true))
+        )
+    }
+
+    fn row_count(&self, name: &str) -> BackendResult<usize> {
+        match self.call(&Request::RowCount { name: name.into() })? {
+            Response::Count(n) => Ok(n as usize),
+            other => Err(self.unexpected("RowCount", &other)),
+        }
+    }
+
+    fn drop_table(&self, name: &str) -> BackendResult<()> {
+        match self.call(&Request::DropTableIfExists { name: name.into() })? {
+            Response::Unit => Ok(()),
+            other => Err(self.unexpected("DropTableIfExists", &other)),
+        }
+    }
+
+    fn split_open(&self, stmt: &Statement, spec: &SplitSpec) -> BackendResult<SplitOpen<'_>> {
+        // The absorbed result stays on the server; only the protocol's
+        // messages (boundaries, summaries, candidate rows) will cross.
+        let req = Request::SplitOpen {
+            sql: stmt.to_string(),
+            key_col: spec.key_col as u32,
+            c0_col: spec.c0_col as u32,
+            c1_col: spec.c1_col as u32,
+            specs: spec.specs.iter().map(|s| s.to_tag()).collect(),
+        };
+        match self.call(&req)? {
+            Response::SplitOpened(id, rows) => {
+                Ok(SplitOpen::Protocol(Box::new(RemoteSplitHandle {
+                    conn: self,
+                    id,
+                    rows: rows as usize,
+                })))
+            }
+            // Protocol inapplicable on the server's data: the absorbed
+            // result came back instead, ready for the dense merge.
+            Response::Table(t) => Ok(SplitOpen::Dense(t)),
+            other => Err(self.unexpected("SplitOpen", &other)),
+        }
+    }
+
+    fn wire_bytes(&self) -> (u64, u64) {
+        self.wire_byte_counts()
+    }
+}
+
+/// Client proxy of a server-side split handle: every method is one
+/// request/response on the shard's connection.
+struct RemoteSplitHandle<'a> {
+    conn: &'a RemoteConnection,
+    id: u64,
+    rows: usize,
+}
+
+impl RemoteSplitHandle<'_> {
+    fn table_reply(&self, what: &str, req: &Request) -> BackendResult<Table> {
+        match self.conn.call(req)? {
+            Response::Table(t) => Ok(t),
+            other => Err(self.conn.unexpected(what, &other)),
+        }
+    }
+}
+
+impl SplitHandle for RemoteSplitHandle<'_> {
+    fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    fn boundaries(&self, k: usize) -> BackendResult<Vec<Datum>> {
+        let t = self.table_reply(
+            "SplitBoundaries",
+            &Request::SplitBoundaries {
+                id: self.id,
+                k: k as u32,
+            },
+        )?;
+        Ok(keys_from_table(&t))
+    }
+
+    fn summaries(&self, grid: &[Datum]) -> BackendResult<Vec<IntervalSummary>> {
+        let t = self.table_reply(
+            "SplitSummaries",
+            &Request::SplitSummaries {
+                id: self.id,
+                grid: keys_to_table(grid),
+            },
+        )?;
+        summaries_from_table(&t).ok_or_else(|| {
+            EngineError::Other(format!(
+                "shard server at {}: malformed split summaries",
+                self.conn.addr
+            ))
+        })
+    }
+
+    fn refine(&self, grid: &[Datum], targets: &[(usize, usize)]) -> BackendResult<Vec<Datum>> {
+        let t = self.table_reply(
+            "SplitRefine",
+            &Request::SplitRefine {
+                id: self.id,
+                grid: keys_to_table(grid),
+                targets: targets
+                    .iter()
+                    .map(|&(j, per)| (j as u32, per as u32))
+                    .collect(),
+            },
+        )?;
+        Ok(keys_from_table(&t))
+    }
+
+    fn fetch(&self, grid: &[Datum], retain: &[bool]) -> BackendResult<Table> {
+        self.table_reply(
+            "SplitFetch",
+            &Request::SplitFetch {
+                id: self.id,
+                grid: keys_to_table(grid),
+                retain: retain.to_vec(),
+            },
+        )
+    }
+
+    fn into_all_rows(self: Box<Self>) -> BackendResult<Table> {
+        // The dense fallback: one interval covering every key ships the
+        // whole absorbed result — exactly the cost the protocol avoids
+        // when it does apply. (Drop then releases the server-side state.)
+        let bounds = self.boundaries(2)?;
+        match bounds.last() {
+            None => self.fetch(&[], &[]),
+            Some(max) => {
+                let max = max.clone();
+                self.fetch(&[max], &[true])
+            }
+        }
+    }
+}
+
+impl Drop for RemoteSplitHandle<'_> {
+    fn drop(&mut self) {
+        // Best-effort release of the server-side state; a dead
+        // connection already dropped it with the session.
+        let _ = self.conn.call(&Request::SplitClose { id: self.id });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RemoteBackend
+// ---------------------------------------------------------------------------
+
+/// A full [`SqlBackend`] over one remote engine process.
+///
+/// Every statement ships as SQL text; tables move as framed columnar
+/// blocks. Capabilities are learned from the server's handshake;
+/// [`BackendCapabilities::external_interop`] is always off (an
+/// `Arc`-shared dataframe cannot cross a process boundary), so the
+/// trainer's capability checks reject the `DP` update path up front.
+pub struct RemoteBackend {
+    conn: RemoteConnection,
+    label: String,
+    statements: AtomicU64,
+    selects: AtomicU64,
+}
+
+impl RemoteBackend {
+    /// Connect to a wire server with default timeouts.
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> BackendResult<RemoteBackend> {
+        RemoteBackend::connect_with(addr, RemoteOptions::default())
+    }
+
+    /// Connect with explicit timeouts.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        opts: RemoteOptions,
+    ) -> BackendResult<RemoteBackend> {
+        let conn = RemoteConnection::connect_with(addr, opts)?;
+        Ok(RemoteBackend {
+            label: "remote".to_string(),
+            conn,
+            statements: AtomicU64::new(0),
+            selects: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying connection (byte counters, diagnostics).
+    pub fn connection(&self) -> &RemoteConnection {
+        &self.conn
+    }
+
+    fn count(&self, sql: &str) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+        let head = sql.trim_start();
+        // get(..6) rather than [..6]: byte 6 of arbitrary text may not be
+        // a char boundary.
+        if head
+            .get(..6)
+            .is_some_and(|h| h.eq_ignore_ascii_case("SELECT"))
+        {
+            self.selects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl SqlBackend for RemoteBackend {
+    fn name(&self) -> &str {
+        &self.label
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities {
+            window_functions: true,
+            ast_statements: false,
+            column_swap: self.conn.server_column_swap(),
+            external_interop: false,
+            shards: 1,
+        }
+    }
+
+    fn execute(&self, sql: &str) -> BackendResult {
+        self.count(sql);
+        self.conn.execute_text(sql)
+    }
+
+    fn execute_ast(&self, stmt: &Statement) -> BackendResult {
+        let sql = stmt.to_string();
+        self.count(&sql);
+        self.conn.execute_text(&sql)
+    }
+
+    fn create_table(&self, name: &str, table: Table) -> BackendResult<()> {
+        ShardTransport::create_table(&self.conn, name, table)
+    }
+
+    fn snapshot(&self, name: &str) -> BackendResult<Table> {
+        ShardTransport::snapshot(&self.conn, name)
+    }
+
+    fn column_names(&self, table: &str) -> BackendResult<Vec<String>> {
+        ShardTransport::column_names(&self.conn, table)
+    }
+
+    fn column_dtype(&self, table: &str, column: &str) -> BackendResult<DataType> {
+        ShardTransport::column_dtype(&self.conn, table, column)
+    }
+
+    fn has_table(&self, name: &str) -> bool {
+        ShardTransport::has_table(&self.conn, name)
+    }
+
+    fn row_count(&self, name: &str) -> BackendResult<usize> {
+        ShardTransport::row_count(&self.conn, name)
+    }
+
+    fn gather_rows(&self, name: &str, rows: &[u32]) -> BackendResult<Table> {
+        // Ship only the sample, not the snapshot it came from.
+        ShardTransport::gather_rows(&self.conn, name, rows)
+    }
+
+    fn drop_table_if_exists(&self, name: &str) -> BackendResult<()> {
+        ShardTransport::drop_table(&self.conn, name)
+    }
+
+    fn stats(&self) -> BackendStats {
+        let (bytes_sent, bytes_received) = self.conn.wire_byte_counts();
+        BackendStats {
+            statements: self.statements.load(Ordering::Relaxed),
+            selects: self.selects.load(Ordering::Relaxed),
+            bytes_sent,
+            bytes_received,
+            ..BackendStats::default()
+        }
+    }
+}

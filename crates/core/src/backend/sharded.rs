@@ -56,7 +56,149 @@ use joinboost_sql::parse_statement;
 
 use crate::sqlgen::{split_pushdown_shape, SplitQueryShape};
 
+use super::remote::{RemoteConnection, RemoteOptions};
+use super::split::{Acc, IntervalSummary, LocalSplitState, MergeSpec, SplitHandle, SplitSpec};
 use super::{BackendCapabilities, BackendResult, BackendStats, SqlBackend};
+
+/// One shard's engine as the fan-out sees it: the pluggable transport
+/// behind [`ShardedBackend`].
+///
+/// In-process shards are bare [`Database`]s; remote shards are
+/// [`RemoteConnection`]s speaking the wire protocol to a separate engine
+/// process. The fan-out, `⊕`-merge and split-pushdown machinery only ever
+/// talks to this trait, so multi-*process* sharding runs the exact same
+/// protocol as in-process sharding — which is what lets
+/// `backend_equivalence` assert bit-identical models across both.
+pub trait ShardTransport: Send + Sync {
+    /// Execute one statement on this shard. Remote transports print it to
+    /// SQL text and ship that (sound by the `print ∘ parse ∘ print`
+    /// fixed point the SQL-text backend proves).
+    fn execute(&self, stmt: &Statement) -> BackendResult;
+
+    /// Bulk-load a table on this shard (remote: framed columnar block).
+    fn create_table(&self, name: &str, table: Table) -> BackendResult<()>;
+
+    /// Materialize a full scan of a shard-local table.
+    fn snapshot(&self, name: &str) -> BackendResult<Table>;
+
+    /// Ship only the rows at the given snapshot-order positions, in that
+    /// order — the messages-not-scans path of row sampling.
+    fn gather_rows(&self, name: &str, rows: &[u32]) -> BackendResult<Table>;
+
+    /// Column names of a shard-local table.
+    fn column_names(&self, table: &str) -> BackendResult<Vec<String>>;
+
+    /// One column's data type.
+    fn column_dtype(&self, table: &str, column: &str) -> BackendResult<DataType>;
+
+    /// Does this shard hold the table?
+    fn has_table(&self, name: &str) -> bool;
+
+    /// Rows of the table on this shard.
+    fn row_count(&self, name: &str) -> BackendResult<usize>;
+
+    /// Drop a table, tolerating its absence (temp-table cleanup must
+    /// succeed on replicas that never materialized it).
+    fn drop_table(&self, name: &str) -> BackendResult<()>;
+
+    /// Parse + execute SQL text (tests and diagnostics).
+    fn query(&self, sql: &str) -> BackendResult {
+        self.execute(&parse_statement(sql)?)
+    }
+
+    /// Open a split-protocol handle over the absorbed per-value query:
+    /// the shard executes it and keeps the sorted, prefix-summed result
+    /// *local*, answering the protocol through [`SplitHandle`] — so a
+    /// remote transport ships boundary summaries and candidate rows, not
+    /// per-value aggregates. When this shard's data disqualifies the
+    /// protocol (NULL components), the executed result comes back as
+    /// [`SplitOpen::Dense`] so the caller's fallback pays no second
+    /// execution.
+    fn split_open(&self, stmt: &Statement, spec: &SplitSpec) -> BackendResult<SplitOpen<'_>> {
+        Ok(
+            match LocalSplitState::build(self.execute(stmt)?, spec.clone()) {
+                Ok(s) => SplitOpen::Protocol(Box::new(s)),
+                Err(table) => SplitOpen::Dense(table),
+            },
+        )
+    }
+
+    /// `(bytes_sent, bytes_received)` on this transport's socket; zero
+    /// for in-process transports.
+    fn wire_bytes(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// What [`ShardTransport::split_open`] produced: the shard either serves
+/// the summary protocol, or hands back the absorbed result for the dense
+/// merge (its data disqualified the protocol).
+pub enum SplitOpen<'a> {
+    /// The shard serves the summary protocol through this handle.
+    Protocol(Box<dyn SplitHandle + 'a>),
+    /// Protocol inapplicable on this shard's data: the full absorbed
+    /// result, for the dense fallback.
+    Dense(Table),
+}
+
+impl SplitOpen<'_> {
+    /// The full absorbed result, whichever side this is (consumes the
+    /// handle; in-process a move, remote one fetch).
+    fn into_all_rows(self) -> BackendResult<Table> {
+        match self {
+            SplitOpen::Protocol(h) => h.into_all_rows(),
+            SplitOpen::Dense(t) => Ok(t),
+        }
+    }
+}
+
+impl ShardTransport for Database {
+    fn execute(&self, stmt: &Statement) -> BackendResult {
+        Database::execute_statement(self, stmt)
+    }
+
+    fn create_table(&self, name: &str, table: Table) -> BackendResult<()> {
+        Database::create_table(self, name, table)
+    }
+
+    fn snapshot(&self, name: &str) -> BackendResult<Table> {
+        Database::snapshot(self, name)
+    }
+
+    fn gather_rows(&self, name: &str, rows: &[u32]) -> BackendResult<Table> {
+        let snap = Database::snapshot(self, name)?;
+        let n = snap.num_rows();
+        if let Some(&bad) = rows.iter().find(|&&r| r as usize >= n) {
+            return Err(EngineError::Other(format!(
+                "gather_rows: row {bad} out of range for {name} ({n} rows)"
+            )));
+        }
+        Ok(snap.take(rows))
+    }
+
+    fn column_names(&self, table: &str) -> BackendResult<Vec<String>> {
+        Database::column_names(self, table)
+    }
+
+    fn column_dtype(&self, table: &str, column: &str) -> BackendResult<DataType> {
+        Database::column_dtype(self, table, column)
+    }
+
+    fn has_table(&self, name: &str) -> bool {
+        Database::has_table(self, name)
+    }
+
+    fn row_count(&self, name: &str) -> BackendResult<usize> {
+        Database::row_count(self, name)
+    }
+
+    fn drop_table(&self, name: &str) -> BackendResult<()> {
+        match Database::drop_table(self, name) {
+            Err(EngineError::UnknownTable(_)) => Ok(()),
+            r => r,
+        }
+    }
+}
 
 /// Tuning knobs of the shard-local split evaluation (shape 3 of the
 /// module docs). The defaults favor high-cardinality features; tests
@@ -89,7 +231,7 @@ impl Default for PushdownConfig {
 /// `DESIGN.md` § Backends for the merge-exactness argument.
 pub struct ShardedBackend {
     coordinator: Database,
-    shards: Vec<Database>,
+    shards: Vec<Box<dyn ShardTransport>>,
     label: String,
     /// Lowercase name of the relation to partition on load.
     fact: String,
@@ -122,12 +264,68 @@ impl ShardedBackend {
         shard_key: &str,
     ) -> ShardedBackend {
         assert!(num_shards >= 1, "at least one shard");
+        let transports: Vec<Box<dyn ShardTransport>> = (0..num_shards)
+            .map(|_| Box::new(Database::new(config.clone())) as Box<dyn ShardTransport>)
+            .collect();
+        ShardedBackend::from_transports(
+            transports,
+            config,
+            format!("sharded x{num_shards}"),
+            fact_table,
+            shard_key,
+        )
+    }
+
+    /// Multi-*process* sharding: one remote shard server per address (the
+    /// `shard_server` binary or [`super::WireServer`]), a local
+    /// coordinator engine with the given configuration. The fan-out,
+    /// merge and split-pushdown protocol is the one the in-process
+    /// backend runs — only the transport differs.
+    pub fn remote<A>(
+        addrs: &[A],
+        config: EngineConfig,
+        fact_table: &str,
+        shard_key: &str,
+        opts: RemoteOptions,
+    ) -> BackendResult<ShardedBackend>
+    where
+        A: std::net::ToSocketAddrs + std::fmt::Display,
+    {
+        assert!(!addrs.is_empty(), "at least one shard server");
+        let mut transports: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
+        let mut column_swap = config.allow_swap;
+        for addr in addrs {
+            let conn = RemoteConnection::connect_with(addr, opts)?;
+            column_swap = column_swap && conn.server_column_swap();
+            transports.push(Box::new(conn));
+        }
+        let mut backend = ShardedBackend::from_transports(
+            transports,
+            config,
+            format!("remote x{}", addrs.len()),
+            fact_table,
+            shard_key,
+        );
+        backend.column_swap = column_swap;
+        Ok(backend)
+    }
+
+    /// Assemble a backend over caller-provided shard transports (the
+    /// extension point: mix in-process engines with remote connections,
+    /// or plug in a custom transport). The coordinator is always a local
+    /// engine — it runs the window/argmax layers and holds replicas.
+    pub fn from_transports(
+        transports: Vec<Box<dyn ShardTransport>>,
+        config: EngineConfig,
+        label: String,
+        fact_table: &str,
+        shard_key: &str,
+    ) -> ShardedBackend {
+        assert!(!transports.is_empty(), "at least one shard");
         ShardedBackend {
             coordinator: Database::new(config.clone()),
-            shards: (0..num_shards)
-                .map(|_| Database::new(config.clone()))
-                .collect(),
-            label: format!("sharded x{num_shards}"),
+            shards: transports,
+            label,
             fact: fact_table.to_ascii_lowercase(),
             shard_key: shard_key.to_string(),
             sharded: RwLock::new(HashSet::new()),
@@ -149,9 +347,9 @@ impl ShardedBackend {
         self.shards.len()
     }
 
-    /// One shard's engine (inspection/tests).
-    pub fn shard(&self, i: usize) -> &Database {
-        &self.shards[i]
+    /// One shard's transport (inspection/tests).
+    pub fn shard(&self, i: usize) -> &dyn ShardTransport {
+        self.shards[i].as_ref()
     }
 
     /// The coordinator engine (inspection/tests).
@@ -235,19 +433,21 @@ impl ShardedBackend {
 
     /// Run a closure on every shard in parallel, collecting results in
     /// shard order.
-    fn on_all_shards<F>(&self, f: F) -> Vec<BackendResult>
+    fn on_all_shards<T, F>(&self, f: F) -> Vec<BackendResult<T>>
     where
-        F: Fn(&Database) -> BackendResult + Sync,
+        T: Send,
+        F: Fn(usize, &dyn ShardTransport) -> BackendResult<T> + Sync,
     {
         if self.shards.len() == 1 {
-            return vec![f(&self.shards[0])];
+            return vec![f(0, self.shards[0].as_ref())];
         }
         let fr = &f;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .shards
                 .iter()
-                .map(|db| scope.spawn(move |_| fr(db)))
+                .enumerate()
+                .map(|(i, db)| scope.spawn(move |_| fr(i, db.as_ref())))
                 .collect();
             handles
                 .into_iter()
@@ -260,7 +460,7 @@ impl ShardedBackend {
     /// Broadcast a statement to every shard; marks `creates` sharded.
     fn broadcast(&self, stmt: &Statement, creates: Option<&str>) -> BackendResult {
         self.broadcast_statements.fetch_add(1, Ordering::Relaxed);
-        for r in self.on_all_shards(|db| db.execute_statement(stmt)) {
+        for r in self.on_all_shards(|_, db| db.execute(stmt)) {
             r?;
         }
         if let Some(name) = creates {
@@ -274,7 +474,7 @@ impl ShardedBackend {
     fn replicate(&self, stmt: &Statement) -> BackendResult {
         self.replicated_statements.fetch_add(1, Ordering::Relaxed);
         let result = self.coordinator.execute_statement(stmt)?;
-        for r in self.on_all_shards(|db| db.execute_statement(stmt)) {
+        for r in self.on_all_shards(|_, db| db.execute(stmt)) {
             r?;
         }
         Ok(result)
@@ -357,7 +557,7 @@ impl ShardedBackend {
         self.fanout_selects.fetch_add(1, Ordering::Relaxed);
         let stmt = Statement::Select(plan.query.clone());
         let mut partials = Vec::with_capacity(self.shards.len());
-        for r in self.on_all_shards(|db| db.execute_statement(&stmt)) {
+        for r in self.on_all_shards(|_, db| db.execute(&stmt)) {
             partials.push(r?);
         }
         let shuffled: usize = partials.iter().map(Table::num_rows).sum();
@@ -371,7 +571,7 @@ impl ShardedBackend {
         self.fanout_selects.fetch_add(1, Ordering::Relaxed);
         let stmt = Statement::Select(q.clone());
         let mut partials = Vec::with_capacity(self.shards.len());
-        for r in self.on_all_shards(|db| db.execute_statement(&stmt)) {
+        for r in self.on_all_shards(|_, db| db.execute(&stmt)) {
             partials.push(r?);
         }
         let shuffled: usize = partials.iter().map(Table::num_rows).sum();
@@ -380,14 +580,58 @@ impl ShardedBackend {
         concat_tables(partials)
     }
 
+    /// Dense split-query resolution: every shard ships its full absorbed
+    /// result and the coordinator ⊕-merges — the path the pushdown
+    /// exists to avoid, kept for shapes and data the summary protocol
+    /// cannot serve.
+    fn dense_split_merge(&self, stmt: &Statement, plan: &MergePlan) -> BackendResult {
+        let mut locals = Vec::with_capacity(self.shards.len());
+        for r in self.on_all_shards(|_, db| db.execute(stmt)) {
+            locals.push(r?);
+        }
+        let total: usize = locals.iter().map(Table::num_rows).sum();
+        self.rows_shuffled
+            .fetch_add(total as u64, Ordering::Relaxed);
+        merge_partials(locals, &plan.specs)
+    }
+
+    /// Execute the absorbed query and open the split protocol on every
+    /// shard, in parallel. Shards whose data disqualifies the protocol
+    /// come back as [`SplitOpen::Dense`] with their executed result.
+    fn open_splits<'a>(
+        &'a self,
+        stmt: &Statement,
+        spec: &SplitSpec,
+    ) -> BackendResult<Vec<SplitOpen<'a>>> {
+        let results: Vec<BackendResult<SplitOpen<'a>>> = if self.shards.len() == 1 {
+            vec![self.shards[0].split_open(stmt, spec)]
+        } else {
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .map(|db| scope.spawn(move |_| db.split_open(stmt, spec)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("shard scope")
+        };
+        results.into_iter().collect()
+    }
+
     /// Shape 3: shard-local split evaluation. The absorbed inner query
-    /// runs on every shard and *stays there*; only boundary keys,
-    /// per-interval boundary prefix sums and the candidate intervals'
-    /// rows ship to the coordinator, which assembles a run-compressed
-    /// per-value table and runs the original window/argmax layers on it.
-    /// The compressed evaluation is identical to the dense merge (see
-    /// `DESIGN.md` § "Distributed split evaluation"), so results — and,
-    /// under the dyadic recipe, bits — match the single-engine path.
+    /// runs on every shard and *stays there* (behind a [`SplitHandle`]);
+    /// only boundary keys, per-interval boundary prefix sums and the
+    /// candidate intervals' rows ship to the coordinator — over a remote
+    /// transport these are the only bytes on the wire. The coordinator
+    /// assembles a run-compressed per-value table and runs the original
+    /// window/argmax layers on it. The compressed evaluation is identical
+    /// to the dense merge (see `DESIGN.md` § "Distributed split
+    /// evaluation"), so results — and, under the dyadic recipe, bits —
+    /// match the single-engine path.
     fn pushdown_split(
         &self,
         q: &Query,
@@ -397,26 +641,47 @@ impl ShardedBackend {
     ) -> BackendResult {
         self.fanout_selects.fetch_add(1, Ordering::Relaxed);
         let stmt = Statement::Select(plan.query.clone());
-        let mut locals = Vec::with_capacity(self.shards.len());
-        for r in self.on_all_shards(|db| db.execute_statement(&stmt)) {
-            locals.push(r?);
-        }
-        let total: usize = locals.iter().map(Table::num_rows).sum();
-        let merged = match shard_local_split_merge(&locals, &plan, shape, cfg) {
-            Some((table, shipped)) => {
-                self.pushdown_splits.fetch_add(1, Ordering::Relaxed);
-                self.rows_shuffled
-                    .fetch_add(shipped as u64, Ordering::Relaxed);
-                table
-            }
-            None => {
-                // Dense fallback (tiny cardinality, NULL aggregates, or a
-                // shape the summary protocol cannot order): ship every
-                // per-value row and ⊕-merge, as the nested path would.
+        let merged = 'merged: {
+            // Plan-level roles: without them (multiple keys, components
+            // not ⊕-sums, a val the key cannot order) the summary
+            // protocol does not apply and no handles are opened.
+            let Some(spec) = split_spec_for(&plan, shape) else {
+                break 'merged self.dense_split_merge(&stmt, &plan)?;
+            };
+            let opens = self.open_splits(&stmt, &spec)?;
+            let any_dense = opens.iter().any(|o| matches!(o, SplitOpen::Dense(_)));
+            let total: usize = opens
+                .iter()
+                .map(|o| match o {
+                    SplitOpen::Protocol(h) => h.num_rows(),
+                    SplitOpen::Dense(t) => t.num_rows(),
+                })
+                .sum();
+            if any_dense || total == 0 || total < cfg.min_rows {
+                // A shard disqualified the protocol (NULL components), or
+                // the result sits below the protocol's break-even point
+                // (the summaries would outweigh the rows). Dense merge,
+                // reusing every shard's already-executed result.
                 self.rows_shuffled
                     .fetch_add(total as u64, Ordering::Relaxed);
-                merge_partials(locals, &plan.specs)?
+                let mut locals = Vec::with_capacity(opens.len());
+                for o in opens {
+                    locals.push(o.into_all_rows()?);
+                }
+                break 'merged merge_partials(locals, &plan.specs)?;
             }
+            let handles: Vec<Box<dyn SplitHandle + '_>> = opens
+                .into_iter()
+                .map(|o| match o {
+                    SplitOpen::Protocol(h) => h,
+                    SplitOpen::Dense(_) => unreachable!("any_dense checked above"),
+                })
+                .collect();
+            let (table, shipped) = shard_split_protocol(&handles, &plan, shape, cfg)?;
+            self.pushdown_splits.fetch_add(1, Ordering::Relaxed);
+            self.rows_shuffled
+                .fetch_add(shipped as u64, Ordering::Relaxed);
+            table
         };
         // Window + argmax layers run on the coordinator over the merged
         // (possibly run-compressed) per-value table.
@@ -599,7 +864,7 @@ impl SqlBackend for ShardedBackend {
     fn snapshot(&self, name: &str) -> BackendResult<Table> {
         if self.is_sharded(name) {
             let mut parts = Vec::with_capacity(self.shards.len());
-            for r in self.on_all_shards(|db| db.snapshot(name)) {
+            for r in self.on_all_shards(|_, db| db.snapshot(name)) {
                 parts.push(r?);
             }
             let shuffled: usize = parts.iter().map(Table::num_rows).sum();
@@ -649,11 +914,13 @@ impl SqlBackend for ShardedBackend {
         }
         // Route each requested snapshot-order position to the shard that
         // owns it; every shard ships only its selected rows, and the
-        // coordinator reassembles them in the requested order.
+        // coordinator reassembles them in the requested order. Both
+        // phases fan out in parallel — over remote transports the round
+        // trips would otherwise serialize per shard.
         let mut counts = Vec::with_capacity(self.shards.len());
         let mut total = 0usize;
-        for db in &self.shards {
-            let c = db.row_count(name)?;
+        for r in self.on_all_shards(|_, db| db.row_count(name)) {
+            let c = r?;
             counts.push(c);
             total += c;
         }
@@ -672,25 +939,31 @@ impl SqlBackend for ShardedBackend {
             }
             per_shard[shard].push((pos, g as u32));
         }
-        // Only shards that own requested rows materialize their
-        // partition; untouched shards contribute nothing (the schema
-        // comes from whichever shard answers first, or a name-only
-        // lookup when the request is empty).
-        let mut columns: Option<Vec<(ColumnMeta, Vec<Datum>)>> = None;
-        for (db, wanted) in self.shards.iter().zip(&per_shard) {
+        // Only shards that own requested rows ship anything — and they
+        // ship exactly their selected rows (via the transport's
+        // `gather_rows`, a single framed message on remote shards), never
+        // whole partitions. The schema comes from whichever shard answers
+        // first, or a name-only lookup when the request is empty.
+        let gathered = self.on_all_shards(|i, db| {
+            let wanted = &per_shard[i];
             if wanted.is_empty() {
-                continue;
+                return Ok(None);
             }
-            let t = db.snapshot(name)?;
+            let locals: Vec<u32> = wanted.iter().map(|&(_, local)| local).collect();
+            db.gather_rows(name, &locals).map(Some)
+        });
+        let mut columns: Option<Vec<(ColumnMeta, Vec<Datum>)>> = None;
+        for (wanted, r) in per_shard.iter().zip(gathered) {
+            let Some(t) = r? else { continue };
             let cols = columns.get_or_insert_with(|| {
                 t.meta
                     .iter()
                     .map(|m| (m.clone(), vec![Datum::Null; rows.len()]))
                     .collect()
             });
-            for &(pos, local) in wanted {
+            for (j, &(pos, _)) in wanted.iter().enumerate() {
                 for (ci, (_, vals)) in cols.iter_mut().enumerate() {
-                    vals[pos] = t.columns[ci].get(local as usize);
+                    vals[pos] = t.columns[ci].get(j);
                 }
             }
         }
@@ -736,6 +1009,12 @@ impl SqlBackend for ShardedBackend {
         let broadcast_statements = self.broadcast_statements.load(Ordering::Relaxed);
         let replicated_statements = self.replicated_statements.load(Ordering::Relaxed);
         let coordinator_selects = self.coordinator_selects.load(Ordering::Relaxed);
+        let (mut bytes_sent, mut bytes_received) = (0u64, 0u64);
+        for t in &self.shards {
+            let (s, r) = t.wire_bytes();
+            bytes_sent += s;
+            bytes_received += r;
+        }
         BackendStats {
             statements: fanout_selects
                 + broadcast_statements
@@ -749,6 +1028,8 @@ impl SqlBackend for ShardedBackend {
             pushdown_splits: self.pushdown_splits.load(Ordering::Relaxed),
             rows_shipped: self.rows_shuffled.load(Ordering::Relaxed),
             text_round_trips: 0,
+            bytes_sent,
+            bytes_received,
         }
     }
 }
@@ -756,19 +1037,6 @@ impl SqlBackend for ShardedBackend {
 // ---------------------------------------------------------------------------
 // Merge planning
 // ---------------------------------------------------------------------------
-
-/// How one output column of a fanned-out aggregate merges across shards.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum MergeSpec {
-    /// Group key: identifies the row, not merged.
-    Key,
-    /// Partial sums/counts add (`⊕` of the semi-ring).
-    Sum,
-    /// Partial minima take the least.
-    Min,
-    /// Partial maxima take the greatest.
-    Max,
-}
 
 /// How a distributable SPJA aggregate fans out: the query every shard
 /// runs (possibly with group keys injected into the output), how each
@@ -900,65 +1168,6 @@ fn contains_aggregate_or_window(e: &Expr) -> bool {
 // Merge execution
 // ---------------------------------------------------------------------------
 
-/// Accumulator for one aggregate cell. Integer partials stay integers
-/// (exact counts); the first float partial promotes the accumulated total
-/// exactly (`i64 as f64` is exact for the count magnitudes here).
-#[derive(Debug, Clone)]
-enum Acc {
-    Empty,
-    Int(i64),
-    Float(f64),
-    Best(Datum),
-}
-
-impl Acc {
-    fn add(&mut self, v: &Datum) {
-        match v {
-            Datum::Null => {}
-            Datum::Int(x) => match self {
-                Acc::Empty => *self = Acc::Int(*x),
-                Acc::Int(t) => *t += *x,
-                Acc::Float(t) => *t += *x as f64,
-                Acc::Best(_) => unreachable!("sum into best"),
-            },
-            Datum::Float(x) => match self {
-                Acc::Empty => *self = Acc::Float(*x),
-                Acc::Int(t) => *self = Acc::Float(*t as f64 + *x),
-                Acc::Float(t) => *t += *x,
-                Acc::Best(_) => unreachable!("sum into best"),
-            },
-            Datum::Str(_) => {}
-        }
-    }
-
-    fn best(&mut self, v: &Datum, want_max: bool) {
-        if v.is_null() {
-            return;
-        }
-        match self {
-            Acc::Empty => *self = Acc::Best(v.clone()),
-            Acc::Best(cur) => {
-                let ord = v.sql_cmp(cur);
-                if (want_max && ord == std::cmp::Ordering::Greater)
-                    || (!want_max && ord == std::cmp::Ordering::Less)
-                {
-                    *cur = v.clone();
-                }
-            }
-            _ => unreachable!("best into sum"),
-        }
-    }
-
-    fn into_datum(self) -> Datum {
-        match self {
-            Acc::Empty => Datum::Null,
-            Acc::Int(v) => Datum::Int(v),
-            Acc::Float(v) => Datum::Float(v),
-            Acc::Best(d) => d,
-        }
-    }
-}
-
 /// `⊕`-merge per-shard partial aggregates. Groups are matched on the key
 /// columns; output rows are sorted by the keys so the merged table has a
 /// deterministic, backend-independent order.
@@ -1083,20 +1292,6 @@ fn concat_columns(cols: &[&Column]) -> Column {
 // ---------------------------------------------------------------------------
 // Shard-local split evaluation
 // ---------------------------------------------------------------------------
-
-/// One shard's absorbed per-value aggregates, sorted by group key, with
-/// `f64` prefix sums of the two split components (used only for pruning
-/// bounds — exact values always travel as [`Datum`]s through [`Acc`]).
-struct LocalSplit<'a> {
-    table: &'a Table,
-    /// Row indices sorted ascending by group key.
-    order: Vec<u32>,
-    /// Sorted group keys (unique within a shard: they come from GROUP BY).
-    keys: Vec<Datum>,
-    /// Running prefix sums of component 0/1 in key order.
-    p0: Vec<f64>,
-    p1: Vec<f64>,
-}
 
 /// Numerical slack added to pruning bounds so floating-point rounding in
 /// either the bound or the engine's criteria arithmetic can never prune
@@ -1358,38 +1553,13 @@ fn binned_val_monotone(group: &Expr, val: &Expr) -> bool {
     vname.eq_ignore_ascii_case("MAX") && vargs.len() == 1 && vargs[0] == *feature
 }
 
-/// The shard-local split protocol: boundary keys → global interval grid →
-/// per-interval boundary prefix sums → convexity bounds → candidate
-/// fetch → run-compressed merged table.
-///
-/// Returns the merged table plus the number of rows that crossed
-/// shard → coordinator, or `None` when the summary protocol does not
-/// apply (below [`PushdownConfig::min_rows`], multiple group keys, NULL
-/// aggregates, or a `val` whose order the key does not determine) — the
-/// caller then falls back to the dense merge.
-///
-/// Exactness: replacing a contiguous run of per-value rows `(v_a, v_b]`
-/// by one row `(val(v_b), Σc, Σs)` leaves every *prefix sum* at `v_b` and
-/// beyond unchanged, so the engine's window/argmax evaluation over the
-/// compressed table computes exactly what it computes at the retained
-/// rows of the dense table. The bounds only decide which interior rows
-/// are retained; every boundary row is always present, and any interval
-/// that could still hold the argmax (criteria upper bound ≥ best
-/// boundary candidate, by convexity of both split criteria in the two
-/// prefix components) ships its rows in full. See `DESIGN.md`
-/// § "Distributed split evaluation" for the full argument.
-fn shard_local_split_merge(
-    locals: &[Table],
-    plan: &MergePlan,
-    shape: &SplitQueryShape,
-    cfg: PushdownConfig,
-) -> Option<(Table, usize)> {
-    let total: usize = locals.iter().map(Table::num_rows).sum();
-    if total == 0 || total < cfg.min_rows {
-        return None;
-    }
-    // Column roles: exactly one group key; val and both components found
-    // by their output names.
+/// Plan-level column roles of the split protocol: the single group key,
+/// the two ⊕-summed split components, and how every output column
+/// merges. `None` when the summary protocol cannot order the result
+/// (multiple group keys, components that are not sums, or a `val` whose
+/// order the key does not determine) — the caller then takes the dense
+/// path without opening handles.
+fn split_spec_for(plan: &MergePlan, shape: &SplitQueryShape) -> Option<SplitSpec> {
     let key_cols: Vec<usize> = plan
         .specs
         .iter()
@@ -1428,40 +1598,62 @@ fn shard_local_split_merge(
     {
         return None;
     }
+    Some(SplitSpec {
+        key_col,
+        c0_col,
+        c1_col,
+        specs: plan.specs.clone(),
+    })
+}
 
-    // Per-shard: sort by key, build f64 prefix sums (NULL components
-    // disqualify — Acc-exact merging could not mirror them in bounds).
-    let mut shards = Vec::with_capacity(locals.len());
-    for t in locals {
-        let n = t.num_rows();
-        let mut order: Vec<u32> = (0..n as u32).collect();
-        order.sort_by(|&a, &b| {
-            t.columns[key_col]
-                .get(a as usize)
-                .sql_cmp(&t.columns[key_col].get(b as usize))
-        });
-        let keys: Vec<Datum> = order
-            .iter()
-            .map(|&i| t.columns[key_col].get(i as usize))
-            .collect();
-        let mut p0 = Vec::with_capacity(n);
-        let mut p1 = Vec::with_capacity(n);
-        let (mut a0, mut a1) = (0.0f64, 0.0f64);
-        for &i in &order {
-            a0 += t.columns[c0_col].f64_at(i as usize)?;
-            a1 += t.columns[c1_col].f64_at(i as usize)?;
-            p0.push(a0);
-            p1.push(a1);
-        }
-        shards.push(LocalSplit {
-            table: t,
-            order,
-            keys,
-            p0,
-            p1,
-        });
+/// Ask every shard handle the same protocol question, in parallel.
+/// Results come back in shard order; the first shard error wins.
+fn on_all_handles<'h, T, F>(handles: &[Box<dyn SplitHandle + 'h>], f: F) -> BackendResult<Vec<T>>
+where
+    T: Send,
+    F: Fn(&dyn SplitHandle) -> BackendResult<T> + Sync,
+{
+    if handles.len() == 1 {
+        return Ok(vec![f(handles[0].as_ref())?]);
     }
+    let fr = &f;
+    let results: Vec<BackendResult<T>> = crossbeam::thread::scope(|scope| {
+        let spawned: Vec<_> = handles
+            .iter()
+            .map(|h| scope.spawn(move |_| fr(h.as_ref())))
+            .collect();
+        spawned
+            .into_iter()
+            .map(|h| h.join().expect("split worker panicked"))
+            .collect()
+    })
+    .expect("split scope");
+    results.into_iter().collect()
+}
 
+/// The coordinator half of the shard-local split protocol: boundary
+/// keys → global interval grid → per-interval boundary prefix-sum
+/// summaries → convexity bounds → candidate fetch → run-compressed
+/// merged table. Every shard interaction goes through [`SplitHandle`],
+/// so over a remote transport only these messages cross the wire.
+///
+/// Exactness: replacing a contiguous run of per-value rows `(v_a, v_b]`
+/// by one row `(val(v_b), Σc, Σs)` leaves every *prefix sum* at `v_b` and
+/// beyond unchanged, so the engine's window/argmax evaluation over the
+/// compressed table computes exactly what it computes at the retained
+/// rows of the dense table. The bounds only decide which interior rows
+/// are retained; every boundary row is always present, and any interval
+/// that could still hold the argmax (criteria upper bound ≥ best
+/// boundary candidate, by convexity of both split criteria in the two
+/// prefix components) ships its rows in full. See `DESIGN.md`
+/// § "Distributed split evaluation" for the full argument.
+fn shard_split_protocol(
+    handles: &[Box<dyn SplitHandle + '_>],
+    plan: &MergePlan,
+    shape: &SplitQueryShape,
+    cfg: PushdownConfig,
+) -> BackendResult<(Table, usize)> {
+    let total: usize = handles.iter().map(|h| h.num_rows()).sum();
     let mut shipped = 0usize;
     // Initial grid: each shard publishes k equal-count boundary keys (its
     // last key always included, so the grid covers every row).
@@ -1471,18 +1663,9 @@ fn shard_local_split_merge(
         grid.dedup_by(|a, b| a.sql_cmp(b) == std::cmp::Ordering::Equal);
     };
     let mut grid: Vec<Datum> = Vec::new();
-    for sh in &shards {
-        let n = sh.keys.len();
-        let mut last = usize::MAX;
-        for j in 1..=k {
-            let pos = (n * j).div_ceil(k).saturating_sub(1);
-            if n == 0 || pos == last {
-                continue;
-            }
-            last = pos;
-            grid.push(sh.keys[pos].clone());
-            shipped += 1;
-        }
+    for keys in on_all_handles(handles, |h| h.boundaries(k))? {
+        shipped += keys.len();
+        grid.extend(keys);
     }
     sort_dedup(&mut grid);
     // The shards' equal-count boundaries cluster around the same global
@@ -1515,100 +1698,47 @@ fn shard_local_split_merge(
     let clip = shape.guard.as_ref().and_then(|g| guard_c_range(g, n0));
     let d_expr = d_wrt(&shape.criteria, n1, n0);
 
-    /// One (shard, interval) boundary summary (a single wire row).
-    struct ShardDelta {
-        /// Interval sums of the two components on this shard.
-        dc: f64,
-        ds: f64,
-        /// max |Δs(t) − ρᵢ·Δc(t)| over the interval (ρᵢ = local slope).
-        maxdev: f64,
-        /// max |Δc(t)| over the interval.
-        maxabsdc: f64,
-    }
-
     // Refinement loop: summarize the grid intervals, bound the criteria
     // over each, and subdivide the survivors — candidate volume shrinks
     // geometrically, so a handful of summary rounds replaces shipping
     // whole buckets around a flat criteria peak.
-    let mut segs: Vec<Vec<(usize, usize)>> = Vec::new();
     let mut retain: Vec<bool> = Vec::new();
     let debug = std::env::var("JB_PUSHDOWN_DEBUG").is_ok();
     for round in 0usize..5 {
         let m = grid.len();
-        // Interval segmentation per shard: interval j holds keys in
-        // (grid[j−1], grid[j]]; every key is ≤ the global max, which is
-        // on the grid.
-        segs = Vec::with_capacity(shards.len());
-        for sh in &shards {
-            let mut seg = Vec::with_capacity(m);
-            let mut t = 0usize;
-            for b in &grid {
-                let start = t;
-                while t < sh.keys.len() && sh.keys[t].sql_cmp(b) != std::cmp::Ordering::Greater {
-                    t += 1;
-                }
-                seg.push((start, t));
-            }
-            debug_assert_eq!(t, sh.keys.len(), "keys above the grid maximum");
-            segs.push(seg);
-        }
-
-        // Per-interval boundary summaries: exact interval sums (f64
-        // view), the range each shard's local prefix covers inside the
-        // interval, and the shard's chord-deviation bound (how far its
-        // prefix staircase strays from the straight line between its
+        // One summary row per (shard, interval): exact interval ⊕-sums
+        // (f64 view), the range each shard's local prefix covers inside
+        // the interval, and the shard's chord-deviation bound (how far
+        // its prefix staircase strays from the straight line between its
         // interval endpoints — the term that makes the tight bound
-        // O(width²) on smooth data). One summary row per
-        // (shard, interval) crosses the wire; later rounds only ship the
+        // O(width²) on smooth data). Later rounds only re-ship the
         // freshly subdivided intervals (charged at refinement time).
+        let deltas: Vec<Vec<IntervalSummary>> = on_all_handles(handles, |h| h.summaries(&grid))?;
+        for row in &deltas {
+            if row.len() != m {
+                return Err(EngineError::Other(
+                    "split summaries do not match the grid".into(),
+                ));
+            }
+        }
         let mut cum0 = vec![0.0f64; m];
         let mut cum1 = vec![0.0f64; m];
         let mut lo0 = vec![0.0f64; m];
         let mut hi0 = vec![0.0f64; m];
         let mut lo1 = vec![0.0f64; m];
         let mut hi1 = vec![0.0f64; m];
-        let mut deltas: Vec<Vec<ShardDelta>> = Vec::with_capacity(shards.len());
-        for (sh, seg) in shards.iter().zip(&segs) {
-            let mut row = Vec::with_capacity(m);
-            for (j, &(start, end)) in seg.iter().enumerate() {
-                let at = |p: &[f64], i: usize| if i == 0 { 0.0 } else { p[i - 1] };
-                let c_at_start = at(&sh.p0, start);
-                let s_at_start = at(&sh.p1, start);
-                let dc = at(&sh.p0, end) - c_at_start;
-                let ds = at(&sh.p1, end) - s_at_start;
-                cum0[j] += dc;
-                cum1[j] += ds;
-                // Local prefix values reachable inside the interval: the
-                // value at its start plus every row's value.
-                let (mut mn0, mut mx0) = (c_at_start, c_at_start);
-                let (mut mn1, mut mx1) = (s_at_start, s_at_start);
-                let rho_i = if dc != 0.0 { ds / dc } else { 0.0 };
-                let (mut maxdev, mut maxabsdc) = (0.0f64, 0.0f64);
-                for t in start..end {
-                    mn0 = mn0.min(sh.p0[t]);
-                    mx0 = mx0.max(sh.p0[t]);
-                    mn1 = mn1.min(sh.p1[t]);
-                    mx1 = mx1.max(sh.p1[t]);
-                    let a = sh.p0[t] - c_at_start;
-                    let b = sh.p1[t] - s_at_start;
-                    maxdev = maxdev.max((b - rho_i * a).abs());
-                    maxabsdc = maxabsdc.max(a.abs());
-                }
-                lo0[j] += mn0;
-                hi0[j] += mx0;
-                lo1[j] += mn1;
-                hi1[j] += mx1;
-                row.push(ShardDelta {
-                    dc,
-                    ds,
-                    maxdev,
-                    maxabsdc,
-                });
+        for row in &deltas {
+            for (j, d) in row.iter().enumerate() {
+                cum0[j] += d.dc;
+                cum1[j] += d.ds;
+                lo0[j] += d.min0;
+                hi0[j] += d.max0;
+                lo1[j] += d.min1;
+                hi1[j] += d.max1;
             }
-            deltas.push(row);
         }
         if round == 0 {
-            shipped += shards.len() * m;
+            shipped += handles.len() * m;
         }
         // Exact global prefix sums at every grid boundary (cumulative).
         for j in 1..m {
@@ -1726,7 +1856,7 @@ fn shard_local_split_merge(
             .collect();
 
         let interval_rows =
-            |j: usize| -> usize { segs.iter().map(|seg| seg[j].1 - seg[j].0).sum::<usize>() };
+            |j: usize| -> usize { deltas.iter().map(|row| row[j].rows as usize).sum::<usize>() };
         let retained_rows: usize = (0..m).filter(|&j| retain[j]).map(interval_rows).sum();
         let retained_count = retain.iter().filter(|&&r| r).count();
         if debug {
@@ -1739,7 +1869,7 @@ fn shard_local_split_merge(
         // is spent, or another summary round could no longer undercut
         // what shipping the remaining candidates outright costs.
         if round == 4
-            || retained_rows <= (2 * k * shards.len()).max(64)
+            || retained_rows <= (2 * k * handles.len()).max(64)
             || shipped + retained_rows >= total
         {
             break;
@@ -1748,100 +1878,36 @@ fn shard_local_split_merge(
         // to each surviving interval's row mass (each shard publishes
         // equal-count sub-boundaries inside its slice of the interval).
         let budget = 2 * k;
-        let mut added: Vec<Datum> = Vec::new();
-        for j in 0..m {
-            if !retain[j] || retained_rows == 0 {
+        let mut targets: Vec<(usize, usize)> = Vec::new();
+        for (j, &keep) in retain.iter().enumerate() {
+            if !keep || retained_rows == 0 {
                 continue;
             }
             let quota = (budget * interval_rows(j)).div_ceil(retained_rows).max(1);
-            for (sh, seg) in shards.iter().zip(&segs) {
-                let (start, end) = seg[j];
-                let span = end - start;
-                if span < 2 {
-                    continue;
-                }
-                let per = quota.div_ceil(shards.len()).max(1).min(span - 1);
-                let mut last = usize::MAX;
-                for t in 1..=per {
-                    let pos = start + (span * t).div_ceil(per + 1).saturating_sub(1);
-                    if pos + 1 >= end || pos == last {
-                        continue;
-                    }
-                    last = pos;
-                    added.push(sh.keys[pos].clone());
-                }
-            }
+            targets.push((j, quota.div_ceil(handles.len()).max(1)));
+        }
+        let mut added: Vec<Datum> = Vec::new();
+        for keys in on_all_handles(handles, |h| h.refine(&grid, &targets))? {
+            added.extend(keys);
         }
         sort_dedup(&mut added);
         if added.is_empty() {
             break;
         }
         // New boundary keys plus re-summaries of the subdivided ranges.
-        shipped += added.len() + shards.len() * (retained_count + added.len());
+        shipped += added.len() + handles.len() * (retained_count + added.len());
         grid.extend(added);
         sort_dedup(&mut grid);
     }
-    let m = grid.len();
 
-    // Assemble: retained intervals merge their rows exactly (shipped in
-    // full); pruned intervals compress into one run row ending at the
-    // boundary — run sums for ⊕ columns, the boundary row's merged value
-    // for key and MIN/MAX columns.
-    let ncols = plan.specs.len();
-    let mut out_cols: Vec<Vec<Datum>> = vec![Vec::new(); ncols];
-    for j in 0..m {
-        if retain[j] {
-            let mut parts = Vec::with_capacity(shards.len());
-            for (sh, seg) in shards.iter().zip(&segs) {
-                let (start, end) = seg[j];
-                parts.push(sh.table.take(&sh.order[start..end]));
-                shipped += end - start;
-            }
-            let merged = merge_partials(parts, &plan.specs).ok()?;
-            for row in 0..merged.num_rows() {
-                for (ci, col) in out_cols.iter_mut().enumerate() {
-                    col.push(merged.columns[ci].get(row));
-                }
-            }
-        } else {
-            for (ci, spec) in plan.specs.iter().enumerate() {
-                let datum = match spec {
-                    MergeSpec::Key => grid[j].clone(),
-                    MergeSpec::Sum => {
-                        let mut acc = Acc::Empty;
-                        for (sh, seg) in shards.iter().zip(&segs) {
-                            let (start, end) = seg[j];
-                            for t in start..end {
-                                acc.add(&sh.table.columns[ci].get(sh.order[t] as usize));
-                            }
-                        }
-                        acc.into_datum()
-                    }
-                    MergeSpec::Min | MergeSpec::Max => {
-                        // The run row stands for the boundary key's row:
-                        // merge the value of that key across the shards
-                        // that hold it.
-                        let mut acc = Acc::Empty;
-                        for sh in &shards {
-                            if let Ok(t) = sh.keys.binary_search_by(|k| k.sql_cmp(&grid[j])) {
-                                acc.best(
-                                    &sh.table.columns[ci].get(sh.order[t] as usize),
-                                    *spec == MergeSpec::Max,
-                                );
-                            }
-                        }
-                        acc.into_datum()
-                    }
-                };
-                out_cols[ci].push(datum);
-            }
-        }
-    }
-    let mut out = Table::new();
-    for (meta, vals) in locals[0].meta.iter().zip(&out_cols) {
-        out.push_column(meta.clone(), Column::from_datums(vals));
-    }
-    Some((out, shipped))
+    // Assemble: every shard ships its retained intervals' rows in full
+    // plus one compressed partial per non-empty pruned interval; the
+    // ⊕-merge matches partials on the (unique) keys, so the merged table
+    // is exactly the run-compressed table of the in-process protocol.
+    let fetches = on_all_handles(handles, |h| h.fetch(&grid, &retain))?;
+    shipped += fetches.iter().map(Table::num_rows).sum::<usize>();
+    let merged = merge_partials(fetches, &plan.specs)?;
+    Ok((merged, shipped))
 }
 
 // ---------------------------------------------------------------------------
@@ -2303,7 +2369,8 @@ mod tests {
         assert!(err.to_string().contains("expression subquery"), "{err}");
         // Replicated-only updates still apply everywhere.
         b.execute("UPDATE dim SET grp = 9 WHERE k = 0").unwrap();
-        for db in [b.coordinator(), b.shard(0), b.shard(1)] {
+        let coord: &dyn ShardTransport = b.coordinator();
+        for db in [coord, b.shard(0), b.shard(1)] {
             let t = db.query("SELECT grp FROM dim WHERE k = 0").unwrap();
             assert_eq!(t.column(None, "grp").unwrap().get(0), Datum::Int(9));
         }

@@ -1,0 +1,967 @@
+//! The wire protocol of the remote backend: length-prefixed frames
+//! carrying SQL *text* and columnar table blocks.
+//!
+//! Design (see `DESIGN.md` § "Wire protocol"):
+//!
+//! * **Framing** — every message is `[u32 LE length][payload]`; a frame is
+//!   read fully or the connection is dead. No streaming, no multiplexing:
+//!   the client sends one [`Request`], the server answers with exactly one
+//!   [`Response`]. Oversized lengths (> [`MAX_FRAME`]) are rejected before
+//!   any allocation, so a corrupt or malicious peer cannot OOM the reader.
+//! * **SQL travels as text** — [`Request::Execute`] carries the printed
+//!   statement, leaning on the `print ∘ parse ∘ print` fixed-point proved
+//!   by [`crate::backend::SqlTextBackend`]: the server re-parses exactly
+//!   the statement the client's planner built.
+//! * **Tables travel as columnar blocks** — type tag + contiguous values
+//!   per column (f64s by bit pattern, strings as dictionary + codes,
+//!   validity as a packed bitmap), so a decoded [`Table`] is *bit-exact*,
+//!   not just value-equal: NaN payloads, `-0.0` and dictionary order all
+//!   survive. The `wire_roundtrip` proptests pin this down.
+//! * **Errors stay typed** — [`EngineError`] crosses the wire as a kind
+//!   tag plus its field string, so a remote `UnknownTable` is the *same*
+//!   variant the local engine would have produced; transport failures (and
+//!   only those) map into [`EngineError::Other`] with the shard address
+//!   attached.
+//!
+//! Everything here is synchronous `std::io` over any `Read`/`Write` pair —
+//! the repo builds without tokio, and one OS thread per connection is
+//! exactly the concurrency model the sharded fan-out already uses.
+
+use std::io::{self, Read, Write};
+
+use bytes::BufMut;
+
+use joinboost_engine::column::ColumnData;
+use joinboost_engine::table::ColumnMeta;
+use joinboost_engine::{Column, DataType, EngineError, Table};
+
+/// Protocol magic, sent in [`Request::Hello`]: `"JBWP"` (JoinBoost wire
+/// protocol).
+pub const MAGIC: u32 = 0x4a42_5750;
+
+/// Protocol version; bumped on any incompatible codec change. The server
+/// rejects a `Hello` with a different version instead of misdecoding.
+pub const VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload (64 MiB). Larger tables must be
+/// loaded in parts; in practice JoinBoost's shard messages are orders of
+/// magnitude smaller.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// One client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Handshake: protocol magic + version. The server answers with
+    /// [`Response::Caps`] or an error on a version mismatch.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Must equal [`VERSION`].
+        version: u32,
+    },
+    /// Execute one SQL statement given as text; the answer is
+    /// [`Response::Table`] (empty for non-`SELECT`s).
+    Execute {
+        /// The statement, printed by the client's emitter.
+        sql: String,
+    },
+    /// Bulk-load a table under the given name (columnar block).
+    CreateTable {
+        /// Table name to register.
+        name: String,
+        /// The table payload.
+        table: Table,
+    },
+    /// Materialize a full scan of a table.
+    Snapshot {
+        /// Table to scan.
+        name: String,
+    },
+    /// Column names of a table (schema lookup).
+    ColumnNames {
+        /// Table to describe.
+        name: String,
+    },
+    /// Data type of one column.
+    ColumnDtype {
+        /// Table holding the column.
+        table: String,
+        /// Column to describe.
+        column: String,
+    },
+    /// Does the table exist?
+    HasTable {
+        /// Table to probe.
+        name: String,
+    },
+    /// Number of rows in a table.
+    RowCount {
+        /// Table to count.
+        name: String,
+    },
+    /// Temp-table lifecycle: drop if present, succeed either way.
+    DropTableIfExists {
+        /// Table to drop.
+        name: String,
+    },
+    /// Ship only the rows at the given snapshot-order positions (the
+    /// messages-not-scans path of random-forest sampling).
+    GatherRows {
+        /// Table to sample from.
+        name: String,
+        /// Snapshot-order positions, in the order they should return.
+        rows: Vec<u32>,
+    },
+    /// Names of every table the server currently holds (diagnostics; the
+    /// fault-injection tests use it to prove temp-table cleanup).
+    TableNames,
+    /// Open a split-protocol handle: execute the absorbed per-value query
+    /// and keep its sorted, prefix-summed result *server-side* (see
+    /// [`crate::backend::split`]). The reply is
+    /// [`Response::SplitOpened`].
+    SplitOpen {
+        /// The absorbed inner query, as text.
+        sql: String,
+        /// Column index of the single group key.
+        key_col: u32,
+        /// Column index of split component 0.
+        c0_col: u32,
+        /// Column index of split component 1.
+        c1_col: u32,
+        /// Per-column [`crate::backend::split::MergeSpec`] wire tags.
+        specs: Vec<u8>,
+    },
+    /// Equal-count boundary keys of an open split handle (1-column table).
+    SplitBoundaries {
+        /// Handle from [`Response::SplitOpened`].
+        id: u64,
+        /// Number of boundaries requested.
+        k: u32,
+    },
+    /// Per-interval boundary summaries for a grid (8-column table back).
+    SplitSummaries {
+        /// Handle from [`Response::SplitOpened`].
+        id: u64,
+        /// Ascending grid keys as a 1-column table.
+        grid: Table,
+    },
+    /// Sub-boundary keys inside the given `(interval, per-shard budget)`
+    /// targets (1-column table back).
+    SplitRefine {
+        /// Handle from [`Response::SplitOpened`].
+        id: u64,
+        /// Ascending grid keys as a 1-column table.
+        grid: Table,
+        /// `(interval index, key budget)` pairs.
+        targets: Vec<(u32, u32)>,
+    },
+    /// The shard's run-compressed contribution: full rows for retained
+    /// intervals, one compressed partial per non-empty pruned interval.
+    SplitFetch {
+        /// Handle from [`Response::SplitOpened`].
+        id: u64,
+        /// Ascending grid keys as a 1-column table.
+        grid: Table,
+        /// Per-interval retention decisions, parallel to the grid.
+        retain: Vec<bool>,
+    },
+    /// Release a split handle's server-side state.
+    SplitClose {
+        /// Handle from [`Response::SplitOpened`].
+        id: u64,
+    },
+}
+
+/// One server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake answer: what the server's engine supports.
+    Caps {
+        /// Whether the server accepts `SWAP COLUMN` statements.
+        column_swap: bool,
+    },
+    /// A result table (bit-exact columnar block).
+    Table(Table),
+    /// Success without a payload.
+    Unit,
+    /// A list of names.
+    Names(Vec<String>),
+    /// A column's data type.
+    Dtype(DataType),
+    /// A boolean answer.
+    Bool(bool),
+    /// A row count.
+    Count(u64),
+    /// The engine error the statement produced, variant preserved.
+    Err(EngineError),
+    /// Reply to [`Request::SplitOpen`] when the protocol applies:
+    /// `(handle id, rows)`. When the shard's data disqualifies the
+    /// protocol (NULL components), the server answers with
+    /// [`Response::Table`] carrying the absorbed result instead, so the
+    /// dense fallback costs no second execution.
+    SplitOpened(u64, u64),
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Write one `[u32 LE length][payload]` frame. Returns the total number of
+/// bytes put on the wire (`payload.len() + 4`).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<usize> {
+    if payload.len() > MAX_FRAME as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(payload.len() + 4)
+}
+
+/// Read one frame; fails on EOF, short reads and oversized lengths.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut buf = vec![0u8; len as usize];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Checked reader
+// ---------------------------------------------------------------------------
+
+/// Cursor over a received payload with *checked* reads: a truncated or
+/// corrupt frame surfaces as a decode error, never a panic — a killed
+/// server must not take the client down with it.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+type DecodeResult<T> = Result<T, EngineError>;
+
+fn corrupt(what: &str) -> EngineError {
+    EngineError::Other(format!("wire decode: {what}"))
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> DecodeResult<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(corrupt("truncated frame"));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> DecodeResult<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> DecodeResult<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn i64(&mut self) -> DecodeResult<i64> {
+        Ok(i64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Length-checked count of fixed-size items: guards allocations
+    /// against frames whose headers promise more data than they carry.
+    fn count(&mut self, item_bytes: usize) -> DecodeResult<usize> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(item_bytes.max(1)) > self.buf.len() {
+            return Err(corrupt("count exceeds frame size"));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> DecodeResult<String> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("invalid utf-8"))
+    }
+
+    /// Pre-allocation guard: the next `n` items of `item_bytes` each must
+    /// fit in the remaining buffer.
+    fn ensure(&self, n: usize, item_bytes: usize) -> DecodeResult<()> {
+        if n.saturating_mul(item_bytes) > self.buf.len() {
+            return Err(corrupt("announced length exceeds frame size"));
+        }
+        Ok(())
+    }
+
+    fn done(&self) -> DecodeResult<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes after message"))
+        }
+    }
+}
+
+fn put_string(buf: &mut Vec<u8>, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// Table codec
+// ---------------------------------------------------------------------------
+
+const DATA_INT: u8 = 0;
+const DATA_FLOAT: u8 = 1;
+const DATA_STR: u8 = 2;
+
+/// Append a columnar block encoding of `t` to `buf`. Bit-exact: floats go
+/// by bit pattern, string dictionaries keep their order and codes.
+pub fn encode_table(t: &Table, buf: &mut Vec<u8>) {
+    buf.put_u32_le(t.num_columns() as u32);
+    buf.put_u64_le(t.num_rows() as u64);
+    for (meta, col) in t.meta.iter().zip(&t.columns) {
+        match &meta.qualifier {
+            None => buf.put_u8(0),
+            Some(q) => {
+                buf.put_u8(1);
+                put_string(buf, q);
+            }
+        }
+        put_string(buf, &meta.name);
+        match &col.data {
+            ColumnData::Int(v) => {
+                buf.put_u8(DATA_INT);
+                for &x in v {
+                    buf.put_i64_le(x);
+                }
+            }
+            ColumnData::Float(v) => {
+                buf.put_u8(DATA_FLOAT);
+                for &x in v {
+                    buf.put_u64_le(x.to_bits());
+                }
+            }
+            ColumnData::Str { dict, codes } => {
+                buf.put_u8(DATA_STR);
+                buf.put_u32_le(dict.len() as u32);
+                for s in dict {
+                    put_string(buf, s);
+                }
+                for &c in codes {
+                    buf.put_u32_le(c);
+                }
+            }
+        }
+        match &col.validity {
+            None => buf.put_u8(0),
+            Some(mask) => {
+                buf.put_u8(1);
+                // Packed bitmap, LSB-first within each byte.
+                let mut byte = 0u8;
+                for (i, &ok) in mask.iter().enumerate() {
+                    if ok {
+                        byte |= 1 << (i % 8);
+                    }
+                    if i % 8 == 7 {
+                        buf.put_u8(byte);
+                        byte = 0;
+                    }
+                }
+                if mask.len() % 8 != 0 {
+                    buf.put_u8(byte);
+                }
+            }
+        }
+    }
+}
+
+fn decode_column(r: &mut Reader<'_>, nrows: usize) -> DecodeResult<Column> {
+    let data = match r.u8()? {
+        DATA_INT => {
+            r.ensure(nrows, 8)?;
+            let mut v = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                v.push(r.i64()?);
+            }
+            ColumnData::Int(v)
+        }
+        DATA_FLOAT => {
+            r.ensure(nrows, 8)?;
+            let mut v = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                v.push(f64::from_bits(r.u64()?));
+            }
+            ColumnData::Float(v)
+        }
+        DATA_STR => {
+            let ndict = r.count(4)?;
+            let mut dict = Vec::with_capacity(ndict);
+            for _ in 0..ndict {
+                dict.push(r.string()?);
+            }
+            r.ensure(nrows, 4)?;
+            let mut codes = Vec::with_capacity(nrows);
+            for _ in 0..nrows {
+                let c = r.u32()?;
+                if c as usize >= ndict {
+                    return Err(corrupt("string code out of dictionary range"));
+                }
+                codes.push(c);
+            }
+            ColumnData::Str { dict, codes }
+        }
+        _ => return Err(corrupt("unknown column data tag")),
+    };
+    let validity = match r.u8()? {
+        0 => None,
+        1 => {
+            let bytes = r.take(nrows.div_ceil(8))?;
+            Some(
+                (0..nrows)
+                    .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+                    .collect(),
+            )
+        }
+        _ => return Err(corrupt("unknown validity tag")),
+    };
+    Ok(Column { data, validity })
+}
+
+/// Decode a columnar block produced by [`encode_table`].
+fn decode_table(r: &mut Reader<'_>) -> DecodeResult<Table> {
+    let ncols = r.count(1)?;
+    let nrows = r.u64()? as usize;
+    // Each row needs at least one byte per column in the frame.
+    if nrows.saturating_mul(ncols.max(1)) > (MAX_FRAME as usize) * 8 {
+        return Err(corrupt("row count exceeds frame capacity"));
+    }
+    let mut t = Table::new();
+    for _ in 0..ncols {
+        let qualifier = match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            _ => return Err(corrupt("unknown qualifier tag")),
+        };
+        let name = r.string()?;
+        let col = decode_column(r, nrows)?;
+        let meta = match qualifier {
+            None => ColumnMeta::new(name),
+            Some(q) => ColumnMeta::qualified(q, name),
+        };
+        t.push_column(meta, col);
+    }
+    Ok(t)
+}
+
+/// Standalone table decode (the proptest entry point): the whole buffer
+/// must be one encoded table.
+pub fn decode_table_bytes(bytes: &[u8]) -> DecodeResult<Table> {
+    let mut r = Reader::new(bytes);
+    let t = decode_table(&mut r)?;
+    r.done()?;
+    Ok(t)
+}
+
+/// Standalone table encode (the proptest entry point).
+pub fn encode_table_bytes(t: &Table) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_table(t, &mut buf);
+    buf
+}
+
+// ---------------------------------------------------------------------------
+// Error codec
+// ---------------------------------------------------------------------------
+
+fn encode_engine_error(e: &EngineError, buf: &mut Vec<u8>) {
+    let (tag, msg): (u8, &str) = match e {
+        EngineError::Parse(m) => (0, m),
+        EngineError::UnknownTable(m) => (1, m),
+        EngineError::TableExists(m) => (2, m),
+        EngineError::UnknownColumn(m) => (3, m),
+        EngineError::TypeMismatch(m) => (4, m),
+        EngineError::Other(m) => (5, m),
+    };
+    buf.put_u8(tag);
+    put_string(buf, msg);
+}
+
+fn decode_engine_error(r: &mut Reader<'_>) -> DecodeResult<EngineError> {
+    let tag = r.u8()?;
+    let msg = r.string()?;
+    Ok(match tag {
+        0 => EngineError::Parse(msg),
+        1 => EngineError::UnknownTable(msg),
+        2 => EngineError::TableExists(msg),
+        3 => EngineError::UnknownColumn(msg),
+        4 => EngineError::TypeMismatch(msg),
+        5 => EngineError::Other(msg),
+        _ => return Err(corrupt("unknown error tag")),
+    })
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Int => 0,
+        DataType::Float => 1,
+        DataType::Str => 2,
+    }
+}
+
+fn dtype_from(tag: u8) -> DecodeResult<DataType> {
+    Ok(match tag {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Str,
+        _ => return Err(corrupt("unknown dtype tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request / Response codecs
+// ---------------------------------------------------------------------------
+
+const REQ_HELLO: u8 = 0;
+const REQ_EXECUTE: u8 = 1;
+const REQ_CREATE_TABLE: u8 = 2;
+const REQ_SNAPSHOT: u8 = 3;
+const REQ_COLUMN_NAMES: u8 = 4;
+const REQ_COLUMN_DTYPE: u8 = 5;
+const REQ_HAS_TABLE: u8 = 6;
+const REQ_ROW_COUNT: u8 = 7;
+const REQ_DROP_IF_EXISTS: u8 = 8;
+const REQ_GATHER_ROWS: u8 = 9;
+const REQ_TABLE_NAMES: u8 = 10;
+const REQ_SPLIT_OPEN: u8 = 11;
+const REQ_SPLIT_BOUNDARIES: u8 = 12;
+const REQ_SPLIT_SUMMARIES: u8 = 13;
+const REQ_SPLIT_REFINE: u8 = 14;
+const REQ_SPLIT_FETCH: u8 = 15;
+const REQ_SPLIT_CLOSE: u8 = 16;
+
+/// Encode one request into a frame payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match req {
+        Request::Hello { magic, version } => {
+            buf.put_u8(REQ_HELLO);
+            buf.put_u32_le(*magic);
+            buf.put_u32_le(*version);
+        }
+        Request::Execute { sql } => {
+            buf.put_u8(REQ_EXECUTE);
+            put_string(&mut buf, sql);
+        }
+        Request::CreateTable { name, table } => {
+            buf.put_u8(REQ_CREATE_TABLE);
+            put_string(&mut buf, name);
+            encode_table(table, &mut buf);
+        }
+        Request::Snapshot { name } => {
+            buf.put_u8(REQ_SNAPSHOT);
+            put_string(&mut buf, name);
+        }
+        Request::ColumnNames { name } => {
+            buf.put_u8(REQ_COLUMN_NAMES);
+            put_string(&mut buf, name);
+        }
+        Request::ColumnDtype { table, column } => {
+            buf.put_u8(REQ_COLUMN_DTYPE);
+            put_string(&mut buf, table);
+            put_string(&mut buf, column);
+        }
+        Request::HasTable { name } => {
+            buf.put_u8(REQ_HAS_TABLE);
+            put_string(&mut buf, name);
+        }
+        Request::RowCount { name } => {
+            buf.put_u8(REQ_ROW_COUNT);
+            put_string(&mut buf, name);
+        }
+        Request::DropTableIfExists { name } => {
+            buf.put_u8(REQ_DROP_IF_EXISTS);
+            put_string(&mut buf, name);
+        }
+        Request::GatherRows { name, rows } => {
+            buf.put_u8(REQ_GATHER_ROWS);
+            put_string(&mut buf, name);
+            buf.put_u32_le(rows.len() as u32);
+            for &x in rows {
+                buf.put_u32_le(x);
+            }
+        }
+        Request::TableNames => buf.put_u8(REQ_TABLE_NAMES),
+        Request::SplitOpen {
+            sql,
+            key_col,
+            c0_col,
+            c1_col,
+            specs,
+        } => {
+            buf.put_u8(REQ_SPLIT_OPEN);
+            put_string(&mut buf, sql);
+            buf.put_u32_le(*key_col);
+            buf.put_u32_le(*c0_col);
+            buf.put_u32_le(*c1_col);
+            buf.put_u32_le(specs.len() as u32);
+            buf.put_slice(specs);
+        }
+        Request::SplitBoundaries { id, k } => {
+            buf.put_u8(REQ_SPLIT_BOUNDARIES);
+            buf.put_u64_le(*id);
+            buf.put_u32_le(*k);
+        }
+        Request::SplitSummaries { id, grid } => {
+            buf.put_u8(REQ_SPLIT_SUMMARIES);
+            buf.put_u64_le(*id);
+            encode_table(grid, &mut buf);
+        }
+        Request::SplitRefine { id, grid, targets } => {
+            buf.put_u8(REQ_SPLIT_REFINE);
+            buf.put_u64_le(*id);
+            encode_table(grid, &mut buf);
+            buf.put_u32_le(targets.len() as u32);
+            for &(j, per) in targets {
+                buf.put_u32_le(j);
+                buf.put_u32_le(per);
+            }
+        }
+        Request::SplitFetch { id, grid, retain } => {
+            buf.put_u8(REQ_SPLIT_FETCH);
+            buf.put_u64_le(*id);
+            encode_table(grid, &mut buf);
+            buf.put_u32_le(retain.len() as u32);
+            for &r in retain {
+                buf.put_u8(u8::from(r));
+            }
+        }
+        Request::SplitClose { id } => {
+            buf.put_u8(REQ_SPLIT_CLOSE);
+            buf.put_u64_le(*id);
+        }
+    }
+    buf
+}
+
+/// Decode one request frame payload.
+pub fn decode_request(bytes: &[u8]) -> DecodeResult<Request> {
+    let mut r = Reader::new(bytes);
+    let req = match r.u8()? {
+        REQ_HELLO => Request::Hello {
+            magic: r.u32()?,
+            version: r.u32()?,
+        },
+        REQ_EXECUTE => Request::Execute { sql: r.string()? },
+        REQ_CREATE_TABLE => {
+            let name = r.string()?;
+            let table = decode_table(&mut r)?;
+            Request::CreateTable { name, table }
+        }
+        REQ_SNAPSHOT => Request::Snapshot { name: r.string()? },
+        REQ_COLUMN_NAMES => Request::ColumnNames { name: r.string()? },
+        REQ_COLUMN_DTYPE => Request::ColumnDtype {
+            table: r.string()?,
+            column: r.string()?,
+        },
+        REQ_HAS_TABLE => Request::HasTable { name: r.string()? },
+        REQ_ROW_COUNT => Request::RowCount { name: r.string()? },
+        REQ_DROP_IF_EXISTS => Request::DropTableIfExists { name: r.string()? },
+        REQ_GATHER_ROWS => {
+            let name = r.string()?;
+            let n = r.count(4)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                rows.push(r.u32()?);
+            }
+            Request::GatherRows { name, rows }
+        }
+        REQ_TABLE_NAMES => Request::TableNames,
+        REQ_SPLIT_OPEN => {
+            let sql = r.string()?;
+            let key_col = r.u32()?;
+            let c0_col = r.u32()?;
+            let c1_col = r.u32()?;
+            let n = r.count(1)?;
+            let specs = r.take(n)?.to_vec();
+            Request::SplitOpen {
+                sql,
+                key_col,
+                c0_col,
+                c1_col,
+                specs,
+            }
+        }
+        REQ_SPLIT_BOUNDARIES => Request::SplitBoundaries {
+            id: r.u64()?,
+            k: r.u32()?,
+        },
+        REQ_SPLIT_SUMMARIES => {
+            let id = r.u64()?;
+            let grid = decode_table(&mut r)?;
+            Request::SplitSummaries { id, grid }
+        }
+        REQ_SPLIT_REFINE => {
+            let id = r.u64()?;
+            let grid = decode_table(&mut r)?;
+            let n = r.count(8)?;
+            let mut targets = Vec::with_capacity(n);
+            for _ in 0..n {
+                targets.push((r.u32()?, r.u32()?));
+            }
+            Request::SplitRefine { id, grid, targets }
+        }
+        REQ_SPLIT_FETCH => {
+            let id = r.u64()?;
+            let grid = decode_table(&mut r)?;
+            let n = r.count(1)?;
+            let retain = r.take(n)?.iter().map(|&b| b != 0).collect();
+            Request::SplitFetch { id, grid, retain }
+        }
+        REQ_SPLIT_CLOSE => Request::SplitClose { id: r.u64()? },
+        _ => return Err(corrupt("unknown request tag")),
+    };
+    r.done()?;
+    Ok(req)
+}
+
+const RESP_CAPS: u8 = 0;
+const RESP_TABLE: u8 = 1;
+const RESP_UNIT: u8 = 2;
+const RESP_NAMES: u8 = 3;
+const RESP_DTYPE: u8 = 4;
+const RESP_BOOL: u8 = 5;
+const RESP_COUNT: u8 = 6;
+const RESP_ERR: u8 = 7;
+const RESP_SPLIT_OPENED: u8 = 8;
+
+/// Encode one response into a frame payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match resp {
+        Response::Caps { column_swap } => {
+            buf.put_u8(RESP_CAPS);
+            buf.put_u8(u8::from(*column_swap));
+        }
+        Response::Table(t) => {
+            buf.put_u8(RESP_TABLE);
+            encode_table(t, &mut buf);
+        }
+        Response::Unit => buf.put_u8(RESP_UNIT),
+        Response::Names(names) => {
+            buf.put_u8(RESP_NAMES);
+            buf.put_u32_le(names.len() as u32);
+            for n in names {
+                put_string(&mut buf, n);
+            }
+        }
+        Response::Dtype(d) => {
+            buf.put_u8(RESP_DTYPE);
+            buf.put_u8(dtype_tag(*d));
+        }
+        Response::Bool(b) => {
+            buf.put_u8(RESP_BOOL);
+            buf.put_u8(u8::from(*b));
+        }
+        Response::Count(c) => {
+            buf.put_u8(RESP_COUNT);
+            buf.put_u64_le(*c);
+        }
+        Response::Err(e) => {
+            buf.put_u8(RESP_ERR);
+            encode_engine_error(e, &mut buf);
+        }
+        Response::SplitOpened(id, rows) => {
+            buf.put_u8(RESP_SPLIT_OPENED);
+            buf.put_u64_le(*id);
+            buf.put_u64_le(*rows);
+        }
+    }
+    buf
+}
+
+/// Decode one response frame payload.
+pub fn decode_response(bytes: &[u8]) -> DecodeResult<Response> {
+    let mut r = Reader::new(bytes);
+    let resp = match r.u8()? {
+        RESP_CAPS => Response::Caps {
+            column_swap: r.u8()? != 0,
+        },
+        RESP_TABLE => Response::Table(decode_table(&mut r)?),
+        RESP_UNIT => Response::Unit,
+        RESP_NAMES => {
+            let n = r.count(4)?;
+            let mut names = Vec::with_capacity(n);
+            for _ in 0..n {
+                names.push(r.string()?);
+            }
+            Response::Names(names)
+        }
+        RESP_DTYPE => Response::Dtype(dtype_from(r.u8()?)?),
+        RESP_BOOL => Response::Bool(r.u8()? != 0),
+        RESP_COUNT => Response::Count(r.u64()?),
+        RESP_ERR => Response::Err(decode_engine_error(&mut r)?),
+        RESP_SPLIT_OPENED => Response::SplitOpened(r.u64()?, r.u64()?),
+        _ => return Err(corrupt("unknown response tag")),
+    };
+    r.done()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinboost_engine::Datum;
+
+    fn sample_table() -> Table {
+        let mut t = Table::new();
+        t.push_column(ColumnMeta::new("a"), Column::int(vec![1, -5, i64::MAX]));
+        t.push_column(
+            ColumnMeta::qualified("q", "b"),
+            Column {
+                data: ColumnData::Float(vec![0.5, -0.0, f64::NAN]),
+                validity: Some(vec![true, false, true]),
+            },
+        );
+        t.push_column(
+            ColumnMeta::new("c"),
+            Column::str(vec!["x".into(), "".into(), "x".into()]),
+        );
+        t
+    }
+
+    #[test]
+    fn table_roundtrips_bit_exactly() {
+        let t = sample_table();
+        let bytes = encode_table_bytes(&t);
+        let back = decode_table_bytes(&bytes).unwrap();
+        // Bit-exact: re-encoding the decoded table yields identical bytes
+        // (PartialEq would miss NaN payloads and -0.0).
+        assert_eq!(encode_table_bytes(&back), bytes);
+        assert_eq!(back.num_rows(), 3);
+        assert_eq!(back.meta, t.meta);
+        assert_eq!(back.columns[1].get(1), Datum::Null);
+    }
+
+    #[test]
+    fn empty_and_zero_column_tables_roundtrip() {
+        for t in [
+            Table::new(),
+            Table::from_columns(vec![("x", Column::int(vec![]))]),
+        ] {
+            let bytes = encode_table_bytes(&t);
+            let back = decode_table_bytes(&bytes).unwrap();
+            assert_eq!(encode_table_bytes(&back), bytes);
+            assert_eq!(back.num_rows(), 0);
+            assert_eq!(back.num_columns(), t.num_columns());
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_frames_error_not_panic() {
+        let t = sample_table();
+        let bytes = encode_table_bytes(&t);
+        for cut in 0..bytes.len() {
+            assert!(decode_table_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A frame announcing more rows than it carries must not allocate
+        // or panic.
+        let mut evil = Vec::new();
+        evil.put_u32_le(1); // one column
+        evil.put_u64_le(u64::MAX); // absurd row count
+        assert!(decode_table_bytes(&evil).is_err());
+        assert!(decode_request(&[99]).is_err());
+        assert!(decode_response(&[99]).is_err());
+    }
+
+    #[test]
+    fn requests_and_responses_roundtrip() {
+        let reqs = vec![
+            Request::Hello {
+                magic: MAGIC,
+                version: VERSION,
+            },
+            Request::Execute {
+                sql: "SELECT a, SUM(y) AS s FROM r GROUP BY a".into(),
+            },
+            Request::CreateTable {
+                name: "t".into(),
+                table: sample_table(),
+            },
+            Request::Snapshot { name: "t".into() },
+            Request::ColumnNames { name: "t".into() },
+            Request::ColumnDtype {
+                table: "t".into(),
+                column: "a".into(),
+            },
+            Request::HasTable { name: "t".into() },
+            Request::RowCount { name: "t".into() },
+            Request::DropTableIfExists { name: "t".into() },
+            Request::GatherRows {
+                name: "t".into(),
+                rows: vec![2, 0, 2],
+            },
+            Request::TableNames,
+        ];
+        for req in reqs {
+            let enc = encode_request(&req);
+            let back = decode_request(&enc).unwrap();
+            // Compare via re-encoding: PartialEq on a NaN-bearing table
+            // would reject a perfectly bit-exact round-trip.
+            assert_eq!(encode_request(&back), enc, "{req:?}");
+        }
+        let resps = vec![
+            Response::Caps { column_swap: true },
+            Response::Table(sample_table()),
+            Response::Unit,
+            Response::Names(vec!["a".into(), "b".into()]),
+            Response::Dtype(DataType::Str),
+            Response::Bool(false),
+            Response::Count(42),
+            Response::Err(EngineError::UnknownTable("ghost".into())),
+        ];
+        for resp in resps {
+            let enc = encode_response(&resp);
+            let back = decode_response(&enc).unwrap();
+            // Compare via re-encoding (NaN-proof) and structurally.
+            assert_eq!(encode_response(&back), enc, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_pipe() {
+        let payload = encode_request(&Request::Execute {
+            sql: "SELECT 1 AS one".into(),
+        });
+        let mut pipe = Vec::new();
+        let sent = write_frame(&mut pipe, &payload).unwrap();
+        assert_eq!(sent, payload.len() + 4);
+        let mut cursor: &[u8] = &pipe;
+        assert_eq!(read_frame(&mut cursor).unwrap(), payload);
+        // Oversized length prefix is rejected before allocation.
+        let mut evil: &[u8] = &(MAX_FRAME + 1).to_le_bytes();
+        assert!(read_frame(&mut evil).is_err());
+    }
+}

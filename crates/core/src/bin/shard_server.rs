@@ -1,0 +1,54 @@
+//! Standalone shard server: hosts one JoinBoost engine behind the wire
+//! protocol, for multi-process sharding over sockets.
+//!
+//! ```text
+//! shard_server [--addr 127.0.0.1:0] [--allow-swap] [--fail-after N] [--stall]
+//! ```
+//!
+//! Prints `LISTENING <addr>` on stdout once bound (an ephemeral port with
+//! `--addr 127.0.0.1:0`, the default), then serves until killed. The
+//! `--fail-after`/`--stall` flags are the fault-injection knobs of the
+//! test suite: after N requests the server behaves like a crashed
+//! (respectively hung) process.
+
+use std::net::TcpListener;
+
+use joinboost::backend::ServeOptions;
+use joinboost_engine::{Database, EngineConfig};
+
+fn main() {
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut opts = ServeOptions::default();
+    let mut config = EngineConfig::duckdb_mem();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().expect("--addr needs a value"),
+            "--allow-swap" => config.allow_swap = true,
+            "--fail-after" => {
+                let n = args.next().expect("--fail-after needs a value");
+                opts.fail_after = Some(n.parse().expect("--fail-after needs a number"));
+            }
+            "--stall" => opts.stall = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: shard_server [--addr HOST:PORT] [--allow-swap] \
+                     [--fail-after N] [--stall]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let listener = TcpListener::bind(&addr).expect("bind");
+    let local = listener.local_addr().expect("local addr");
+    // The parent (test rig or operator) reads this line to learn the
+    // ephemeral port.
+    println!("LISTENING {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().expect("flush");
+    joinboost::backend::serve(listener, Database::new(config), opts);
+}

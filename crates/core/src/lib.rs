@@ -47,8 +47,10 @@
 //!
 //! * [`backend`] — the [`SqlBackend`] trait every training query goes
 //!   through, and its implementations: the in-memory engine (AST fast
-//!   path), the SQL-text round-trip backend, and the sharded fan-out
-//!   backend (Section 5's portability claim, made pluggable).
+//!   path), the SQL-text round-trip backend, the remote wire backend
+//!   (SQL over a socket to a separate engine process), and the sharded
+//!   fan-out backend with pluggable in-process/remote shard transports
+//!   (Section 5's portability claim, made pluggable).
 //! * [`dataset`] — binding a [`joinboost_graph::JoinGraph`] to database
 //!   tables; feature kinds; lifted (annotated) table creation. Training
 //!   never modifies user data: all writes go to `jb_`-prefixed temp tables.
@@ -88,7 +90,8 @@ pub mod trainer;
 pub mod tree;
 
 pub use backend::{
-    BackendCapabilities, BackendResult, EngineBackend, ShardedBackend, SqlBackend, SqlTextBackend,
+    BackendCapabilities, BackendResult, EngineBackend, RemoteBackend, ShardedBackend, SqlBackend,
+    SqlTextBackend,
 };
 pub use boosting::{train_gbm, train_gbm_cb, GbmModel};
 pub use dataset::{Dataset, FeatureKind};

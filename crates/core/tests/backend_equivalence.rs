@@ -17,11 +17,48 @@
 //! exactly what this test asserts for 1-shard and 4-shard backends.
 
 use joinboost::backend::{
-    EngineBackend, PushdownConfig, ShardedBackend, SqlBackend, SqlTextBackend,
+    EngineBackend, PushdownConfig, RemoteBackend, RemoteOptions, ShardedBackend, SqlBackend,
+    SqlTextBackend,
 };
 use joinboost::{train_gbm, Dataset, GbmModel, TrainParams};
 use joinboost_datagen::{favorita, FavoritaConfig};
 use joinboost_engine::EngineConfig;
+
+/// A real `shard_server` child process (cross-process, not a thread):
+/// spawned on an ephemeral port, killed on drop.
+struct ShardServerProc {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+impl ShardServerProc {
+    fn spawn() -> ShardServerProc {
+        use std::io::BufRead as _;
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_shard_server"))
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn shard_server");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .expect("server must announce its address")
+            .parse()
+            .expect("valid socket address");
+        ShardServerProc { child, addr }
+    }
+}
+
+impl Drop for ShardServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
 
 fn workload() -> joinboost_datagen::favorita::Generated {
     favorita(&FavoritaConfig {
@@ -131,6 +168,72 @@ fn all_backends_train_bit_identical_gbms() {
                 .filter(|&i| sharded.shard(i).row_count("sales").unwrap_or(0) > 0)
                 .count();
             assert!(nonempty > 1, "hash partitioning left all rows on one shard");
+        }
+    }
+}
+
+/// The portability claim across a *process boundary*: the same training
+/// run against engines living in separate `shard_server` processes —
+/// reached only through SQL text and columnar blocks over sockets — must
+/// produce the same bits as the in-process engine, with the split
+/// pushdown forced on so the PR-4 summary protocol is what actually runs
+/// over the wire.
+#[test]
+fn remote_backends_train_bit_identical_gbms_cross_process() {
+    let engine = EngineBackend::in_memory();
+    let reference = load_and_train(&engine);
+
+    // One remote engine process behind a plain RemoteBackend.
+    {
+        let server = ShardServerProc::spawn();
+        let remote = RemoteBackend::connect(server.addr).unwrap();
+        let model = load_and_train(&remote);
+        assert_bit_identical(&reference, &model, "remote single");
+        let stats = remote.stats();
+        assert!(
+            stats.bytes_sent > 0 && stats.bytes_received > 0,
+            "wire volume must be measured: {stats:?}"
+        );
+        assert!(stats.statements > 50, "training must run over the wire");
+    }
+
+    // Multi-process sharding: the fact partitioned across 1 and 4 server
+    // processes, coordinator local, pushdown forced on.
+    for shards in [1usize, 4] {
+        let servers: Vec<ShardServerProc> = (0..shards).map(|_| ShardServerProc::spawn()).collect();
+        let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.addr).collect();
+        let remote = ShardedBackend::remote(
+            &addrs,
+            EngineConfig::duckdb_mem(),
+            "sales",
+            "items_id",
+            RemoteOptions::default(),
+        )
+        .unwrap();
+        remote.set_pushdown_config(PushdownConfig {
+            boundaries_per_shard: 8,
+            min_rows: 0,
+        });
+        let model = load_and_train(&remote);
+        assert_bit_identical(&reference, &model, &format!("remote x{shards}"));
+        let stats = remote.stats();
+        assert!(stats.fanout_selects > 0, "aggregates must fan out");
+        assert!(
+            stats.pushdown_splits > 0,
+            "split queries must evaluate shard-locally over the wire"
+        );
+        assert!(
+            stats.bytes_sent > 0 && stats.bytes_received > 0,
+            "wire volume must be measured: {stats:?}"
+        );
+        if shards > 1 {
+            let nonempty = (0..shards)
+                .filter(|&i| remote.shard(i).row_count("sales").unwrap_or(0) > 0)
+                .count();
+            assert!(
+                nonempty > 1,
+                "hash partitioning left all rows on one server"
+            );
         }
     }
 }

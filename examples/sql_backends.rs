@@ -5,8 +5,12 @@
 //! * engine backends (AST fast path) in three DBMS personalities,
 //! * the SQL-text backend, which proves every emitted statement survives
 //!   a `print ∘ parse ∘ print` round-trip,
+//! * a remote backend speaking SQL text + columnar blocks over a real
+//!   loopback socket to a wire server,
 //! * sharded backends that hash-partition the fact table over 2 and 4
-//!   engine instances and ⊕-merge partial semi-ring aggregates.
+//!   engine instances and ⊕-merge partial semi-ring aggregates — both
+//!   in-process and with every shard behind its own socket
+//!   (multi-process sharding).
 //!
 //! Portability means *identical models*: the run asserts every backend
 //! trains a bit-identical GBM. The workload follows the dyadic recipe of
@@ -18,10 +22,13 @@
 //! cargo run --release --example sql_backends
 //! ```
 
-use joinboost::backend::{EngineBackend, ShardedBackend, SqlBackend, SqlTextBackend};
+use joinboost::backend::{
+    EngineBackend, RemoteBackend, RemoteOptions, ServeOptions, ShardedBackend, SqlBackend,
+    SqlTextBackend, WireServer,
+};
 use joinboost::{train_gbm, Dataset, GbmModel, TrainParams};
 use joinboost_datagen::{favorita, FavoritaConfig};
-use joinboost_engine::EngineConfig;
+use joinboost_engine::{Database, EngineConfig};
 use joinboost_sql::parse_statement;
 
 fn train_on(backend: &dyn SqlBackend) -> GbmModel {
@@ -63,7 +70,7 @@ fn main() {
     let stmt = parse_statement(example2).unwrap();
     println!("paper Example 2 round-trips through the parser:\n  {stmt}\n");
 
-    let backends: Vec<(Box<dyn SqlBackend>, &str)> = vec![
+    let mut backends: Vec<(Box<dyn SqlBackend>, &str)> = vec![
         (
             Box::new(EngineBackend::labeled(EngineConfig::duckdb_mem(), "D-mem")),
             "in-memory engine, AST fast path",
@@ -93,6 +100,34 @@ fn main() {
             "fact hash-partitioned over 2 engines",
         ),
     ];
+
+    // Socket-backed backends: one engine behind a wire server, and the
+    // fact partitioned over two servers (multi-process sharding). The
+    // servers here run on background threads; the `shard_server` binary
+    // hosts the identical loop as a standalone process.
+    let single_server =
+        WireServer::spawn(Database::in_memory(), ServeOptions::default()).expect("wire server");
+    let shard_servers: Vec<WireServer> = (0..2)
+        .map(|_| WireServer::spawn(Database::in_memory(), ServeOptions::default()).expect("server"))
+        .collect();
+    let shard_addrs: Vec<std::net::SocketAddr> = shard_servers.iter().map(|s| s.addr()).collect();
+    backends.push((
+        Box::new(RemoteBackend::connect(single_server.addr()).expect("connect")),
+        "engine in another process: SQL text + columnar blocks over a socket",
+    ));
+    backends.push((
+        Box::new(
+            ShardedBackend::remote(
+                &shard_addrs,
+                EngineConfig::duckdb_mem(),
+                "sales",
+                "items_id",
+                RemoteOptions::default(),
+            )
+            .expect("connect shards"),
+        ),
+        "multi-process sharding: fact over 2 socket servers",
+    ));
 
     let header = ["backend", "caps", "train(s)", "update(s)", "notes"];
     println!(
@@ -154,4 +189,18 @@ fn main() {
         stats.fanout_selects, stats.pushdown_splits, stats.broadcast_statements, stats.rows_shipped
     );
     println!("fact partition sizes: {:?}", sharded.partition_sizes());
+
+    // The socket-backed backends measured their shuffle in real bytes.
+    let mb = |b: u64| b as f64 / (1024.0 * 1024.0);
+    for (backend, _) in &backends {
+        let s = backend.stats();
+        if s.bytes_sent > 0 {
+            println!(
+                "{:<14} wire traffic: {:.2} MB sent, {:.2} MB received",
+                backend.name(),
+                mb(s.bytes_sent),
+                mb(s.bytes_received)
+            );
+        }
+    }
 }

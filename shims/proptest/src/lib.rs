@@ -74,6 +74,12 @@ pub mod arbitrary {
         }
     }
 
+    impl Arbitrary for u32 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() as u32
+        }
+    }
+
     impl Arbitrary for i32 {
         fn arbitrary_value(rng: &mut TestRng) -> Self {
             rng.next_u64() as i32
