@@ -24,7 +24,7 @@ use joinboost_datagen::{
 use joinboost_engine::{Column, Database, EngineConfig};
 use joinboost_semiring::loss::rmse;
 
-use crate::report::Report;
+use crate::report::{write_bench_json, JsonValue, Report};
 use crate::{dist, secs, time};
 
 /// Run one experiment by name; `all` runs everything.
@@ -51,6 +51,7 @@ pub fn run(name: &str) -> Result<(), String> {
         "backends" => backends_experiment(),
         "shards" => shard_scale(),
         "remote" => remote_scale(),
+        "serve" => serve_bench(),
         "all" => {
             for n in [
                 "fig5", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -120,6 +121,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "remote",
         "multi-process sharding over sockets: wire bytes + rows shipped, pushdown off/on (build with --features sharded)",
+    ),
+    (
+        "serve",
+        "serving tier end-to-end against spawned shard_server processes: job API demo + latency sweep, clients x batch size (needs the shard_server binary built alongside)",
     ),
 ];
 
@@ -406,6 +411,7 @@ fn fig8bc() -> Result<(), String> {
             let preds: Vec<f64> = jb_scores.iter().map(|s| s + m.init_score).collect();
             jb_rows.push((iter + 1, start.elapsed(), rmse(&ys, &preds)));
         }
+        true
     })
     .map_err(|e| e.to_string())?;
     let _ = model;
@@ -745,6 +751,7 @@ fn fig14() -> Result<(), String> {
     let start = Instant::now();
     train_gbm_cb(&set, &params, |iter, _| {
         rows.push((iter + 1, start.elapsed()));
+        true
     })
     .map_err(|e| e.to_string())?;
     let mut report = Report::new(
@@ -1397,6 +1404,7 @@ fn shard_scale() -> Result<(), String> {
     let mut reference: Option<joinboost::GbmModel> = None;
     let mut dense_rows: u64 = 0;
     let mut pushed_rows: u64 = 0;
+    let mut json_rows: Vec<JsonValue> = Vec::new();
     for &(shards, pushdown) in &[(1usize, true), (2, false), (2, true), (4, false), (4, true)] {
         let mut times: Vec<f64> = Vec::new();
         let mut shipped = 0u64;
@@ -1451,6 +1459,13 @@ fn shard_scale() -> Result<(), String> {
             splits.to_string(),
             shipped.to_string(),
         ]);
+        json_rows.push(JsonValue::obj(vec![
+            ("shards", JsonValue::Int(shards as i64)),
+            ("pushdown", JsonValue::Int(i64::from(pushdown))),
+            ("train_median_s", JsonValue::Num(times[times.len() / 2])),
+            ("pushdown_splits", JsonValue::Int(splits as i64)),
+            ("rows_shipped", JsonValue::Int(shipped as i64)),
+        ]));
     }
     if dense_rows > 0 && pushed_rows > 0 {
         report.note(format!(
@@ -1461,6 +1476,15 @@ fn shard_scale() -> Result<(), String> {
     }
     report.note("every configuration trained the SAME model, bit for bit (dyadic recipe)");
     report.print();
+    let json = JsonValue::obj(vec![
+        ("experiment", JsonValue::Str("shards".into())),
+        ("bit_identical", JsonValue::Int(1)),
+        ("dense_rows_4shard", JsonValue::Int(dense_rows as i64)),
+        ("pushed_rows_4shard", JsonValue::Int(pushed_rows as i64)),
+        ("rows", JsonValue::Arr(json_rows)),
+    ]);
+    let path = write_bench_json("shards", &json).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
     Ok(())
 }
 
@@ -1476,7 +1500,7 @@ fn shard_scale() -> Result<(), String> {
 /// bit-identical across every configuration, transport included.
 #[cfg(feature = "sharded")]
 fn remote_scale() -> Result<(), String> {
-    use joinboost::backend::{PushdownConfig, RemoteOptions, ServeOptions, WireServer};
+    use joinboost::backend::{PushdownConfig, RemoteOptions, WireServer};
     use joinboost_engine::Database;
 
     let (fact, dim, graph) = highcard_star();
@@ -1495,6 +1519,7 @@ fn remote_scale() -> Result<(), String> {
     let mut reference: Option<joinboost::GbmModel> = None;
     let mut dense_recv: u64 = 0;
     let mut pushed_recv: u64 = 0;
+    let mut json_rows: Vec<JsonValue> = Vec::new();
     for &(shards, pushdown) in &[(1usize, true), (2, false), (2, true), (4, false), (4, true)] {
         let mut times: Vec<f64> = Vec::new();
         let (mut shipped, mut sent, mut received) = (0u64, 0u64, 0u64);
@@ -1504,7 +1529,8 @@ fn remote_scale() -> Result<(), String> {
             // binary serves the same loop standalone).
             let servers: Vec<WireServer> = (0..shards)
                 .map(|_| {
-                    WireServer::spawn(Database::in_memory(), ServeOptions::default())
+                    WireServer::builder(Database::in_memory())
+                        .spawn()
                         .expect("spawn wire server")
                 })
                 .collect();
@@ -1567,6 +1593,14 @@ fn remote_scale() -> Result<(), String> {
             mb(sent),
             mb(received),
         ]);
+        json_rows.push(JsonValue::obj(vec![
+            ("servers", JsonValue::Int(shards as i64)),
+            ("pushdown", JsonValue::Int(i64::from(pushdown))),
+            ("train_median_s", JsonValue::Num(times[times.len() / 2])),
+            ("rows_shipped", JsonValue::Int(shipped as i64)),
+            ("wire_bytes_sent", JsonValue::Int(sent as i64)),
+            ("wire_bytes_received", JsonValue::Int(received as i64)),
+        ]));
     }
     if dense_recv > 0 && pushed_recv > 0 {
         report.note(format!(
@@ -1579,10 +1613,387 @@ fn remote_scale() -> Result<(), String> {
     }
     report.note("every configuration trained the SAME model, bit for bit, across processes");
     report.print();
+    let json = JsonValue::obj(vec![
+        ("experiment", JsonValue::Str("remote".into())),
+        ("bit_identical", JsonValue::Int(1)),
+        ("dense_recv_4server", JsonValue::Int(dense_recv as i64)),
+        ("pushed_recv_4server", JsonValue::Int(pushed_recv as i64)),
+        ("rows", JsonValue::Arr(json_rows)),
+    ]);
+    let path = write_bench_json("remote", &json).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
     Ok(())
 }
 
 #[cfg(not(feature = "sharded"))]
 fn remote_scale() -> Result<(), String> {
     Err("the `remote` sweep needs `--features sharded` (cargo run -p joinboost-bench --features sharded --release --bin experiments -- remote)".into())
+}
+
+/// A spawned `shard_server` child process (killed on drop). The binary is
+/// looked up next to the experiments binary itself, so a plain
+/// `cargo build --release` of the workspace sets everything up.
+struct ShardServerProc {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+impl ShardServerProc {
+    fn spawn(bin: &std::path::Path) -> Result<ShardServerProc, String> {
+        use std::io::BufRead as _;
+        let mut child = std::process::Command::new(bin)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .map_err(|e| format!("spawn {}: {e}", bin.display()))?;
+        let stdout = child.stdout.take().ok_or("shard_server stdout not piped")?;
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .map_err(|e| format!("read shard_server announcement: {e}"))?;
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .ok_or_else(|| format!("unexpected shard_server announcement: {line:?}"))?
+            .parse()
+            .map_err(|e| format!("shard_server announced a bad address: {e}"))?;
+        Ok(ShardServerProc { child, addr })
+    }
+}
+
+impl Drop for ShardServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// `serve`: the serving tier end-to-end, against *real separate
+/// processes*. Spawns `shard_server` children, loads a keyed Favorita
+/// star across them, demos the job API (submit → poll → predict) on one
+/// shard, trains on the sharded backend, compiles the model into message
+/// tables, spot-checks the factorized path bit-for-bit against the
+/// materialized-join oracle, then sweeps concurrent clients × batch size
+/// measuring p50/p99 predict latency and scores/sec. Writes
+/// `BENCH_serve.json`.
+fn serve_bench() -> Result<(), String> {
+    use joinboost::backend::{
+        JobSpec, JobStatus, RemoteConnection, RemoteOptions, ServeClient, ShardTransport,
+    };
+    use joinboost::{FactorizedScorer, JoinScorer, Scorer};
+    use joinboost_engine::table::ColumnMeta;
+    use joinboost_engine::Table;
+
+    const SHARDS: usize = 2;
+    const FACT_ROWS: usize = 8000;
+    const CLIENTS: &[usize] = &[1, 2, 4];
+    const BATCHES: &[usize] = &[1, 64, 1024];
+
+    // The serving processes: shard_server binaries next to this one.
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let bin_name = if cfg!(windows) {
+        "shard_server.exe"
+    } else {
+        "shard_server"
+    };
+    let server_bin = exe.with_file_name(bin_name);
+    if !server_bin.exists() {
+        return Err(format!(
+            "shard_server binary not found at {} — build it first:\n  \
+             cargo build --release -p joinboost --bin shard_server",
+            server_bin.display()
+        ));
+    }
+    let procs: Vec<ShardServerProc> = (0..SHARDS)
+        .map(|_| ShardServerProc::spawn(&server_bin))
+        .collect::<Result<_, _>>()?;
+    let addrs: Vec<std::net::SocketAddr> = procs.iter().map(|p| p.addr).collect();
+    println!("spawned {SHARDS} shard_server processes: {addrs:?}");
+
+    // Keyed workload: Favorita star with an explicit predict key on the
+    // fact table, target quantized to the dyadic 1/8 grid so every path
+    // (local join, sharded factorized, over-the-wire) scores the same
+    // bits.
+    let gen = favorita(&FavoritaConfig {
+        fact_rows: FACT_ROWS,
+        dim_rows: 40,
+        noise: 1.0,
+        ..Default::default()
+    });
+    let keyed = |name: &str, t: &Table| -> Table {
+        let mut t = t.clone();
+        if name == "sales" {
+            t.push_column(
+                ColumnMeta::new("sale_id"),
+                Column::int((0..t.num_rows() as i64).collect()),
+            );
+        }
+        t
+    };
+    let load = |backend: &dyn SqlBackend| -> Result<(), String> {
+        for (name, t) in &gen.tables {
+            backend
+                .create_table(name, keyed(name, t))
+                .map_err(|e| e.to_string())?;
+        }
+        backend
+            .execute("UPDATE sales SET net_profit = FLOOR(net_profit * 8.0) / 8.0")
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    };
+
+    let sharded = ShardedBackend::remote(
+        &addrs,
+        EngineConfig::duckdb_mem(),
+        "sales",
+        "sale_id",
+        RemoteOptions::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    load(&sharded)?;
+
+    // --- Job API demo: train where (part of) the data lives. Shard 0
+    // holds its fact partition plus the replicated dimensions, so a
+    // training job against it is self-contained.
+    let job_spec = JobSpec {
+        relations: gen
+            .graph
+            .relations()
+            .map(|(_, r)| (r.name.clone(), r.features.clone()))
+            .collect(),
+        edges: gen
+            .graph
+            .edges()
+            .iter()
+            .map(|e| {
+                (
+                    gen.graph.name(e.a).to_string(),
+                    gen.graph.name(e.b).to_string(),
+                    e.keys.clone(),
+                )
+            })
+            .collect(),
+        target_relation: "sales".into(),
+        target_column: "net_profit".into(),
+        key_column: Some("sale_id".into()),
+        num_iterations: 3,
+        ..JobSpec::default()
+    };
+    let serve_client = ServeClient::connect(addrs[0]).map_err(|e| e.to_string())?;
+    let job_id = serve_client.submit(&job_spec).map_err(|e| e.to_string())?;
+    let (done, job_time) = time(|| serve_client.wait(job_id));
+    let job_iterations = match done.map_err(|e| e.to_string())? {
+        JobStatus::Done { iterations } => iterations,
+        other => return Err(format!("job {job_id} ended {other:?}, expected Done")),
+    };
+    let probe: Vec<i64> = (0..64).collect();
+    let job_scored = serve_client
+        .predict(job_id, &probe)
+        .map_err(|e| e.to_string())?
+        .iter()
+        .filter(|s| s.is_some())
+        .count();
+    println!(
+        "job {job_id} on shard 0: Done after {job_iterations} iterations in {}, \
+         scored {job_scored}/{} probed keys (shard 0's partition)",
+        secs(job_time),
+        probe.len()
+    );
+
+    // --- Train on the sharded backend and deploy factorized scoring.
+    let set = Dataset::new(&sharded, gen.graph.clone(), "sales", "net_profit")
+        .map_err(|e| e.to_string())?;
+    let mut params = TrainParams::default();
+    params.num_iterations = 4;
+    params.learning_rate = 0.5;
+    params.leaf_quantization = (2.0f64).powi(-10);
+    let (model, train_time) = time(|| train_gbm(&set, &params).expect("gbm"));
+    let fscorer = FactorizedScorer::compile(&set, &model, "sale_id").map_err(|e| e.to_string())?;
+
+    // Oracle: the same data and recipe on a local engine, scored through
+    // the materialized join. Models are bit-identical across backends, so
+    // the two scorers must agree on every bit of every key.
+    let local = EngineBackend::new(EngineConfig::duckdb_mem());
+    load(&local)?;
+    let local_set = Dataset::new(&local, gen.graph.clone(), "sales", "net_profit")
+        .map_err(|e| e.to_string())?;
+    let local_model = train_gbm(&local_set, &params).expect("gbm local");
+    if !bit_identical(&model, &local_model) {
+        return Err("sharded and local training diverged".into());
+    }
+    let oracle =
+        JoinScorer::compile(&local_set, &local_model, "sale_id").map_err(|e| e.to_string())?;
+    let check_keys: Vec<i64> = (0..(FACT_ROWS as i64 + 10)).collect();
+    let want = oracle.score_batch(&check_keys).map_err(|e| e.to_string())?;
+    let got = fscorer
+        .score_batch(&check_keys)
+        .map_err(|e| e.to_string())?;
+    for (i, (w, g)) in want.iter().zip(&got).enumerate() {
+        if w.map(f64::to_bits) != g.map(f64::to_bits) {
+            return Err(format!(
+                "factorized score diverged from the join oracle at key {i}: {w:?} vs {g:?}"
+            ));
+        }
+    }
+    println!(
+        "trained in {} on {SHARDS} server processes; factorized scores bit-identical \
+         to the materialized-join oracle on {} keys",
+        secs(train_time),
+        check_keys.len()
+    );
+
+    // --- Latency sweep. Each client thread holds its own connection per
+    // shard and scores batches the way a deployed scorer would: one
+    // `PredictBatch` per shard (partials from 0.0), ⊕-merge, add
+    // init_score once. Dyadic leaves make the merge exact, so this path
+    // answers the same bits as the oracle — asserted once above, and
+    // spot-checked here on the first merged batch.
+    let spec = fscorer.spec().clone();
+    let merge = |partials: &[Vec<(bool, f64)>], n: usize| -> Vec<Option<f64>> {
+        (0..n)
+            .map(|i| {
+                let mut sum = None;
+                for shard in partials {
+                    if shard[i].0 {
+                        *sum.get_or_insert(0.0) += shard[i].1;
+                    }
+                }
+                sum.map(|s| spec.init_score + s)
+            })
+            .collect()
+    };
+    {
+        let conns: Vec<RemoteConnection> = addrs
+            .iter()
+            .map(|a| RemoteConnection::builder(a).connect())
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        let partials: Vec<Vec<(bool, f64)>> = conns
+            .iter()
+            .map(|c| c.predict_partials(&spec, &probe))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        let merged = merge(&partials, probe.len());
+        for (i, m) in merged.iter().enumerate() {
+            if m.map(f64::to_bits) != want[i].map(f64::to_bits) {
+                return Err(format!(
+                    "client-side partial merge diverged from the oracle at key {i}"
+                ));
+            }
+        }
+    }
+
+    let mut report = Report::new(
+        format!("Serving latency: {SHARDS} shard_server processes, factorized PredictBatch"),
+        &[
+            "clients",
+            "batch",
+            "batches",
+            "p50(ms)",
+            "p99(ms)",
+            "scores/sec",
+        ],
+    );
+    let pct = |sorted: &[f64], q: f64| -> f64 {
+        sorted[((sorted.len() - 1) as f64 * q).round() as usize]
+    };
+    let mut json_rows: Vec<JsonValue> = Vec::new();
+    for &clients in CLIENTS {
+        for &batch in BATCHES {
+            let per_client = (4096 / batch).clamp(8, 256);
+            let started = Instant::now();
+            let mut latencies: Vec<f64> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..clients)
+                    .map(|c| {
+                        let spec = &spec;
+                        let addrs = &addrs;
+                        scope.spawn(move || -> Result<Vec<f64>, String> {
+                            let conns: Vec<RemoteConnection> = addrs
+                                .iter()
+                                .map(|a| RemoteConnection::builder(a).connect())
+                                .collect::<Result<_, _>>()
+                                .map_err(|e| e.to_string())?;
+                            let mut lat = Vec::with_capacity(per_client);
+                            for it in 0..per_client {
+                                let keys: Vec<i64> = (0..batch)
+                                    .map(|j| ((c * 7919 + it * 131 + j * 17) % FACT_ROWS) as i64)
+                                    .collect();
+                                let t0 = Instant::now();
+                                let mut partials = Vec::with_capacity(conns.len());
+                                for conn in &conns {
+                                    partials.push(
+                                        conn.predict_partials(spec, &keys)
+                                            .map_err(|e| e.to_string())?,
+                                    );
+                                }
+                                let merged = merge(&partials, keys.len());
+                                assert!(merged.iter().all(|s| s.is_some()));
+                                lat.push(t0.elapsed().as_secs_f64());
+                            }
+                            Ok(lat)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect::<Result<Vec<_>, String>>()
+                    .map(|v| v.into_iter().flatten().collect())
+            })?;
+            let wall = started.elapsed().as_secs_f64();
+            latencies.sort_by(|a, b| a.total_cmp(b));
+            let total_scores = (clients * per_client * batch) as f64;
+            let (p50, p99) = (pct(&latencies, 0.50) * 1e3, pct(&latencies, 0.99) * 1e3);
+            let throughput = total_scores / wall;
+            report.row(&[
+                clients.to_string(),
+                batch.to_string(),
+                per_client.to_string(),
+                format!("{p50:.3}"),
+                format!("{p99:.3}"),
+                format!("{throughput:.0}"),
+            ]);
+            json_rows.push(JsonValue::obj(vec![
+                ("clients", JsonValue::Int(clients as i64)),
+                ("batch", JsonValue::Int(batch as i64)),
+                ("batches_per_client", JsonValue::Int(per_client as i64)),
+                ("p50_ms", JsonValue::Num(p50)),
+                ("p99_ms", JsonValue::Num(p99)),
+                ("scores_per_sec", JsonValue::Num(throughput)),
+            ]));
+        }
+    }
+    report.note(format!(
+        "scoring a key = {} dictionary lookups + ⊕-adds per shard; the join is never materialized",
+        1 + gen.graph.num_relations()
+    ));
+    report.note("merged scores asserted bit-identical to the materialized-join oracle");
+    report.print();
+
+    let json = JsonValue::obj(vec![
+        ("experiment", JsonValue::Str("serve".into())),
+        ("shards", JsonValue::Int(SHARDS as i64)),
+        ("fact_rows", JsonValue::Int(FACT_ROWS as i64)),
+        ("train_s", JsonValue::Num(train_time.as_secs_f64())),
+        (
+            "spot_check",
+            JsonValue::obj(vec![
+                ("keys", JsonValue::Int(check_keys.len() as i64)),
+                ("bit_identical", JsonValue::Int(1)),
+            ]),
+        ),
+        (
+            "job",
+            JsonValue::obj(vec![
+                ("id", JsonValue::Int(job_id as i64)),
+                ("iterations", JsonValue::Int(job_iterations as i64)),
+                ("wait_s", JsonValue::Num(job_time.as_secs_f64())),
+                ("keys_probed", JsonValue::Int(probe.len() as i64)),
+                ("keys_scored", JsonValue::Int(job_scored as i64)),
+            ]),
+        ),
+        ("sweep", JsonValue::Arr(json_rows)),
+    ]);
+    let path = write_bench_json("serve", &json).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
+    Ok(())
 }

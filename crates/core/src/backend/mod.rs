@@ -56,8 +56,14 @@ mod sharded;
 pub mod split;
 pub mod wire;
 
-pub use remote::{serve, RemoteBackend, RemoteConnection, RemoteOptions, ServeOptions, WireServer};
+#[allow(deprecated)]
+pub use remote::serve;
+pub use remote::{
+    JobStatus, RemoteBackend, RemoteBackendBuilder, RemoteConnection, RemoteConnectionBuilder,
+    RemoteOptions, ServeClient, ServeError, ServeOptions, WireServer, WireServerBuilder,
+};
 pub use sharded::{PushdownConfig, ShardTransport, ShardedBackend, SplitOpen};
+pub use wire::JobSpec;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -226,6 +232,31 @@ pub trait SqlBackend: Send + Sync {
 
     /// Number of rows in a table (summed over shards when partitioned).
     fn row_count(&self, name: &str) -> BackendResult<usize>;
+
+    /// Bulk-load a table that should be hash-partitioned on `key`
+    /// wherever the backend is partitioned (deployed message tables of
+    /// [`crate::serve`] use this so the fact dictionary lives with the
+    /// fact partitions). Single-node backends ignore the key.
+    fn create_partitioned_table(&self, name: &str, table: Table, key: &str) -> BackendResult<()> {
+        let _ = key;
+        self.create_table(name, table)
+    }
+
+    /// Score a batch of predict keys against deployed message tables
+    /// (see [`crate::serve`]): `(found, score)` per key, scores starting
+    /// from the model's initial score. The default loads the spec's
+    /// tables through [`SqlBackend::snapshot`] into a
+    /// [`crate::serve::MessageIndex`]; partitioned backends override it
+    /// to evaluate shard partials where the fact partitions live and
+    /// `⊕`-merge, which the dyadic leaf grid keeps bit-identical.
+    fn predict_batch(
+        &self,
+        spec: &crate::serve::ScorerSpec,
+        keys: &[i64],
+    ) -> BackendResult<Vec<(bool, f64)>> {
+        let idx = crate::serve::MessageIndex::load(spec, &mut |n| self.snapshot(n))?;
+        idx.eval_batch(keys, spec.init_score)
+    }
 
     /// Gather the rows at the given positions of the table's
     /// [`snapshot`](SqlBackend::snapshot) order, in the given index order

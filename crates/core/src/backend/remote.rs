@@ -25,6 +25,7 @@
 //! the connection so later calls (temp-table cleanup included) return
 //! immediately instead of re-waiting on a dead peer.
 
+use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -34,6 +35,7 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use joinboost_engine::{DataType, Database, EngineError, Table};
+use joinboost_graph::JoinGraph;
 use joinboost_sql::ast::Statement;
 
 use super::sharded::SplitOpen;
@@ -43,9 +45,13 @@ use super::split::{
 };
 use super::wire::{
     decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    Request, Response, MAGIC, MAX_FRAME, VERSION,
+    JobSpec, Request, Response, MAGIC, MAX_FRAME, VERSION,
 };
 use super::{BackendCapabilities, BackendResult, BackendStats, ShardTransport, SqlBackend};
+use crate::boosting::train_gbm_cb;
+use crate::dataset::Dataset;
+use crate::params::TrainParams;
+use crate::serve::{compile_messages, MessageIndex, ScorerSpec};
 use joinboost_engine::Datum;
 
 // ---------------------------------------------------------------------------
@@ -67,6 +73,69 @@ pub struct ServeOptions {
     pub stall: bool,
 }
 
+/// A training job's life: `Queued → Running → Done | Failed | Cancelled`.
+/// `Cancelled` can also be entered straight from `Queued`.
+enum JobProgress {
+    Queued,
+    Running {
+        iterations: u64,
+    },
+    Done {
+        iterations: u64,
+        /// Message tables compiled from the trained model when the job
+        /// named a `key_column`; what `PredictBatch { job }` scores
+        /// against.
+        spec: Option<ScorerSpec>,
+    },
+    Failed(String),
+    Cancelled,
+}
+
+impl JobProgress {
+    fn is_active(&self) -> bool {
+        matches!(self, JobProgress::Queued | JobProgress::Running { .. })
+    }
+
+    /// The wire view of this state (tags documented on
+    /// [`Response::JobState`]).
+    fn response(&self) -> Response {
+        let (state, iterations, message) = match self {
+            JobProgress::Queued => (0, 0, String::new()),
+            JobProgress::Running { iterations } => (1, *iterations, String::new()),
+            JobProgress::Done { iterations, .. } => (2, *iterations, String::new()),
+            JobProgress::Failed(m) => (3, 0, m.clone()),
+            JobProgress::Cancelled => (4, 0, String::new()),
+        };
+        Response::JobState {
+            state,
+            iterations,
+            message,
+        }
+    }
+}
+
+/// One registered job: owned by the connection that submitted it, driven
+/// by a background worker thread, cancellable from any connection.
+struct JobHandle {
+    id: u64,
+    /// Connection id of the submitter (jobs still active when their
+    /// submitter disconnects are cancelled).
+    owner: u64,
+    /// Cooperative cancel flag, checked by the training callback after
+    /// every boosting iteration.
+    cancel: AtomicBool,
+    progress: Mutex<JobProgress>,
+}
+
+fn cancel_job(job: &JobHandle) {
+    job.cancel.store(true, Ordering::Relaxed);
+    let mut p = job.progress.lock();
+    if matches!(*p, JobProgress::Queued) {
+        // Not picked up by its worker yet: terminal immediately.
+        *p = JobProgress::Cancelled;
+    }
+}
+
 struct ServeState {
     db: Database,
     opts: ServeOptions,
@@ -78,10 +147,28 @@ struct ServeState {
     /// accumulate dead fds.
     conns: Mutex<Vec<(u64, TcpStream)>>,
     next_conn: AtomicU64,
+    /// The job registry: id → handle. Terminal jobs stay registered so
+    /// late polls answer their final state.
+    jobs: Mutex<HashMap<u64, Arc<JobHandle>>>,
+    next_job: AtomicU64,
+    /// Admission control: at most this many jobs queued + running.
+    max_jobs: usize,
+    /// Admission control: per-session cap on bytes bulk-loaded via
+    /// `CreateTable` (`None` = unlimited).
+    session_budget: Option<u64>,
+    /// Loaded message-table dictionaries, keyed by fact table name.
+    /// Invalidated on any mutating request — predict sweeps between
+    /// mutations pay the table scan once.
+    scorer_cache: Mutex<HashMap<String, Arc<MessageIndex>>>,
 }
 
 impl ServeState {
-    fn new(db: Database, opts: ServeOptions) -> ServeState {
+    fn new(
+        db: Database,
+        opts: ServeOptions,
+        max_jobs: usize,
+        session_budget: Option<u64>,
+    ) -> ServeState {
         ServeState {
             db,
             opts,
@@ -89,6 +176,11 @@ impl ServeState {
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
+            jobs: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
+            max_jobs,
+            session_budget,
+            scorer_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -100,15 +192,43 @@ impl ServeState {
                 .fail_after
                 .is_some_and(|n| self.requests.load(Ordering::Relaxed) >= n)
     }
+
+    /// The message-table dictionary for `spec`, loaded once and cached.
+    fn scorer_index(&self, spec: &ScorerSpec) -> BackendResult<Arc<MessageIndex>> {
+        if let Some(idx) = self.scorer_cache.lock().get(&spec.fact_table) {
+            return Ok(Arc::clone(idx));
+        }
+        let idx = Arc::new(MessageIndex::load(spec, &mut |n| self.db.snapshot(n))?);
+        let mut cache = self.scorer_cache.lock();
+        if cache.len() >= 8 {
+            cache.clear();
+        }
+        cache.insert(spec.fact_table.clone(), Arc::clone(&idx));
+        Ok(idx)
+    }
 }
 
-/// Per-connection state: open split-protocol handles. Handles live and
-/// die with their connection — a vanished client cannot leak state past
-/// its socket.
-#[derive(Default)]
+/// Per-connection state: open split-protocol handles and the session's
+/// load budget. Handles live and die with their connection — a vanished
+/// client cannot leak state past its socket.
 struct Session {
+    conn_id: u64,
     splits: std::collections::HashMap<u64, LocalSplitState>,
     next_split: u64,
+    /// Bytes bulk-loaded via `CreateTable` on this connection (frame
+    /// sizes, the number the wire actually carried).
+    bytes_loaded: u64,
+}
+
+impl Session {
+    fn new(conn_id: u64) -> Session {
+        Session {
+            conn_id,
+            splits: std::collections::HashMap::new(),
+            next_split: 0,
+            bytes_loaded: 0,
+        }
+    }
 }
 
 /// Handle one `Split*` request against the connection's session.
@@ -209,8 +329,179 @@ fn handle_split_request(db: &Database, session: &mut Session, req: Request) -> R
     }
 }
 
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// Admit (or reject) a job submission, register it, and hand it to a
+/// worker thread.
+fn submit_job(state: &Arc<ServeState>, session: &Session, spec: JobSpec) -> Response {
+    {
+        let jobs = state.jobs.lock();
+        let active = jobs
+            .values()
+            .filter(|j| j.progress.lock().is_active())
+            .count();
+        if active >= state.max_jobs {
+            // Typed backpressure on a healthy connection — the client
+            // retries later instead of timing out against a hang.
+            return Response::Busy(format!(
+                "{active} training jobs already queued or running (limit {})",
+                state.max_jobs
+            ));
+        }
+    }
+    let id = state.next_job.fetch_add(1, Ordering::Relaxed);
+    let handle = Arc::new(JobHandle {
+        id,
+        owner: session.conn_id,
+        cancel: AtomicBool::new(false),
+        progress: Mutex::new(JobProgress::Queued),
+    });
+    state.jobs.lock().insert(id, Arc::clone(&handle));
+    let st = Arc::clone(state);
+    std::thread::spawn(move || run_job(&st, &handle, spec));
+    Response::JobSubmitted(id)
+}
+
+/// Worker-thread body: drive one job from `Queued` to a terminal state.
+fn run_job(state: &Arc<ServeState>, handle: &Arc<JobHandle>, spec: JobSpec) {
+    if handle.cancel.load(Ordering::Relaxed) {
+        *handle.progress.lock() = JobProgress::Cancelled;
+        return;
+    }
+    *handle.progress.lock() = JobProgress::Running { iterations: 0 };
+    let outcome = train_job(state, handle, &spec);
+    let mut p = handle.progress.lock();
+    *p = match outcome {
+        Err(msg) => JobProgress::Failed(msg),
+        Ok(compiled) => {
+            let iterations = match *p {
+                JobProgress::Running { iterations } => iterations,
+                _ => 0,
+            };
+            if handle.cancel.load(Ordering::Relaxed) {
+                // The training loop broke early; the dataset guard has
+                // already dropped every `jb_` temp table it created.
+                JobProgress::Cancelled
+            } else {
+                JobProgress::Done {
+                    iterations,
+                    spec: compiled,
+                }
+            }
+        }
+    };
+}
+
+/// Train the job's model and, when a `key_column` was named, compile it
+/// into `jb_job{id}_`-prefixed message tables that outlive training.
+fn train_job(
+    state: &Arc<ServeState>,
+    handle: &Arc<JobHandle>,
+    spec: &JobSpec,
+) -> Result<Option<ScorerSpec>, String> {
+    let err = |e: EngineError| e.to_string();
+    let mut graph = JoinGraph::new();
+    for (name, features) in &spec.relations {
+        let refs: Vec<&str> = features.iter().map(String::as_str).collect();
+        graph.add_relation(name, &refs).map_err(|e| e.to_string())?;
+    }
+    for (a, b, keys) in &spec.edges {
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        graph.add_edge(a, b, &refs).map_err(|e| e.to_string())?;
+    }
+    let set = Dataset::new(&state.db, graph, &spec.target_relation, &spec.target_column)
+        .map_err(|e| e.to_string())?;
+    let params = TrainParams {
+        num_iterations: spec.num_iterations as usize,
+        num_leaves: spec.num_leaves as usize,
+        learning_rate: spec.learning_rate,
+        leaf_quantization: spec.leaf_quantization,
+        seed: spec.seed,
+        ..TrainParams::default()
+    };
+    let model = train_gbm_cb(&set, &params, |iter, _| {
+        *handle.progress.lock() = JobProgress::Running {
+            iterations: iter as u64 + 1,
+        };
+        !handle.cancel.load(Ordering::Relaxed)
+    })
+    .map_err(|e| e.to_string())?;
+    if handle.cancel.load(Ordering::Relaxed) {
+        return Ok(None);
+    }
+    match &spec.key_column {
+        None => Ok(None),
+        Some(key) => {
+            // Not dataset temps: the `jb_job{id}_` tables must survive
+            // the dataset guard so `PredictBatch { job }` can score.
+            let mut n = 0u32;
+            let prefix = format!("jb_job{}", handle.id);
+            let compiled = compile_messages(&state.db, &set.graph, &model, key, &mut |hint| {
+                let name = format!("{prefix}_{hint}_{n}");
+                n += 1;
+                name
+            })
+            .map_err(err)?;
+            Ok(Some(compiled))
+        }
+    }
+}
+
+/// Serve one `PredictBatch` request: resolve the scorer spec (from a
+/// finished job or inline), evaluate against the cached message-table
+/// dictionary.
+fn predict_batch_response(
+    state: &ServeState,
+    job: Option<u64>,
+    spec: Option<Box<ScorerSpec>>,
+    keys: &[i64],
+    partial: bool,
+) -> Response {
+    let fail = |m: String| Response::Err(EngineError::Other(m));
+    let spec: ScorerSpec = match (job, spec) {
+        (Some(id), None) => {
+            let handle = state.jobs.lock().get(&id).cloned();
+            let Some(handle) = handle else {
+                return fail(format!("unknown job id {id}"));
+            };
+            let p = handle.progress.lock();
+            match &*p {
+                JobProgress::Done { spec: Some(s), .. } => s.clone(),
+                JobProgress::Done { spec: None, .. } => {
+                    return fail(format!(
+                        "job {id} trained without a key_column; no message tables to score"
+                    ))
+                }
+                JobProgress::Queued => return fail(format!("job {id} is still queued")),
+                JobProgress::Running { .. } => return fail(format!("job {id} is still running")),
+                JobProgress::Failed(m) => return fail(format!("job {id} failed: {m}")),
+                JobProgress::Cancelled => return fail(format!("job {id} was cancelled")),
+            }
+        }
+        (None, Some(s)) => *s,
+        _ => return fail("PredictBatch requires exactly one of job id or scorer spec".into()),
+    };
+    let idx = match state.scorer_index(&spec) {
+        Ok(i) => i,
+        Err(e) => return Response::Err(e),
+    };
+    // Partial mode: shard-resident scoring starts from 0 so the
+    // coordinator adds `init_score` exactly once per key.
+    let start = if partial { 0.0 } else { spec.init_score };
+    match idx.eval_batch(keys, start) {
+        Ok(rs) => Response::Scores {
+            found: rs.iter().map(|r| r.0).collect(),
+            scores: rs.iter().map(|r| r.1).collect(),
+        },
+        Err(e) => Response::Err(e),
+    }
+}
+
 /// Execute one decoded request against the hosted engine.
-fn handle_request(db: &Database, req: Request) -> Response {
+fn handle_request(state: &Arc<ServeState>, session: &Session, req: Request) -> Response {
+    let db = &state.db;
     let table = |r: Result<Table, EngineError>| match r {
         Ok(t) => Response::Table(t),
         Err(e) => Response::Err(e),
@@ -229,11 +520,19 @@ fn handle_request(db: &Database, req: Request) -> Response {
                 }
             }
         }
-        Request::Execute { sql } => table(db.execute(&sql)),
-        Request::CreateTable { name, table: t } => match db.create_table(&name, t) {
-            Ok(()) => Response::Unit,
-            Err(e) => Response::Err(e),
-        },
+        Request::Execute { sql } => {
+            // Any statement may rewrite a message table: drop cached
+            // dictionaries rather than risk serving stale scores.
+            state.scorer_cache.lock().clear();
+            table(db.execute(&sql))
+        }
+        Request::CreateTable { name, table: t } => {
+            state.scorer_cache.lock().clear();
+            match db.create_table(&name, t) {
+                Ok(()) => Response::Unit,
+                Err(e) => Response::Err(e),
+            }
+        }
         Request::Snapshot { name } => table(db.snapshot(&name)),
         Request::ColumnNames { name } => match db.column_names(&name) {
             Ok(names) => Response::Names(names),
@@ -251,12 +550,38 @@ fn handle_request(db: &Database, req: Request) -> Response {
         // Tolerant drop and bounds-checked gather share the in-process
         // transport's implementation — one copy of the semantics for
         // local and remote shards.
-        Request::DropTableIfExists { name } => match ShardTransport::drop_table(db, &name) {
-            Ok(()) => Response::Unit,
-            Err(e) => Response::Err(e),
-        },
+        Request::DropTableIfExists { name } => {
+            state.scorer_cache.lock().clear();
+            match ShardTransport::drop_table(db, &name) {
+                Ok(()) => Response::Unit,
+                Err(e) => Response::Err(e),
+            }
+        }
         Request::GatherRows { name, rows } => table(ShardTransport::gather_rows(db, &name, &rows)),
         Request::TableNames => Response::Names(db.table_names()),
+        Request::SubmitJob { spec } => submit_job(state, session, *spec),
+        Request::PollJob { id } => match state.jobs.lock().get(&id) {
+            Some(job) => job.progress.lock().response(),
+            None => Response::Err(EngineError::Other(format!("unknown job id {id}"))),
+        },
+        Request::CancelJob { id } => {
+            let job = state.jobs.lock().get(&id).cloned();
+            match job {
+                Some(job) => {
+                    // Idempotent: cancelling a terminal job just reports
+                    // its (unchanged) final state.
+                    cancel_job(&job);
+                    job.progress.lock().response()
+                }
+                None => Response::Err(EngineError::Other(format!("unknown job id {id}"))),
+            }
+        }
+        Request::PredictBatch {
+            job,
+            spec,
+            keys,
+            partial,
+        } => predict_batch_response(state, job, spec, &keys, partial),
         Request::SplitOpen { .. }
         | Request::SplitBoundaries { .. }
         | Request::SplitSummaries { .. }
@@ -271,11 +596,27 @@ fn handle_request(db: &Database, req: Request) -> Response {
 }
 
 /// One connection's request loop. Ends on EOF, I/O error, or fault
-/// injection.
-fn serve_connection(state: &ServeState, mut stream: TcpStream) {
-    let mut session = Session::default();
+/// injection. On exit, jobs this connection submitted that are still
+/// queued or running get cancelled — a vanished client cannot pin
+/// server resources.
+fn serve_connection(state: &Arc<ServeState>, conn_id: u64, mut stream: TcpStream) {
+    let mut session = Session::new(conn_id);
+    serve_requests(state, &mut session, &mut stream);
+    let owned: Vec<Arc<JobHandle>> = state
+        .jobs
+        .lock()
+        .values()
+        .filter(|j| j.owner == conn_id && j.progress.lock().is_active())
+        .cloned()
+        .collect();
+    for job in owned {
+        cancel_job(&job);
+    }
+}
+
+fn serve_requests(state: &Arc<ServeState>, session: &mut Session, stream: &mut TcpStream) {
     loop {
-        let payload = match read_frame(&mut stream) {
+        let payload = match read_frame(stream) {
             Ok(p) => p,
             Err(_) => return, // client went away (or kill() shut us down)
         };
@@ -305,8 +646,40 @@ fn serve_connection(state: &ServeState, mut stream: TcpStream) {
                 | Request::SplitRefine { .. }
                 | Request::SplitFetch { .. }
                 | Request::SplitClose { .. }),
-            ) => handle_split_request(&state.db, &mut session, req),
-            Ok(req) => handle_request(&state.db, req),
+            ) => handle_split_request(&state.db, session, req),
+            Ok(req) => {
+                // Per-session load budget: meter `CreateTable` by the
+                // bytes the wire actually carried, and reject — typed,
+                // on a live connection — the frame that would exceed it.
+                let over_budget = matches!(req, Request::CreateTable { .. })
+                    && match state.session_budget {
+                        None => {
+                            session.bytes_loaded =
+                                session.bytes_loaded.saturating_add(payload.len() as u64);
+                            false
+                        }
+                        Some(budget) => {
+                            let would = session.bytes_loaded.saturating_add(payload.len() as u64);
+                            if would > budget {
+                                true
+                            } else {
+                                session.bytes_loaded = would;
+                                false
+                            }
+                        }
+                    };
+                if over_budget {
+                    Response::Busy(format!(
+                        "session load budget exhausted: {} bytes loaded, frame of {} would \
+                         exceed the {}-byte cap",
+                        session.bytes_loaded,
+                        payload.len(),
+                        state.session_budget.unwrap_or(0)
+                    ))
+                } else {
+                    handle_request(state, session, req)
+                }
+            }
             Err(e) => Response::Err(e),
         };
         // A result too large for one frame becomes a *typed* error on a
@@ -320,7 +693,7 @@ fn serve_connection(state: &ServeState, mut stream: TcpStream) {
                 out.len()
             ))));
         }
-        if write_frame(&mut stream, &out).is_err() {
+        if write_frame(stream, &out).is_err() {
             return;
         }
     }
@@ -346,18 +719,101 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
         }
         let st = Arc::clone(&state);
         std::thread::spawn(move || {
-            serve_connection(&st, stream);
+            serve_connection(&st, id, stream);
             st.conns.lock().retain(|(i, _)| *i != id);
         });
     }
 }
 
-/// Serve `db` on `listener` until the process exits. This is the
-/// single-threaded entry point the `shard_server` binary uses; each
-/// accepted connection still gets its own thread.
+/// Serve `db` on `listener` until the process exits.
+#[deprecated(note = "use WireServer::builder(db).serve(listener)")]
 pub fn serve(listener: TcpListener, db: Database, opts: ServeOptions) {
-    let state = Arc::new(ServeState::new(db, opts));
-    accept_loop(listener, state);
+    let mut b = WireServer::builder(db).stall(opts.stall);
+    if let Some(n) = opts.fail_after {
+        b = b.fail_after(n);
+    }
+    b.serve(listener);
+}
+
+/// Configures a [`WireServer`]: fault injection for the chaos tests, job
+/// admission control, and the per-session load budget.
+///
+/// ```no_run
+/// # use joinboost::backend::WireServer;
+/// # use joinboost_engine::Database;
+/// let server = WireServer::builder(Database::in_memory())
+///     .max_jobs(2)
+///     .session_budget_bytes(64 << 20)
+///     .spawn()
+///     .unwrap();
+/// ```
+pub struct WireServerBuilder {
+    db: Database,
+    opts: ServeOptions,
+    max_jobs: usize,
+    session_budget: Option<u64>,
+}
+
+impl WireServerBuilder {
+    /// Fault injection: fail (hang or drop, per [`Self::stall`]) after
+    /// `n` requests.
+    pub fn fail_after(mut self, n: u64) -> WireServerBuilder {
+        self.opts.fail_after = Some(n);
+        self
+    }
+
+    /// Fault injection mode: `true` hangs the connection when failed,
+    /// `false` (default) drops it.
+    pub fn stall(mut self, stall: bool) -> WireServerBuilder {
+        self.opts.stall = stall;
+        self
+    }
+
+    /// Admission control: at most `n` training jobs queued + running
+    /// (default 4). Excess submissions get a typed
+    /// [`Response::Busy`](super::wire::Response::Busy) rejection, not a
+    /// hang.
+    pub fn max_jobs(mut self, n: usize) -> WireServerBuilder {
+        self.max_jobs = n;
+        self
+    }
+
+    /// Admission control: cap the bytes each session may bulk-load via
+    /// `CreateTable` (default unlimited).
+    pub fn session_budget_bytes(mut self, bytes: u64) -> WireServerBuilder {
+        self.session_budget = Some(bytes);
+        self
+    }
+
+    fn state(self) -> Arc<ServeState> {
+        Arc::new(ServeState::new(
+            self.db,
+            self.opts,
+            self.max_jobs,
+            self.session_budget,
+        ))
+    }
+
+    /// Bind an ephemeral loopback port and serve on a background thread.
+    pub fn spawn(self) -> io::Result<WireServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let state = self.state();
+        let st = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(listener, st));
+        Ok(WireServer {
+            addr,
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// Serve on `listener` until the process exits — the blocking entry
+    /// point the `shard_server` binary uses; each accepted connection
+    /// still gets its own thread.
+    pub fn serve(self, listener: TcpListener) {
+        accept_loop(listener, self.state());
+    }
 }
 
 /// An in-process wire server: the full remote protocol over a real
@@ -371,19 +827,25 @@ pub struct WireServer {
 }
 
 impl WireServer {
+    /// Start configuring a server for `db` — see [`WireServerBuilder`].
+    pub fn builder(db: Database) -> WireServerBuilder {
+        WireServerBuilder {
+            db,
+            opts: ServeOptions::default(),
+            max_jobs: 4,
+            session_budget: None,
+        }
+    }
+
     /// Bind an ephemeral loopback port and serve `db` on a background
     /// thread.
+    #[deprecated(note = "use WireServer::builder(db).spawn()")]
     pub fn spawn(db: Database, opts: ServeOptions) -> io::Result<WireServer> {
-        let listener = TcpListener::bind(("127.0.0.1", 0))?;
-        let addr = listener.local_addr()?;
-        let state = Arc::new(ServeState::new(db, opts));
-        let st = Arc::clone(&state);
-        let accept = std::thread::spawn(move || accept_loop(listener, st));
-        Ok(WireServer {
-            addr,
-            state,
-            accept: Some(accept),
-        })
+        let mut b = WireServer::builder(db).stall(opts.stall);
+        if let Some(n) = opts.fail_after {
+            b = b.fail_after(n);
+        }
+        b.spawn()
     }
 
     /// The server's socket address (`127.0.0.1:<ephemeral>`).
@@ -466,19 +928,69 @@ pub struct RemoteConnection {
     poisoned: Mutex<Option<String>>,
 }
 
-impl RemoteConnection {
+/// Configures a [`RemoteConnection`]: address plus transport timeouts.
+///
+/// ```no_run
+/// # use std::time::Duration;
+/// # use joinboost::backend::RemoteConnection;
+/// let conn = RemoteConnection::builder("127.0.0.1:7654")
+///     .connect_timeout(Duration::from_secs(1))
+///     .io_timeout(Duration::from_secs(10))
+///     .connect()
+///     .unwrap();
+/// ```
+pub struct RemoteConnectionBuilder {
+    addr: String,
+    opts: RemoteOptions,
+}
+
+impl RemoteConnectionBuilder {
+    /// Bound on establishing the TCP connection (default 5s).
+    pub fn connect_timeout(mut self, t: Duration) -> RemoteConnectionBuilder {
+        self.opts.connect_timeout = t;
+        self
+    }
+
+    /// Bound on every request/response exchange (default 30s).
+    pub fn io_timeout(mut self, t: Duration) -> RemoteConnectionBuilder {
+        self.opts.io_timeout = t;
+        self
+    }
+
     /// Connect, handshake, and learn the server's capabilities.
+    pub fn connect(self) -> BackendResult<RemoteConnection> {
+        RemoteConnection::open(&self.addr, self.opts)
+    }
+}
+
+impl RemoteConnection {
+    /// Start configuring a connection to `addr` — see
+    /// [`RemoteConnectionBuilder`].
+    pub fn builder(addr: impl ToSocketAddrs + std::fmt::Display) -> RemoteConnectionBuilder {
+        RemoteConnectionBuilder {
+            addr: addr.to_string(),
+            opts: RemoteOptions::default(),
+        }
+    }
+
+    /// Connect, handshake, and learn the server's capabilities.
+    #[deprecated(note = "use RemoteConnection::builder(addr).connect()")]
     pub fn connect(
         addr: impl ToSocketAddrs + std::fmt::Display,
     ) -> BackendResult<RemoteConnection> {
-        RemoteConnection::connect_with(addr, RemoteOptions::default())
+        RemoteConnection::builder(addr).connect()
     }
 
-    /// [`RemoteConnection::connect`] with explicit timeouts.
+    /// [`RemoteConnection::builder`] with explicit timeouts.
+    #[deprecated(note = "use RemoteConnection::builder(addr) and its timeout setters")]
     pub fn connect_with(
         addr: impl ToSocketAddrs + std::fmt::Display,
         opts: RemoteOptions,
     ) -> BackendResult<RemoteConnection> {
+        RemoteConnection::open(&addr.to_string(), opts)
+    }
+
+    fn open(addr: &str, opts: RemoteOptions) -> BackendResult<RemoteConnection> {
         let label = addr.to_string();
         let ctx = |e: io::Error| {
             EngineError::Other(format!("shard server at {label}: connect failed: {e}"))
@@ -589,9 +1101,15 @@ impl RemoteConnection {
     }
 
     /// Request + unwrap a server-side error into the engine error it was.
+    /// An admission-control rejection becomes a typed `server busy` error
+    /// — like `Response::Err`, it does *not* poison the connection.
     fn call(&self, req: &Request) -> BackendResult<Response> {
         match self.request(req)? {
             Response::Err(e) => Err(e),
+            Response::Busy(m) => Err(EngineError::Other(format!(
+                "shard server at {}: server busy: {m}",
+                self.addr
+            ))),
             ok => Ok(ok),
         }
     }
@@ -616,6 +1134,35 @@ impl RemoteConnection {
         match self.call(&Request::TableNames)? {
             Response::Names(n) => Ok(n),
             other => Err(self.unexpected("TableNames", &other)),
+        }
+    }
+
+    /// One `PredictBatch` round trip, in any of its modes.
+    fn predict_wire(
+        &self,
+        job: Option<u64>,
+        spec: Option<&ScorerSpec>,
+        keys: &[i64],
+        partial: bool,
+    ) -> BackendResult<Vec<(bool, f64)>> {
+        match self.call(&Request::PredictBatch {
+            job,
+            spec: spec.map(|s| Box::new(s.clone())),
+            keys: keys.to_vec(),
+            partial,
+        })? {
+            Response::Scores { found, scores } => {
+                if found.len() != keys.len() || scores.len() != keys.len() {
+                    return Err(EngineError::Other(format!(
+                        "shard server at {}: PredictBatch answered {} scores for {} keys",
+                        self.addr,
+                        scores.len(),
+                        keys.len()
+                    )));
+                }
+                Ok(found.into_iter().zip(scores).collect())
+            }
+            other => Err(self.unexpected("PredictBatch", &other)),
         }
     }
 }
@@ -715,6 +1262,12 @@ impl ShardTransport for RemoteConnection {
             Response::Table(t) => Ok(SplitOpen::Dense(t)),
             other => Err(self.unexpected("SplitOpen", &other)),
         }
+    }
+
+    fn predict_partials(&self, spec: &ScorerSpec, keys: &[i64]) -> BackendResult<Vec<(bool, f64)>> {
+        // Shard-resident scoring: only keys and partial sums cross the
+        // wire, never message tables.
+        self.predict_wire(None, Some(spec), keys, true)
     }
 
     fn wire_bytes(&self) -> (u64, u64) {
@@ -838,24 +1391,64 @@ pub struct RemoteBackend {
     selects: AtomicU64,
 }
 
-impl RemoteBackend {
-    /// Connect to a wire server with default timeouts.
-    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> BackendResult<RemoteBackend> {
-        RemoteBackend::connect_with(addr, RemoteOptions::default())
+/// Configures a [`RemoteBackend`]: address plus transport timeouts.
+pub struct RemoteBackendBuilder {
+    inner: RemoteConnectionBuilder,
+}
+
+impl RemoteBackendBuilder {
+    /// Bound on establishing the TCP connection (default 5s).
+    pub fn connect_timeout(mut self, t: Duration) -> RemoteBackendBuilder {
+        self.inner = self.inner.connect_timeout(t);
+        self
     }
 
-    /// Connect with explicit timeouts.
-    pub fn connect_with(
-        addr: impl ToSocketAddrs + std::fmt::Display,
-        opts: RemoteOptions,
-    ) -> BackendResult<RemoteBackend> {
-        let conn = RemoteConnection::connect_with(addr, opts)?;
-        Ok(RemoteBackend {
+    /// Bound on every request/response exchange (default 30s).
+    pub fn io_timeout(mut self, t: Duration) -> RemoteBackendBuilder {
+        self.inner = self.inner.io_timeout(t);
+        self
+    }
+
+    /// Connect and wrap the connection as a full [`SqlBackend`].
+    pub fn connect(self) -> BackendResult<RemoteBackend> {
+        Ok(RemoteBackend::from_connection(self.inner.connect()?))
+    }
+}
+
+impl RemoteBackend {
+    /// Start configuring a backend for `addr` — see
+    /// [`RemoteBackendBuilder`].
+    pub fn builder(addr: impl ToSocketAddrs + std::fmt::Display) -> RemoteBackendBuilder {
+        RemoteBackendBuilder {
+            inner: RemoteConnection::builder(addr),
+        }
+    }
+
+    fn from_connection(conn: RemoteConnection) -> RemoteBackend {
+        RemoteBackend {
             label: "remote".to_string(),
             conn,
             statements: AtomicU64::new(0),
             selects: AtomicU64::new(0),
-        })
+        }
+    }
+
+    /// Connect to a wire server with default timeouts.
+    #[deprecated(note = "use RemoteBackend::builder(addr).connect()")]
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> BackendResult<RemoteBackend> {
+        RemoteBackend::builder(addr).connect()
+    }
+
+    /// Connect with explicit timeouts.
+    #[deprecated(note = "use RemoteBackend::builder(addr) and its timeout setters")]
+    pub fn connect_with(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+        opts: RemoteOptions,
+    ) -> BackendResult<RemoteBackend> {
+        Ok(RemoteBackend::from_connection(RemoteConnection::open(
+            &addr.to_string(),
+            opts,
+        )?))
     }
 
     /// The underlying connection (byte counters, diagnostics).
@@ -936,6 +1529,12 @@ impl SqlBackend for RemoteBackend {
         ShardTransport::drop_table(&self.conn, name)
     }
 
+    fn predict_batch(&self, spec: &ScorerSpec, keys: &[i64]) -> BackendResult<Vec<(bool, f64)>> {
+        // Full scores (init included): the server holds every message
+        // table, so no coordinator-side merge is needed.
+        self.conn.predict_wire(None, Some(spec), keys, false)
+    }
+
     fn stats(&self) -> BackendStats {
         let (bytes_sent, bytes_received) = self.conn.wire_byte_counts();
         BackendStats {
@@ -945,5 +1544,205 @@ impl SqlBackend for RemoteBackend {
             bytes_received,
             ..BackendStats::default()
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ServeClient
+// ---------------------------------------------------------------------------
+
+/// A client-visible job state, decoded from the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus {
+    /// Registered, not yet picked up by a worker.
+    Queued,
+    /// Training; `iterations` boosting rounds finished so far.
+    Running {
+        /// Boosting iterations completed.
+        iterations: u64,
+    },
+    /// Trained successfully; ready for `PredictBatch`.
+    Done {
+        /// Boosting iterations completed.
+        iterations: u64,
+    },
+    /// Training raised an error (the server's message).
+    Failed(String),
+    /// Cancelled — explicitly or because its submitter disconnected.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Terminal states never change again; polling can stop.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done { .. } | JobStatus::Failed(_) | JobStatus::Cancelled
+        )
+    }
+}
+
+/// What a serving call can fail with. `Busy` is backpressure on a
+/// healthy connection — retry later; `Engine` carries everything else
+/// (transport failures, server-side errors).
+#[derive(Debug)]
+pub enum ServeError {
+    /// The server declined admission (job limit or session budget). The
+    /// connection is still usable.
+    Busy(String),
+    /// A transport or engine error.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Busy(m) => write!(f, "server busy: {m}"),
+            ServeError::Engine(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError::Engine(e)
+    }
+}
+
+/// The serving-tier client: submit training jobs, poll and cancel them,
+/// and score key batches against the message tables a finished job
+/// compiled — all over one wire connection.
+///
+/// ```no_run
+/// # use joinboost::backend::{JobSpec, ServeClient};
+/// let client = ServeClient::connect("127.0.0.1:7654").unwrap();
+/// let spec = JobSpec {
+///     relations: vec![("sales".into(), vec![])],
+///     edges: vec![],
+///     target_relation: "sales".into(),
+///     target_column: "net_profit".into(),
+///     key_column: Some("sale_id".into()),
+///     ..JobSpec::default()
+/// };
+/// let id = client.submit(&spec).unwrap();
+/// let status = client.wait(id).unwrap();
+/// let scores = client.predict(id, &[1, 2, 3]).unwrap();
+/// ```
+pub struct ServeClient {
+    conn: RemoteConnection,
+}
+
+impl ServeClient {
+    /// Connect to a wire server with default timeouts.
+    pub fn connect(
+        addr: impl ToSocketAddrs + std::fmt::Display,
+    ) -> Result<ServeClient, ServeError> {
+        Ok(ServeClient::from_connection(
+            RemoteConnection::builder(addr).connect()?,
+        ))
+    }
+
+    /// Wrap an existing connection (e.g. one built with custom timeouts).
+    pub fn from_connection(conn: RemoteConnection) -> ServeClient {
+        ServeClient { conn }
+    }
+
+    /// The underlying connection (byte counters, diagnostics).
+    pub fn connection(&self) -> &RemoteConnection {
+        &self.conn
+    }
+
+    /// Exchange, splitting `Busy` out of the error stream so callers can
+    /// treat backpressure differently from failure.
+    fn serve_call(&self, req: &Request) -> Result<Response, ServeError> {
+        match self.conn.request(req)? {
+            Response::Err(e) => Err(ServeError::Engine(e)),
+            Response::Busy(m) => Err(ServeError::Busy(m)),
+            ok => Ok(ok),
+        }
+    }
+
+    fn status(&self, resp: Response) -> Result<JobStatus, ServeError> {
+        match resp {
+            Response::JobState {
+                state,
+                iterations,
+                message,
+            } => Ok(match state {
+                0 => JobStatus::Queued,
+                1 => JobStatus::Running { iterations },
+                2 => JobStatus::Done { iterations },
+                3 => JobStatus::Failed(message),
+                _ => JobStatus::Cancelled,
+            }),
+            other => Err(ServeError::Engine(self.conn.unexpected("PollJob", &other))),
+        }
+    }
+
+    /// Submit a training job; returns its id, or [`ServeError::Busy`]
+    /// when the server's job limit is reached.
+    pub fn submit(&self, spec: &JobSpec) -> Result<u64, ServeError> {
+        match self.serve_call(&Request::SubmitJob {
+            spec: Box::new(spec.clone()),
+        })? {
+            Response::JobSubmitted(id) => Ok(id),
+            other => Err(ServeError::Engine(
+                self.conn.unexpected("SubmitJob", &other),
+            )),
+        }
+    }
+
+    /// The job's current state. Unknown ids are an error naming the id.
+    pub fn poll(&self, id: u64) -> Result<JobStatus, ServeError> {
+        let resp = self.serve_call(&Request::PollJob { id })?;
+        self.status(resp)
+    }
+
+    /// Request cancellation (idempotent) and report the state after it.
+    /// A queued job dies immediately; a running one stops at its next
+    /// iteration boundary.
+    pub fn cancel(&self, id: u64) -> Result<JobStatus, ServeError> {
+        let resp = self.serve_call(&Request::CancelJob { id })?;
+        self.status(resp)
+    }
+
+    /// Poll every 10ms until the job reaches a terminal state.
+    pub fn wait(&self, id: u64) -> Result<JobStatus, ServeError> {
+        loop {
+            let status = self.poll(id)?;
+            if status.is_terminal() {
+                return Ok(status);
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Score `keys` against the message tables job `id` compiled.
+    /// `None` marks keys absent from the (implicit) join — exactly the
+    /// rows a materialized inner join would not contain.
+    pub fn predict(&self, id: u64, keys: &[i64]) -> Result<Vec<Option<f64>>, ServeError> {
+        let rs = self
+            .conn
+            .predict_wire(Some(id), None, keys, false)
+            .map_err(ServeError::Engine)?;
+        Ok(rs.into_iter().map(|(f, s)| f.then_some(s)).collect())
+    }
+
+    /// Score `keys` against message tables described by an inline `spec`
+    /// (deployed out-of-band, e.g. by [`FactorizedScorer`] compilation).
+    ///
+    /// [`FactorizedScorer`]: crate::serve::FactorizedScorer
+    pub fn predict_spec(
+        &self,
+        spec: &ScorerSpec,
+        keys: &[i64],
+    ) -> Result<Vec<Option<f64>>, ServeError> {
+        let rs = self
+            .conn
+            .predict_wire(None, Some(spec), keys, false)
+            .map_err(ServeError::Engine)?;
+        Ok(rs.into_iter().map(|(f, s)| f.then_some(s)).collect())
     }
 }

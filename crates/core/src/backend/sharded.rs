@@ -123,6 +123,23 @@ pub trait ShardTransport: Send + Sync {
         )
     }
 
+    /// Shard-partial scores for a batch of predict keys against
+    /// shard-resident message tables (see [`crate::serve`]): `(found,
+    /// partial)` per key, partials accumulated from `0.0` — the
+    /// coordinator adds the model's initial score once per found key,
+    /// which the dyadic leaf grid keeps bit-identical to single-node
+    /// evaluation. The default loads the spec's tables through
+    /// [`ShardTransport::snapshot`]; remote transports override it so the
+    /// shard evaluates server-side and ships only scores, never tables.
+    fn predict_partials(
+        &self,
+        spec: &crate::serve::ScorerSpec,
+        keys: &[i64],
+    ) -> BackendResult<Vec<(bool, f64)>> {
+        let idx = crate::serve::MessageIndex::load(spec, &mut |n| self.snapshot(n))?;
+        idx.eval_batch(keys, 0.0)
+    }
+
     /// `(bytes_sent, bytes_received)` on this transport's socket; zero
     /// for in-process transports.
     fn wire_bytes(&self) -> (u64, u64) {
@@ -295,7 +312,10 @@ impl ShardedBackend {
         let mut transports: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
         let mut column_swap = config.allow_swap;
         for addr in addrs {
-            let conn = RemoteConnection::connect_with(addr, opts)?;
+            let conn = RemoteConnection::builder(addr)
+                .connect_timeout(opts.connect_timeout)
+                .io_timeout(opts.io_timeout)
+                .connect()?;
             column_swap = column_swap && conn.server_column_swap();
             transports.push(Box::new(conn));
         }
@@ -859,6 +879,60 @@ impl SqlBackend for ShardedBackend {
             }
             Ok(())
         }
+    }
+
+    fn create_partitioned_table(&self, name: &str, table: Table, key: &str) -> BackendResult<()> {
+        // Same hash partitioning as the fact relation, but on the named
+        // key: a message table partitioned on the predict key lands each
+        // entry on the shard that answers for that key.
+        let kidx = table.resolve(None, key)?;
+        let n = self.shards.len();
+        let mut masks: Vec<Vec<bool>> = vec![vec![false; table.num_rows()]; n];
+        #[allow(clippy::needless_range_loop)] // i indexes the key column and masks
+        for i in 0..table.num_rows() {
+            let s = self.shard_of(&table.columns[kidx].get(i));
+            masks[s][i] = true;
+        }
+        for (db, mask) in self.shards.iter().zip(&masks) {
+            db.create_table(name, table.filter(mask))?;
+        }
+        self.sharded.write().insert(name.to_ascii_lowercase());
+        Ok(())
+    }
+
+    fn predict_batch(
+        &self,
+        spec: &crate::serve::ScorerSpec,
+        keys: &[i64],
+    ) -> BackendResult<Vec<(bool, f64)>> {
+        // Fan the batch out; each shard scores the keys whose fact
+        // partition it owns and answers (found, partial). Exactly one
+        // shard finds any given key, so the merge is init + partial.
+        self.fanout_selects.fetch_add(1, Ordering::Relaxed);
+        let mut out = vec![(false, 0.0f64); keys.len()];
+        for shard in self.on_all_shards(|_, db| db.predict_partials(spec, keys)) {
+            let shard = shard?;
+            if shard.len() != keys.len() {
+                return Err(EngineError::Other(format!(
+                    "predict_partials answered {} scores for {} keys",
+                    shard.len(),
+                    keys.len()
+                )));
+            }
+            for (i, (found, p)) in shard.into_iter().enumerate() {
+                if found {
+                    if out[i].0 {
+                        return Err(EngineError::Other(format!(
+                            "predict key {} found on multiple shards; message \
+                             tables are inconsistent with the partitioning",
+                            keys[i]
+                        )));
+                    }
+                    out[i] = (true, spec.init_score + p);
+                }
+            }
+        }
+        Ok(out)
     }
 
     fn snapshot(&self, name: &str) -> BackendResult<Table> {

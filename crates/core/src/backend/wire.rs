@@ -35,13 +35,67 @@ use joinboost_engine::column::ColumnData;
 use joinboost_engine::table::ColumnMeta;
 use joinboost_engine::{Column, DataType, EngineError, Table};
 
+use crate::serve::ScorerSpec;
+
+/// A training job as submitted over the wire: the join graph by name
+/// (the referenced tables must already be loaded on the server), the
+/// target binding, and the training parameters the serving tier exposes.
+///
+/// `key_column` names a unique `Int` column on the target relation; when
+/// set, a finished job compiles its model into message tables (see
+/// [`crate::serve`]) so [`Request::PredictBatch`] can score keys against
+/// it without a join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// `(relation name, feature columns)` — one entry per table.
+    pub relations: Vec<(String, Vec<String>)>,
+    /// `(relation a, relation b, join key columns)` edges; `a` is the
+    /// many side (the graph defaults to many-to-one toward `b`).
+    pub edges: Vec<(String, String, Vec<String>)>,
+    /// Relation holding the target column.
+    pub target_relation: String,
+    /// The target (label) column.
+    pub target_column: String,
+    /// Predict-key column on the target relation; `None` trains without
+    /// deploying message tables.
+    pub key_column: Option<String>,
+    /// Boosting iterations.
+    pub num_iterations: u32,
+    /// Leaves per tree.
+    pub num_leaves: u32,
+    /// Shrinkage.
+    pub learning_rate: f64,
+    /// Dyadic leaf grid (0 disables; see `DESIGN.md` § Backends).
+    pub leaf_quantization: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            relations: Vec::new(),
+            edges: Vec::new(),
+            target_relation: String::new(),
+            target_column: String::new(),
+            key_column: None,
+            num_iterations: 3,
+            num_leaves: 8,
+            learning_rate: 0.5,
+            leaf_quantization: (2.0f64).powi(-10),
+            seed: 42,
+        }
+    }
+}
+
 /// Protocol magic, sent in [`Request::Hello`]: `"JBWP"` (JoinBoost wire
 /// protocol).
 pub const MAGIC: u32 = 0x4a42_5750;
 
 /// Protocol version; bumped on any incompatible codec change. The server
 /// rejects a `Hello` with a different version instead of misdecoding.
-pub const VERSION: u32 = 1;
+/// Version 2 added the job/predict API (`SubmitJob` … `PredictBatch`).
+pub const VERSION: u32 = 2;
 
 /// Upper bound on one frame's payload (64 MiB). Larger tables must be
 /// loaded in parts; in practice JoinBoost's shard messages are orders of
@@ -170,6 +224,41 @@ pub enum Request {
         /// Handle from [`Response::SplitOpened`].
         id: u64,
     },
+    /// Submit a training job; answered with [`Response::JobSubmitted`]
+    /// (the job id) or [`Response::Busy`] when admission control rejects
+    /// it. Training runs on a background worker; poll for progress.
+    SubmitJob {
+        /// The job: graph, target, parameters.
+        spec: Box<JobSpec>,
+    },
+    /// Current state of a job; answered with [`Response::JobState`]. Any
+    /// connection may poll any job id.
+    PollJob {
+        /// Id from [`Response::JobSubmitted`].
+        id: u64,
+    },
+    /// Cancel a queued or running job. Idempotent: cancelling a finished
+    /// or already-cancelled job answers its terminal state unchanged.
+    CancelJob {
+        /// Id from [`Response::JobSubmitted`].
+        id: u64,
+    },
+    /// Score a batch of predict keys against deployed message tables;
+    /// answered with [`Response::Scores`]. Either the compiled tables of
+    /// a `Done` job (`job`) or an inline [`ScorerSpec`] naming
+    /// server-resident tables (`spec`) — exactly one must be set.
+    PredictBatch {
+        /// Score against this finished job's compiled message tables.
+        job: Option<u64>,
+        /// Score against these server-resident tables directly.
+        spec: Option<Box<ScorerSpec>>,
+        /// The predict keys.
+        keys: Vec<i64>,
+        /// `true`: shard-partial scores accumulated from `0.0` (the
+        /// caller adds the initial score once per found key); `false`:
+        /// full scores starting from the model's initial score.
+        partial: bool,
+    },
 }
 
 /// One server → client message.
@@ -200,6 +289,30 @@ pub enum Response {
     /// [`Response::Table`] carrying the absorbed result instead, so the
     /// dense fallback costs no second execution.
     SplitOpened(u64, u64),
+    /// Reply to [`Request::SubmitJob`]: the job id to poll.
+    JobSubmitted(u64),
+    /// Reply to [`Request::PollJob`] / [`Request::CancelJob`]: the job's
+    /// current state.
+    JobState {
+        /// State tag: 0 queued, 1 running, 2 done, 3 failed, 4 cancelled.
+        state: u8,
+        /// Boosting iterations completed so far.
+        iterations: u64,
+        /// Failure message (empty unless failed).
+        message: String,
+    },
+    /// Typed admission-control rejection (too many jobs, session budget
+    /// exhausted). Deliberately *not* an [`EngineError`]: the connection
+    /// stays healthy and the client may retry later.
+    Busy(String),
+    /// Reply to [`Request::PredictBatch`]: per key, whether its tuple is
+    /// in `R⋈` and its (partial) score. Parallel to the request's keys.
+    Scores {
+        /// `found[i]`: key `i` is present in the join.
+        found: Vec<bool>,
+        /// `scores[i]`: the score (0.0 when not found).
+        scores: Vec<f64>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -523,6 +636,132 @@ fn decode_engine_error(r: &mut Reader<'_>) -> DecodeResult<EngineError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Job / scorer codecs
+// ---------------------------------------------------------------------------
+
+fn put_f64(buf: &mut Vec<u8>, x: f64) {
+    buf.put_u64_le(x.to_bits());
+}
+
+fn put_strings(buf: &mut Vec<u8>, ss: &[String]) {
+    buf.put_u32_le(ss.len() as u32);
+    for s in ss {
+        put_string(buf, s);
+    }
+}
+
+fn read_f64(r: &mut Reader<'_>) -> DecodeResult<f64> {
+    Ok(f64::from_bits(r.u64()?))
+}
+
+fn read_strings(r: &mut Reader<'_>) -> DecodeResult<Vec<String>> {
+    let n = r.count(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.string()?);
+    }
+    Ok(out)
+}
+
+fn encode_scorer_spec(spec: &ScorerSpec, buf: &mut Vec<u8>) {
+    put_f64(buf, spec.init_score);
+    put_f64(buf, spec.learning_rate);
+    buf.put_u32_le(spec.leaf_values.len() as u32);
+    for tree in &spec.leaf_values {
+        buf.put_u32_le(tree.len() as u32);
+        for &v in tree {
+            put_f64(buf, v);
+        }
+    }
+    put_string(buf, &spec.fact_table);
+    put_string(buf, &spec.key_column);
+    put_strings(buf, &spec.dim_tables);
+}
+
+fn decode_scorer_spec(r: &mut Reader<'_>) -> DecodeResult<ScorerSpec> {
+    let init_score = read_f64(r)?;
+    let learning_rate = read_f64(r)?;
+    let nt = r.count(4)?;
+    let mut leaf_values = Vec::with_capacity(nt);
+    for _ in 0..nt {
+        let nl = r.count(8)?;
+        let mut tree = Vec::with_capacity(nl);
+        for _ in 0..nl {
+            tree.push(read_f64(r)?);
+        }
+        leaf_values.push(tree);
+    }
+    Ok(ScorerSpec {
+        init_score,
+        learning_rate,
+        leaf_values,
+        fact_table: r.string()?,
+        key_column: r.string()?,
+        dim_tables: read_strings(r)?,
+    })
+}
+
+fn encode_job_spec(spec: &JobSpec, buf: &mut Vec<u8>) {
+    buf.put_u32_le(spec.relations.len() as u32);
+    for (name, feats) in &spec.relations {
+        put_string(buf, name);
+        put_strings(buf, feats);
+    }
+    buf.put_u32_le(spec.edges.len() as u32);
+    for (a, b, keys) in &spec.edges {
+        put_string(buf, a);
+        put_string(buf, b);
+        put_strings(buf, keys);
+    }
+    put_string(buf, &spec.target_relation);
+    put_string(buf, &spec.target_column);
+    match &spec.key_column {
+        None => buf.put_u8(0),
+        Some(k) => {
+            buf.put_u8(1);
+            put_string(buf, k);
+        }
+    }
+    buf.put_u32_le(spec.num_iterations);
+    buf.put_u32_le(spec.num_leaves);
+    put_f64(buf, spec.learning_rate);
+    put_f64(buf, spec.leaf_quantization);
+    buf.put_u64_le(spec.seed);
+}
+
+fn decode_job_spec(r: &mut Reader<'_>) -> DecodeResult<JobSpec> {
+    let nr = r.count(4)?;
+    let mut relations = Vec::with_capacity(nr);
+    for _ in 0..nr {
+        let name = r.string()?;
+        relations.push((name, read_strings(r)?));
+    }
+    let ne = r.count(4)?;
+    let mut edges = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let a = r.string()?;
+        let b = r.string()?;
+        edges.push((a, b, read_strings(r)?));
+    }
+    Ok(JobSpec {
+        relations,
+        edges,
+        target_relation: r.string()?,
+        target_column: r.string()?,
+        key_column: match r.u8()? {
+            0 => None,
+            1 => Some(r.string()?),
+            _ => return Err(corrupt("unknown option tag")),
+        },
+        num_iterations: r.u32()?,
+        num_leaves: r.u32()?,
+        learning_rate: read_f64(r)?,
+        leaf_quantization: read_f64(r)?,
+        seed: r.u64()?,
+    })
+}
+
 fn dtype_tag(d: DataType) -> u8 {
     match d {
         DataType::Int => 0,
@@ -561,6 +800,10 @@ const REQ_SPLIT_SUMMARIES: u8 = 13;
 const REQ_SPLIT_REFINE: u8 = 14;
 const REQ_SPLIT_FETCH: u8 = 15;
 const REQ_SPLIT_CLOSE: u8 = 16;
+const REQ_SUBMIT_JOB: u8 = 17;
+const REQ_POLL_JOB: u8 = 18;
+const REQ_CANCEL_JOB: u8 = 19;
+const REQ_PREDICT_BATCH: u8 = 20;
 
 /// Encode one request into a frame payload.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -662,6 +905,45 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             buf.put_u8(REQ_SPLIT_CLOSE);
             buf.put_u64_le(*id);
         }
+        Request::SubmitJob { spec } => {
+            buf.put_u8(REQ_SUBMIT_JOB);
+            encode_job_spec(spec, &mut buf);
+        }
+        Request::PollJob { id } => {
+            buf.put_u8(REQ_POLL_JOB);
+            buf.put_u64_le(*id);
+        }
+        Request::CancelJob { id } => {
+            buf.put_u8(REQ_CANCEL_JOB);
+            buf.put_u64_le(*id);
+        }
+        Request::PredictBatch {
+            job,
+            spec,
+            keys,
+            partial,
+        } => {
+            buf.put_u8(REQ_PREDICT_BATCH);
+            match job {
+                None => buf.put_u8(0),
+                Some(id) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(*id);
+                }
+            }
+            match spec {
+                None => buf.put_u8(0),
+                Some(s) => {
+                    buf.put_u8(1);
+                    encode_scorer_spec(s, &mut buf);
+                }
+            }
+            buf.put_u32_le(keys.len() as u32);
+            for &k in keys {
+                buf.put_i64_le(k);
+            }
+            buf.put_u8(u8::from(*partial));
+        }
     }
     buf
 }
@@ -741,6 +1023,35 @@ pub fn decode_request(bytes: &[u8]) -> DecodeResult<Request> {
             Request::SplitFetch { id, grid, retain }
         }
         REQ_SPLIT_CLOSE => Request::SplitClose { id: r.u64()? },
+        REQ_SUBMIT_JOB => Request::SubmitJob {
+            spec: Box::new(decode_job_spec(&mut r)?),
+        },
+        REQ_POLL_JOB => Request::PollJob { id: r.u64()? },
+        REQ_CANCEL_JOB => Request::CancelJob { id: r.u64()? },
+        REQ_PREDICT_BATCH => {
+            let job = match r.u8()? {
+                0 => None,
+                1 => Some(r.u64()?),
+                _ => return Err(corrupt("unknown option tag")),
+            };
+            let spec = match r.u8()? {
+                0 => None,
+                1 => Some(Box::new(decode_scorer_spec(&mut r)?)),
+                _ => return Err(corrupt("unknown option tag")),
+            };
+            let n = r.count(8)?;
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(r.i64()?);
+            }
+            let partial = r.u8()? != 0;
+            Request::PredictBatch {
+                job,
+                spec,
+                keys,
+                partial,
+            }
+        }
         _ => return Err(corrupt("unknown request tag")),
     };
     r.done()?;
@@ -756,6 +1067,10 @@ const RESP_BOOL: u8 = 5;
 const RESP_COUNT: u8 = 6;
 const RESP_ERR: u8 = 7;
 const RESP_SPLIT_OPENED: u8 = 8;
+const RESP_JOB_SUBMITTED: u8 = 9;
+const RESP_JOB_STATE: u8 = 10;
+const RESP_BUSY: u8 = 11;
+const RESP_SCORES: u8 = 12;
 
 /// Encode one response into a frame payload.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
@@ -798,6 +1113,32 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             buf.put_u64_le(*id);
             buf.put_u64_le(*rows);
         }
+        Response::JobSubmitted(id) => {
+            buf.put_u8(RESP_JOB_SUBMITTED);
+            buf.put_u64_le(*id);
+        }
+        Response::JobState {
+            state,
+            iterations,
+            message,
+        } => {
+            buf.put_u8(RESP_JOB_STATE);
+            buf.put_u8(*state);
+            buf.put_u64_le(*iterations);
+            put_string(&mut buf, message);
+        }
+        Response::Busy(reason) => {
+            buf.put_u8(RESP_BUSY);
+            put_string(&mut buf, reason);
+        }
+        Response::Scores { found, scores } => {
+            buf.put_u8(RESP_SCORES);
+            buf.put_u32_le(found.len() as u32);
+            for (&f, &s) in found.iter().zip(scores) {
+                buf.put_u8(u8::from(f));
+                put_f64(&mut buf, s);
+            }
+        }
     }
     buf
 }
@@ -824,6 +1165,29 @@ pub fn decode_response(bytes: &[u8]) -> DecodeResult<Response> {
         RESP_COUNT => Response::Count(r.u64()?),
         RESP_ERR => Response::Err(decode_engine_error(&mut r)?),
         RESP_SPLIT_OPENED => Response::SplitOpened(r.u64()?, r.u64()?),
+        RESP_JOB_SUBMITTED => Response::JobSubmitted(r.u64()?),
+        RESP_JOB_STATE => {
+            let state = r.u8()?;
+            if state > 4 {
+                return Err(corrupt("unknown job state tag"));
+            }
+            Response::JobState {
+                state,
+                iterations: r.u64()?,
+                message: r.string()?,
+            }
+        }
+        RESP_BUSY => Response::Busy(r.string()?),
+        RESP_SCORES => {
+            let n = r.count(9)?;
+            let mut found = Vec::with_capacity(n);
+            let mut scores = Vec::with_capacity(n);
+            for _ in 0..n {
+                found.push(r.u8()? != 0);
+                scores.push(read_f64(&mut r)?);
+            }
+            Response::Scores { found, scores }
+        }
         _ => return Err(corrupt("unknown response tag")),
     };
     r.done()?;
@@ -834,6 +1198,17 @@ pub fn decode_response(bytes: &[u8]) -> DecodeResult<Response> {
 mod tests {
     use super::*;
     use joinboost_engine::Datum;
+
+    fn sample_scorer_spec() -> ScorerSpec {
+        ScorerSpec {
+            init_score: 1.5,
+            learning_rate: 0.5,
+            leaf_values: vec![vec![-0.25, 0.75], vec![0.0]],
+            fact_table: "jb_job1_msg_fact".into(),
+            key_column: "sale_id".into(),
+            dim_tables: vec!["jb_job1_msg_items".into(), "jb_job1_msg_dates".into()],
+        }
+    }
 
     fn sample_table() -> Table {
         let mut t = Table::new();
@@ -924,6 +1299,33 @@ mod tests {
                 rows: vec![2, 0, 2],
             },
             Request::TableNames,
+            Request::SubmitJob {
+                spec: Box::new(JobSpec {
+                    relations: vec![
+                        ("sales".into(), vec![]),
+                        ("items".into(), vec!["f_items".into()]),
+                    ],
+                    edges: vec![("sales".into(), "items".into(), vec!["items_id".into()])],
+                    target_relation: "sales".into(),
+                    target_column: "net_profit".into(),
+                    key_column: Some("sale_id".into()),
+                    ..JobSpec::default()
+                }),
+            },
+            Request::PollJob { id: 7 },
+            Request::CancelJob { id: u64::MAX },
+            Request::PredictBatch {
+                job: Some(7),
+                spec: None,
+                keys: vec![1, -1, i64::MAX],
+                partial: true,
+            },
+            Request::PredictBatch {
+                job: None,
+                spec: Some(Box::new(sample_scorer_spec())),
+                keys: vec![],
+                partial: false,
+            },
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -941,6 +1343,18 @@ mod tests {
             Response::Bool(false),
             Response::Count(42),
             Response::Err(EngineError::UnknownTable("ghost".into())),
+            Response::SplitOpened(3, 99),
+            Response::JobSubmitted(12),
+            Response::JobState {
+                state: 3,
+                iterations: 2,
+                message: "boom".into(),
+            },
+            Response::Busy("4 jobs already running".into()),
+            Response::Scores {
+                found: vec![true, false, true],
+                scores: vec![-0.0, 0.0, f64::NAN],
+            },
         ];
         for resp in resps {
             let enc = encode_response(&resp);

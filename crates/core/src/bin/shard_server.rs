@@ -13,12 +13,13 @@
 
 use std::net::TcpListener;
 
-use joinboost::backend::ServeOptions;
+use joinboost::backend::WireServer;
 use joinboost_engine::{Database, EngineConfig};
 
 fn main() {
     let mut addr = "127.0.0.1:0".to_string();
-    let mut opts = ServeOptions::default();
+    let mut fail_after = None;
+    let mut stall = false;
     let mut config = EngineConfig::duckdb_mem();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -27,9 +28,9 @@ fn main() {
             "--allow-swap" => config.allow_swap = true,
             "--fail-after" => {
                 let n = args.next().expect("--fail-after needs a value");
-                opts.fail_after = Some(n.parse().expect("--fail-after needs a number"));
+                fail_after = Some(n.parse().expect("--fail-after needs a number"));
             }
-            "--stall" => opts.stall = true,
+            "--stall" => stall = true,
             "--help" | "-h" => {
                 println!(
                     "usage: shard_server [--addr HOST:PORT] [--allow-swap] \
@@ -50,5 +51,9 @@ fn main() {
     println!("LISTENING {local}");
     use std::io::Write as _;
     std::io::stdout().flush().expect("flush");
-    joinboost::backend::serve(listener, Database::new(config), opts);
+    let mut builder = WireServer::builder(Database::new(config)).stall(stall);
+    if let Some(n) = fail_after {
+        builder = builder.fail_after(n);
+    }
+    builder.serve(listener);
 }

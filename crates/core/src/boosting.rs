@@ -60,6 +60,17 @@ impl GbmModel {
             .map(|r| self.objective.transform(r))
             .collect()
     }
+
+    /// Raw additive score for one feature row — `init + lr · Σ tree(x)`
+    /// in the exact operation order of the batch path, so single-row and
+    /// batch scoring are bit-identical.
+    pub fn score(&self, row: &dyn crate::tree::FeatureRow) -> f64 {
+        let mut s = self.init_score;
+        for tree in &self.trees {
+            s += self.learning_rate * tree.score(row);
+        }
+        s
+    }
 }
 
 /// Does the objective have a constant unit Hessian (so the `h` component
@@ -77,15 +88,18 @@ fn unit_hessian(obj: &Objective) -> bool {
 
 /// Train a gradient boosting model.
 pub fn train_gbm(set: &Dataset, params: &TrainParams) -> Result<GbmModel> {
-    train_gbm_cb(set, params, |_, _| {})
+    train_gbm_cb(set, params, |_, _| true)
 }
 
 /// Train with a per-iteration callback `(iteration, model-so-far)` —
-/// used by the experiment harness to record time/accuracy curves.
+/// used by the experiment harness to record time/accuracy curves, and by
+/// the serving tier's job workers to observe progress. Returning `false`
+/// stops training early: the model boosted so far comes back as `Ok`
+/// (how job cancellation interrupts a run without poisoning anything).
 pub fn train_gbm_cb(
     set: &Dataset,
     params: &TrainParams,
-    mut callback: impl FnMut(usize, &GbmModel),
+    mut callback: impl FnMut(usize, &GbmModel) -> bool,
 ) -> Result<GbmModel> {
     params.validate()?;
     if params.use_cuboid {
@@ -108,7 +122,7 @@ pub fn train_gbm_cb(
 fn train_cuboid(
     set: &Dataset,
     params: &TrainParams,
-    callback: &mut impl FnMut(usize, &GbmModel),
+    callback: &mut impl FnMut(usize, &GbmModel) -> bool,
 ) -> Result<GbmModel> {
     use joinboost_sql::ast::{Query, SelectItem};
     if params.objective != Objective::SquaredError {
@@ -242,7 +256,9 @@ fn train_cuboid(
             }
         }
         model.trees.push(tree);
-        callback(iter, &model);
+        if !callback(iter, &model) {
+            break;
+        }
     }
     Ok(model)
 }
@@ -255,7 +271,7 @@ fn train_snowflake(
     set: &Dataset,
     params: &TrainParams,
     fact: RelId,
-    callback: &mut impl FnMut(usize, &GbmModel),
+    callback: &mut impl FnMut(usize, &GbmModel) -> bool,
 ) -> Result<GbmModel> {
     check_update_capability(set, params)?;
     let obj = params.objective;
@@ -383,7 +399,9 @@ fn train_snowflake(
         model.update_time += t1.elapsed();
 
         model.trees.push(tree);
-        callback(iter, &model);
+        if !callback(iter, &model) {
+            break;
+        }
     }
     Ok(model)
 }
@@ -811,7 +829,7 @@ impl Updater {
 fn train_galaxy(
     set: &Dataset,
     params: &TrainParams,
-    callback: &mut impl FnMut(usize, &GbmModel),
+    callback: &mut impl FnMut(usize, &GbmModel) -> bool,
 ) -> Result<GbmModel> {
     if !params.objective.supports_galaxy() {
         return Err(TrainError::Invalid(format!(
@@ -935,7 +953,9 @@ fn train_galaxy(
         model.update_time += t1.elapsed();
 
         model.trees.push(tree);
-        callback(iter, &model);
+        if !callback(iter, &model) {
+            break;
+        }
     }
     Ok(model)
 }

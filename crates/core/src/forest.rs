@@ -40,6 +40,14 @@ impl RfModel {
     pub fn predict(&self, table: &joinboost_engine::Table) -> Vec<f64> {
         predict::predict_bagged(&self.trees, table)
     }
+
+    /// Averaged score for one feature row: the single-row entry point.
+    pub fn score(&self, row: &dyn crate::tree::FeatureRow) -> f64 {
+        if self.trees.is_empty() {
+            return 0.0;
+        }
+        self.trees.iter().map(|t| t.score(row)).sum::<f64>() / self.trees.len() as f64
+    }
 }
 
 /// Train a random forest over the join graph.

@@ -72,6 +72,10 @@
 //! * [`scheduler`] — inter-query parallelism: dependency-tracked FIFO run
 //!   queue over worker threads (Section 5.5.3).
 //! * [`tree`], [`predict`] — the returned models and their application.
+//! * [`serve`] — the serving tier: trained forests compiled into
+//!   per-relation message tables so per-key scoring is dictionary
+//!   lookups plus `⊕`-adds — never a join — with a [`Scorer`] trait over
+//!   the materialized and factorized paths.
 
 #![deny(missing_docs)]
 
@@ -85,6 +89,7 @@ pub mod params;
 pub mod predict;
 pub mod sampling;
 pub mod scheduler;
+pub mod serve;
 pub mod sqlgen;
 pub mod trainer;
 pub mod tree;
@@ -98,5 +103,6 @@ pub use dataset::{Dataset, FeatureKind};
 pub use error::{Result, TrainError};
 pub use forest::{train_random_forest, RfModel};
 pub use params::{Growth, TrainParams, UpdateMethod};
+pub use serve::{FactorizedScorer, JoinScorer, Scorer, ScorerSpec};
 pub use trainer::{train_decision_tree, TrainStats};
 pub use tree::{Split, SplitCondition, Tree};

@@ -75,7 +75,11 @@ pub fn materialize_features(set: &Dataset) -> Result<Table> {
 
 /// Raw additive prediction of a boosted ensemble for every row of a
 /// materialized feature table: `init + lr · Σ tree(x)`.
-pub fn predict_boosted(
+///
+/// Crate-internal: the public entry points are
+/// [`GbmModel::score`](crate::boosting::GbmModel::score) (and the
+/// [`Scorer`](crate::serve::Scorer) trait for per-key serving).
+pub(crate) fn predict_boosted(
     trees: &[Tree],
     init_score: f64,
     learning_rate: f64,
@@ -92,7 +96,10 @@ pub fn predict_boosted(
 }
 
 /// Averaged prediction of a bagged ensemble (random forest).
-pub fn predict_bagged(trees: &[Tree], table: &Table) -> Vec<f64> {
+///
+/// Crate-internal: the public entry point is
+/// [`RfModel::score`](crate::forest::RfModel::score).
+pub(crate) fn predict_bagged(trees: &[Tree], table: &Table) -> Vec<f64> {
     let n = table.num_rows();
     let mut out = vec![0.0; n];
     if trees.is_empty() {

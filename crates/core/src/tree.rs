@@ -117,6 +117,13 @@ impl Tree {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
     }
 
+    /// Score one example: the single entry point for applying a tree to
+    /// a feature row (alias of [`Tree::predict`], the name the ensemble
+    /// `score` methods build on).
+    pub fn score(&self, row: &dyn FeatureRow) -> f64 {
+        self.predict(row)
+    }
+
     /// Predict the raw value for one example.
     pub fn predict(&self, row: &dyn FeatureRow) -> f64 {
         if self.nodes.is_empty() {

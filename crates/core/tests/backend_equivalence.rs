@@ -186,7 +186,7 @@ fn remote_backends_train_bit_identical_gbms_cross_process() {
     // One remote engine process behind a plain RemoteBackend.
     {
         let server = ShardServerProc::spawn();
-        let remote = RemoteBackend::connect(server.addr).unwrap();
+        let remote = RemoteBackend::builder(server.addr).connect().unwrap();
         let model = load_and_train(&remote);
         assert_bit_identical(&reference, &model, "remote single");
         let stats = remote.stats();
@@ -235,6 +235,102 @@ fn remote_backends_train_bit_identical_gbms_cross_process() {
                 "hash partitioning left all rows on one server"
             );
         }
+    }
+}
+
+/// The serving tier's exactness claim across every backend: factorized
+/// scoring (per-relation message tables, k dictionary lookups + ⊕-adds,
+/// no join) must be *bit-identical* to scoring over the materialized
+/// join — on the in-process engine, on 1- and 4-shard backends (fact
+/// messages partitioned, dim messages replicated, partial scores merged
+/// by the coordinator), and across a real process boundary where only
+/// keys and partial sums cross the wire.
+#[test]
+fn factorized_scoring_matches_join_scoring_bit_for_bit_on_all_backends() {
+    use joinboost::{FactorizedScorer, JoinScorer, Scorer};
+    use joinboost_engine::table::ColumnMeta;
+    use joinboost_engine::Column;
+
+    // The favorita fact has no unique key: append one.
+    let keyed_tables = |gen: &joinboost_datagen::favorita::Generated| {
+        let mut tables = gen.tables.clone();
+        for (name, t) in &mut tables {
+            if name == "sales" {
+                t.push_column(
+                    ColumnMeta::new("sale_id"),
+                    Column::int((0..t.num_rows() as i64).collect()),
+                );
+            }
+        }
+        tables
+    };
+    let gen = workload();
+    let params = TrainParams {
+        num_iterations: 4,
+        learning_rate: 0.5,
+        leaf_quantization: (2.0f64).powi(-10),
+        ..Default::default()
+    };
+    let load = |backend: &dyn SqlBackend| {
+        for (name, t) in keyed_tables(&gen) {
+            backend.create_table(&name, t).unwrap();
+        }
+        backend
+            .execute("UPDATE sales SET net_profit = FLOOR(net_profit * 8.0) / 8.0")
+            .unwrap();
+    };
+    // Keys 0..N exist; the tail keys do not (inner-join misses → None).
+    let n = gen
+        .tables
+        .iter()
+        .find(|(n, _)| n == "sales")
+        .unwrap()
+        .1
+        .num_rows() as i64;
+    let keys: Vec<i64> = (0..n + 10).collect();
+
+    // Reference: the materialized-join scorer on the plain engine.
+    let engine = EngineBackend::in_memory();
+    load(&engine);
+    let set = Dataset::new(&engine, gen.graph.clone(), "sales", "net_profit").unwrap();
+    let model = train_gbm(&set, &params).unwrap();
+    let join = JoinScorer::compile(&set, &model, "sale_id").unwrap();
+    let reference = join.score_batch(&keys).unwrap();
+    assert!(reference[..n as usize].iter().all(|s| s.is_some()));
+    assert!(reference[n as usize..].iter().all(|s| s.is_none()));
+
+    let check = |backend: &dyn SqlBackend, who: &str| {
+        load(backend);
+        let set = Dataset::new(backend, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let model = train_gbm(&set, &params).unwrap();
+        let scorer = FactorizedScorer::compile(&set, &model, "sale_id").unwrap();
+        let scores = scorer.score_batch(&keys).unwrap();
+        assert_eq!(scores.len(), reference.len(), "{who}: length");
+        for (i, (r, s)) in reference.iter().zip(&scores).enumerate() {
+            assert_eq!(
+                r.map(f64::to_bits),
+                s.map(f64::to_bits),
+                "{who}: key {} diverged ({r:?} vs {s:?})",
+                keys[i]
+            );
+        }
+    };
+
+    check(&EngineBackend::in_memory(), "engine factorized");
+    for shards in [1usize, 4] {
+        let sharded = ShardedBackend::new(shards, EngineConfig::duckdb_mem(), "sales", "items_id");
+        check(&sharded, &format!("sharded x{shards} factorized"));
+        if shards > 1 {
+            assert!(
+                sharded.stats().fanout_selects > 0,
+                "factorized scoring must fan out to the shards"
+            );
+        }
+    }
+    {
+        let server = ShardServerProc::spawn();
+        let remote = RemoteBackend::builder(server.addr).connect().unwrap();
+        check(&remote, "remote factorized");
     }
 }
 

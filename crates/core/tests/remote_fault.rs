@@ -16,8 +16,7 @@
 use std::time::{Duration, Instant};
 
 use joinboost::backend::{
-    PushdownConfig, RemoteBackend, RemoteOptions, ServeOptions, ShardedBackend, SqlBackend,
-    WireServer,
+    PushdownConfig, RemoteBackend, RemoteOptions, ShardedBackend, SqlBackend, WireServer,
 };
 use joinboost::{train_gbm, Dataset, TrainError, TrainParams};
 use joinboost_engine::{Column, Database, EngineConfig, Table};
@@ -91,8 +90,8 @@ fn train_remote(
 /// Healthy 2-shard run: returns the request count the *second* shard
 /// served, used to aim the fault injection at mid-training.
 fn healthy_request_count() -> u64 {
-    let a = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
-    let b = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
+    let a = WireServer::builder(Database::in_memory()).spawn().unwrap();
+    let b = WireServer::builder(Database::in_memory()).spawn().unwrap();
     train_remote(&[a.addr(), b.addr()], RemoteOptions::default()).expect("healthy run");
     b.requests()
 }
@@ -104,15 +103,12 @@ fn assert_fails_fast_and_survivor_clean(stall: bool) {
         "training must exercise the wire enough to inject mid-round ({total} requests)"
     );
 
-    let survivor = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
-    let victim = WireServer::spawn(
-        Database::in_memory(),
-        ServeOptions {
-            fail_after: Some(total * 2 / 3),
-            stall,
-        },
-    )
-    .unwrap();
+    let survivor = WireServer::builder(Database::in_memory()).spawn().unwrap();
+    let victim = WireServer::builder(Database::in_memory())
+        .fail_after(total * 2 / 3)
+        .stall(stall)
+        .spawn()
+        .unwrap();
     let opts = RemoteOptions {
         connect_timeout: Duration::from_secs(2),
         io_timeout: Duration::from_secs(2),
@@ -169,15 +165,12 @@ fn stalled_shard_server_hits_read_timeout_not_a_hang() {
 /// dead shard must not re-pay the timeout per statement.
 #[test]
 fn poisoned_connection_fails_immediately_after_first_error() {
-    let mut server = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
-    let backend = RemoteBackend::connect_with(
-        server.addr(),
-        RemoteOptions {
-            connect_timeout: Duration::from_secs(2),
-            io_timeout: Duration::from_secs(2),
-        },
-    )
-    .unwrap();
+    let mut server = WireServer::builder(Database::in_memory()).spawn().unwrap();
+    let backend = RemoteBackend::builder(server.addr())
+        .connect_timeout(Duration::from_secs(2))
+        .io_timeout(Duration::from_secs(2))
+        .connect()
+        .unwrap();
     backend
         .create_table(
             "t",
@@ -210,15 +203,12 @@ fn connect_to_dead_server_fails_fast_with_context() {
         l.local_addr().unwrap()
     };
     let started = Instant::now();
-    let err = RemoteBackend::connect_with(
-        addr,
-        RemoteOptions {
-            connect_timeout: Duration::from_secs(2),
-            io_timeout: Duration::from_secs(2),
-        },
-    )
-    .map(|_| ())
-    .unwrap_err();
+    let err = RemoteBackend::builder(addr)
+        .connect_timeout(Duration::from_secs(2))
+        .io_timeout(Duration::from_secs(2))
+        .connect()
+        .map(|_| ())
+        .unwrap_err();
     assert!(started.elapsed() < Duration::from_secs(5));
     let msg = err.to_string();
     assert!(

@@ -16,7 +16,7 @@ use joinboost::backend::wire::{
     decode_request, decode_response, decode_table_bytes, encode_request, encode_response,
     encode_table_bytes, Request, Response,
 };
-use joinboost::backend::{RemoteBackend, ServeOptions, SqlBackend, WireServer};
+use joinboost::backend::{RemoteBackend, SqlBackend, WireServer};
 use joinboost::{train_gbm, Dataset, GbmModel, TrainParams};
 use joinboost_engine::column::ColumnData;
 use joinboost_engine::table::ColumnMeta;
@@ -244,8 +244,8 @@ fn remote_snapshot_is_bit_identical_to_local() {
     let local = Database::in_memory();
     local.create_table("t", table.clone()).unwrap();
 
-    let server = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
-    let remote = RemoteBackend::connect(server.addr()).unwrap();
+    let server = WireServer::builder(Database::in_memory()).spawn().unwrap();
+    let remote = RemoteBackend::builder(server.addr()).connect().unwrap();
     remote.create_table("t", table).unwrap();
 
     let a = local.snapshot("t").unwrap();
@@ -294,8 +294,8 @@ fn remote_snapshot_is_bit_identical_to_local() {
 fn remote_load_snapshot_matches_local_engine_on_random_tables() {
     use proptest::strategy::Strategy as _;
     use proptest::test_runner::seed_for;
-    let server = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
-    let remote = RemoteBackend::connect(server.addr()).unwrap();
+    let server = WireServer::builder(Database::in_memory()).spawn().unwrap();
+    let remote = RemoteBackend::builder(server.addr()).connect().unwrap();
     let strat = arb_table();
     let mut rng = proptest::rng::TestRng::new(seed_for(
         "remote_load_snapshot_matches_local_engine_on_random_tables",
@@ -369,7 +369,7 @@ fn train_star(backend: &dyn SqlBackend, tag: &str, rows: usize, seed: i64) -> Gb
 /// drop.
 #[test]
 fn two_clients_train_concurrently_without_crosstalk() {
-    let server = WireServer::spawn(Database::in_memory(), ServeOptions::default()).unwrap();
+    let server = WireServer::builder(Database::in_memory()).spawn().unwrap();
     let addr = server.addr();
 
     // References: the same two workloads on local engines.
@@ -382,11 +382,11 @@ fn two_clients_train_concurrently_without_crosstalk() {
 
     let (model_a, model_b) = std::thread::scope(|scope| {
         let ha = scope.spawn(move || {
-            let backend = RemoteBackend::connect(addr).unwrap();
+            let backend = RemoteBackend::builder(addr).connect().unwrap();
             train_star(&backend, "a", 400, 1)
         });
         let hb = scope.spawn(move || {
-            let backend = RemoteBackend::connect(addr).unwrap();
+            let backend = RemoteBackend::builder(addr).connect().unwrap();
             train_star(&backend, "b", 400, 2)
         });
         (ha.join().unwrap(), hb.join().unwrap())

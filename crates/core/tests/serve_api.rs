@@ -1,0 +1,281 @@
+//! The serving tier over a real socket: submit / poll / cancel training
+//! jobs, admission control, per-session load budgets, and `PredictBatch`
+//! against job-compiled message tables.
+//!
+//! Every test talks to a [`WireServer`] through [`ServeClient`] — the
+//! same frames a multi-process deployment exchanges.
+
+use std::time::{Duration, Instant};
+
+use joinboost::backend::{
+    JobSpec, JobStatus, RemoteBackend, ServeClient, ServeError, SqlBackend, WireServer,
+};
+use joinboost_engine::{Column, Database, Table};
+
+/// A star-schema database whose target is on the dyadic 1/8 grid, so
+/// the exactness recipe (lr 0.5, leaf quantization 2⁻¹⁰) holds.
+fn star_db(rows: i64) -> Database {
+    let db = Database::in_memory();
+    db.create_table(
+        "fact",
+        Table::from_columns(vec![
+            ("k", Column::int((0..rows).collect())),
+            ("d_id", Column::int((0..rows).map(|i| i % 6).collect())),
+            ("x", Column::int((0..rows).map(|i| (i * 13) % 40).collect())),
+            (
+                "y",
+                Column::float(
+                    (0..rows)
+                        .map(|i| (((i * 5) % 16) as f64) / 8.0 + ((i % 6) as f64) / 2.0)
+                        .collect(),
+                ),
+            ),
+        ]),
+    )
+    .unwrap();
+    db.create_table(
+        "dim",
+        Table::from_columns(vec![
+            ("d_id", Column::int((0..6).collect())),
+            ("g", Column::int((0..6).map(|d| (d * 3) % 5).collect())),
+        ]),
+    )
+    .unwrap();
+    db
+}
+
+fn star_job() -> JobSpec {
+    JobSpec {
+        relations: vec![
+            ("fact".into(), vec!["x".into()]),
+            ("dim".into(), vec!["g".into()]),
+        ],
+        edges: vec![("fact".into(), "dim".into(), vec!["d_id".into()])],
+        target_relation: "fact".into(),
+        target_column: "y".into(),
+        key_column: Some("k".into()),
+        ..JobSpec::default()
+    }
+}
+
+/// Poll until the job is `Running` (or panic after `timeout`).
+fn wait_running(client: &ServeClient, id: u64, timeout: Duration) -> JobStatus {
+    let start = Instant::now();
+    loop {
+        let status = client.poll(id).unwrap();
+        match status {
+            JobStatus::Running { .. } => return status,
+            JobStatus::Queued => {}
+            other => panic!("job {id} reached {other:?} before Running"),
+        }
+        assert!(start.elapsed() < timeout, "job {id} never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Submit → poll → wait → predict, plus the unknown-id and unknown-key
+/// error contracts.
+#[test]
+fn job_lifecycle_submit_wait_predict() {
+    let server = WireServer::builder(star_db(64)).spawn().unwrap();
+    let client = ServeClient::connect(server.addr()).unwrap();
+
+    let id = client.submit(&star_job()).unwrap();
+    let done = client.wait(id).unwrap();
+    assert_eq!(done, JobStatus::Done { iterations: 3 });
+
+    // Known keys score; a key no fact row carries maps to None — the
+    // row a materialized inner join would not contain.
+    let scores = client.predict(id, &[0, 1, 63, 10_000]).unwrap();
+    assert!(scores[0].is_some() && scores[1].is_some() && scores[2].is_some());
+    assert!(scores[0].unwrap().is_finite());
+    assert_eq!(scores[3], None);
+
+    // The message tables the job compiled are deployed under its prefix;
+    // no jb_ *temp* tables survive training (job tables are jb_job-…).
+    let names = server.database().table_names();
+    assert!(names.iter().any(|n| n.starts_with(&format!("jb_job{id}_"))));
+    assert!(
+        names
+            .iter()
+            .all(|n| !n.starts_with("jb_") || n.starts_with("jb_job")),
+        "training temp tables leaked: {names:?}"
+    );
+
+    // Unknown ids name the id in the error, for both poll and predict.
+    let missing = 777u64;
+    for err in [
+        client.poll(missing).unwrap_err(),
+        client.predict(missing, &[0]).map(|_| ()).unwrap_err(),
+        client.cancel(missing).map(|_| ()).unwrap_err(),
+    ] {
+        assert!(
+            err.to_string().contains("777"),
+            "error must name the unknown job id: {err}"
+        );
+    }
+}
+
+/// Two clients share one server: both jobs run to completion and each
+/// client can observe (and score against) the other's job.
+#[test]
+fn two_clients_submit_and_poll_concurrently() {
+    let server = WireServer::builder(star_db(64)).spawn().unwrap();
+    let addr = server.addr();
+
+    let ids: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                scope.spawn(move || {
+                    let client = ServeClient::connect(addr).unwrap();
+                    let id = client.submit(&star_job()).unwrap();
+                    assert_eq!(client.wait(id).unwrap(), JobStatus::Done { iterations: 3 });
+                    id
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    assert_ne!(ids[0], ids[1], "jobs must get distinct ids");
+
+    // The registry is server-global: a third connection can poll and
+    // score both finished jobs.
+    let observer = ServeClient::connect(addr).unwrap();
+    for id in ids {
+        assert_eq!(
+            observer.wait(id).unwrap(),
+            JobStatus::Done { iterations: 3 }
+        );
+        let scores = observer.predict(id, &[0, 5]).unwrap();
+        assert!(scores.iter().all(|s| s.is_some()));
+    }
+}
+
+/// Cancelling mid-training stops the worker at the next iteration
+/// boundary and leaves zero `jb_` temp tables on the server — on every
+/// server, when jobs ran on more than one.
+#[test]
+fn cancel_mid_training_leaves_no_temp_tables() {
+    let servers: Vec<WireServer> = (0..2)
+        .map(|_| WireServer::builder(star_db(512)).spawn().unwrap())
+        .collect();
+    let long_job = JobSpec {
+        num_iterations: 50_000, // far more than can finish: cancel decides
+        ..star_job()
+    };
+    for server in &servers {
+        let client = ServeClient::connect(server.addr()).unwrap();
+        let id = client.submit(&long_job).unwrap();
+        wait_running(&client, id, Duration::from_secs(30));
+        let after = client.cancel(id).unwrap();
+        assert!(
+            matches!(after, JobStatus::Running { .. } | JobStatus::Cancelled),
+            "cancel mid-run answers the pre-terminal state, got {after:?}"
+        );
+        assert_eq!(client.wait(id).unwrap(), JobStatus::Cancelled);
+        // Idempotent: cancelling a terminal job re-reports its state.
+        assert_eq!(client.cancel(id).unwrap(), JobStatus::Cancelled);
+        // Predict against a cancelled job is a typed error naming it.
+        let err = client.predict(id, &[0]).map(|_| ()).unwrap_err();
+        assert!(err.to_string().contains("cancelled"), "{err}");
+    }
+    for (i, server) in servers.iter().enumerate() {
+        let names = server.database().table_names();
+        assert!(
+            !names.iter().any(|n| n.starts_with("jb_")),
+            "cancelled job leaked tables on server {i}: {names:?}"
+        );
+    }
+}
+
+/// With `max_jobs(1)`, a second submission is rejected with a typed
+/// [`ServeError::Busy`] — and the connection stays fully usable.
+#[test]
+fn admission_control_rejects_busy_without_poisoning() {
+    let server = WireServer::builder(star_db(512))
+        .max_jobs(1)
+        .spawn()
+        .unwrap();
+    let client = ServeClient::connect(server.addr()).unwrap();
+
+    let long_job = JobSpec {
+        num_iterations: 50_000,
+        ..star_job()
+    };
+    let first = client.submit(&long_job).unwrap();
+    wait_running(&client, first, Duration::from_secs(30));
+
+    match client.submit(&star_job()) {
+        Err(ServeError::Busy(m)) => assert!(m.contains("limit"), "busy must explain: {m}"),
+        other => panic!("second submit must be Busy, got {other:?}"),
+    }
+
+    // Same connection, next request: still healthy.
+    assert!(matches!(
+        client.poll(first).unwrap(),
+        JobStatus::Running { .. }
+    ));
+    client.cancel(first).unwrap();
+    assert_eq!(client.wait(first).unwrap(), JobStatus::Cancelled);
+
+    // Slot freed: admission now accepts again.
+    let second = client.submit(&star_job()).unwrap();
+    assert_eq!(
+        client.wait(second).unwrap(),
+        JobStatus::Done { iterations: 3 }
+    );
+}
+
+/// A session that exceeds its `CreateTable` byte budget gets a typed
+/// rejection; the connection is not poisoned and smaller loads still fit.
+#[test]
+fn session_budget_rejects_large_loads_without_poisoning() {
+    let server = WireServer::builder(Database::in_memory())
+        .session_budget_bytes(4096)
+        .spawn()
+        .unwrap();
+    let backend = RemoteBackend::builder(server.addr()).connect().unwrap();
+
+    let big = Table::from_columns(vec![("x", Column::int((0..10_000).collect()))]);
+    let err = backend.create_table("big", big).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("budget") && msg.contains("busy"),
+        "budget rejection must be a typed busy error: {msg}"
+    );
+
+    // Not poisoned: the same connection still serves requests, and a
+    // load inside the budget succeeds.
+    assert!(!backend.has_table("big"));
+    let small = Table::from_columns(vec![("x", Column::int(vec![1, 2, 3]))]);
+    backend.create_table("small", small).unwrap();
+    assert_eq!(backend.row_count("small").unwrap(), 3);
+}
+
+/// Jobs still queued or running when their submitter disconnects are
+/// cancelled — observed from a second connection.
+#[test]
+fn disconnect_cancels_owned_jobs() {
+    let server = WireServer::builder(star_db(512)).spawn().unwrap();
+    let observer = ServeClient::connect(server.addr()).unwrap();
+
+    let id = {
+        let client = ServeClient::connect(server.addr()).unwrap();
+        let id = client
+            .submit(&JobSpec {
+                num_iterations: 50_000,
+                ..star_job()
+            })
+            .unwrap();
+        wait_running(&client, id, Duration::from_secs(30));
+        id
+        // client drops here: the socket closes, the server cancels.
+    };
+
+    assert_eq!(observer.wait(id).unwrap(), JobStatus::Cancelled);
+    let names = server.database().table_names();
+    assert!(
+        !names.iter().any(|n| n.starts_with("jb_")),
+        "disconnected client's job leaked tables: {names:?}"
+    );
+}

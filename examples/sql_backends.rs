@@ -23,8 +23,8 @@
 //! ```
 
 use joinboost::backend::{
-    EngineBackend, RemoteBackend, RemoteOptions, ServeOptions, ShardedBackend, SqlBackend,
-    SqlTextBackend, WireServer,
+    EngineBackend, RemoteBackend, RemoteOptions, ShardedBackend, SqlBackend, SqlTextBackend,
+    WireServer,
 };
 use joinboost::{train_gbm, Dataset, GbmModel, TrainParams};
 use joinboost_datagen::{favorita, FavoritaConfig};
@@ -105,14 +105,23 @@ fn main() {
     // fact partitioned over two servers (multi-process sharding). The
     // servers here run on background threads; the `shard_server` binary
     // hosts the identical loop as a standalone process.
-    let single_server =
-        WireServer::spawn(Database::in_memory(), ServeOptions::default()).expect("wire server");
+    let single_server = WireServer::builder(Database::in_memory())
+        .spawn()
+        .expect("wire server");
     let shard_servers: Vec<WireServer> = (0..2)
-        .map(|_| WireServer::spawn(Database::in_memory(), ServeOptions::default()).expect("server"))
+        .map(|_| {
+            WireServer::builder(Database::in_memory())
+                .spawn()
+                .expect("server")
+        })
         .collect();
     let shard_addrs: Vec<std::net::SocketAddr> = shard_servers.iter().map(|s| s.addr()).collect();
     backends.push((
-        Box::new(RemoteBackend::connect(single_server.addr()).expect("connect")),
+        Box::new(
+            RemoteBackend::builder(single_server.addr())
+                .connect()
+                .expect("connect"),
+        ),
         "engine in another process: SQL text + columnar blocks over a socket",
     ));
     backends.push((
