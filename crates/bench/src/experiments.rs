@@ -50,7 +50,8 @@ pub fn run(name: &str) -> Result<(), String> {
         "agg" => agg(),
         "backends" => backends_experiment(),
         "shards" => shard_scale(),
-        "remote" => remote_scale(),
+        "remote" => remote_scale(false),
+        "remote-flaky" => remote_scale(true),
         "serve" => serve_bench(),
         "all" => {
             for n in [
@@ -121,6 +122,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "remote",
         "multi-process sharding over sockets: wire bytes + rows shipped, pushdown off/on (build with --features sharded)",
+    ),
+    (
+        "remote-flaky",
+        "the remote sweep under fault injection: every 9th request drops its connection, the retrying clients recover, models still bit-identical (build with --features sharded)",
     ),
     (
         "serve",
@@ -1498,14 +1503,25 @@ fn shard_scale() -> Result<(), String> {
 /// PR-4 shuffle-reduction claim becomes measurable in real bytes on the
 /// wire, not just `rows_shipped` accounting. Models are asserted
 /// bit-identical across every configuration, transport included.
+///
+/// With `flaky`, every server drops every 9th connection mid-stream (a
+/// recovering fault, not a crash): the retrying clients reconnect,
+/// resume their sessions and replay — and the bit-identity assertions
+/// must *still* hold, which is the fault-tolerance claim measured rather
+/// than merely unit-tested.
 #[cfg(feature = "sharded")]
-fn remote_scale() -> Result<(), String> {
-    use joinboost::backend::{PushdownConfig, RemoteOptions, WireServer};
+fn remote_scale(flaky: bool) -> Result<(), String> {
+    use joinboost::backend::{PushdownConfig, RemoteOptions, RetryPolicy, WireServer};
     use joinboost_engine::Database;
 
     let (fact, dim, graph) = highcard_star();
     let mut report = Report::new(
-        "Remote sharding over sockets: 1 GBM iteration, high-cardinality feature (~8000 values)",
+        if flaky {
+            "Remote sharding over sockets UNDER FAULT INJECTION (drop every 9th request): \
+             1 GBM iteration, high-cardinality feature (~8000 values)"
+        } else {
+            "Remote sharding over sockets: 1 GBM iteration, high-cardinality feature (~8000 values)"
+        },
         &[
             "servers",
             "pushdown",
@@ -1529,20 +1545,34 @@ fn remote_scale() -> Result<(), String> {
             // binary serves the same loop standalone).
             let servers: Vec<WireServer> = (0..shards)
                 .map(|_| {
-                    WireServer::builder(Database::in_memory())
-                        .spawn()
-                        .expect("spawn wire server")
+                    let mut b = WireServer::builder(Database::in_memory());
+                    if flaky {
+                        b = b
+                            .drop_every(9)
+                            .session_grace(std::time::Duration::from_secs(30));
+                    }
+                    b.spawn().expect("spawn wire server")
                 })
                 .collect();
             let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.addr()).collect();
-            let backend = ShardedBackend::remote(
-                &addrs,
-                EngineConfig::duckdb_mem(),
-                "fact",
-                "k",
-                RemoteOptions::default(),
-            )
-            .map_err(|e| e.to_string())?;
+            let opts = if flaky {
+                // Millisecond backoffs: the drops are injected and local,
+                // so the sweep should measure recovery, not sleeps.
+                RemoteOptions {
+                    retry: RetryPolicy {
+                        max_retries: 4,
+                        base_backoff: std::time::Duration::from_millis(5),
+                        max_backoff: std::time::Duration::from_millis(100),
+                        jitter: 0.2,
+                    },
+                    ..RemoteOptions::default()
+                }
+            } else {
+                RemoteOptions::default()
+            };
+            let backend =
+                ShardedBackend::remote(&addrs, EngineConfig::duckdb_mem(), "fact", "k", opts)
+                    .map_err(|e| e.to_string())?;
             if !pushdown {
                 backend.set_pushdown(false);
             } else {
@@ -1611,11 +1641,19 @@ fn remote_scale() -> Result<(), String> {
             dense_recv as f64 / pushed_recv as f64
         ));
     }
-    report.note("every configuration trained the SAME model, bit for bit, across processes");
+    if flaky {
+        report.note(
+            "every configuration trained the SAME model, bit for bit, across processes — \
+             with connections dropped every 9 requests and recovered by session resume + replay",
+        );
+    } else {
+        report.note("every configuration trained the SAME model, bit for bit, across processes");
+    }
     report.print();
     let json = JsonValue::obj(vec![
         ("experiment", JsonValue::Str("remote".into())),
         ("bit_identical", JsonValue::Int(1)),
+        ("flaky", JsonValue::Int(i64::from(flaky))),
         ("dense_recv_4server", JsonValue::Int(dense_recv as i64)),
         ("pushed_recv_4server", JsonValue::Int(pushed_recv as i64)),
         ("rows", JsonValue::Arr(json_rows)),
@@ -1626,7 +1664,7 @@ fn remote_scale() -> Result<(), String> {
 }
 
 #[cfg(not(feature = "sharded"))]
-fn remote_scale() -> Result<(), String> {
+fn remote_scale(_flaky: bool) -> Result<(), String> {
     Err("the `remote` sweep needs `--features sharded` (cargo run -p joinboost-bench --features sharded --release --bin experiments -- remote)".into())
 }
 

@@ -56,11 +56,10 @@ mod sharded;
 pub mod split;
 pub mod wire;
 
-#[allow(deprecated)]
-pub use remote::serve;
 pub use remote::{
     JobStatus, RemoteBackend, RemoteBackendBuilder, RemoteConnection, RemoteConnectionBuilder,
-    RemoteOptions, ServeClient, ServeError, ServeOptions, WireServer, WireServerBuilder,
+    RemoteOptions, RetryPolicy, ServeClient, ServeError, ServeOptions, WireServer,
+    WireServerBuilder,
 };
 pub use sharded::{PushdownConfig, ShardTransport, ShardedBackend, SplitOpen};
 pub use wire::JobSpec;

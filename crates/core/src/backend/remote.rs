@@ -3,14 +3,15 @@
 //!
 //! Two halves:
 //!
-//! * **Server** — [`serve`] runs an accept loop over a [`TcpListener`],
-//!   hosting one shared [`Database`]: every connection gets an OS thread,
-//!   every request maps onto the same engine entry points the in-process
-//!   backends use. [`WireServer::spawn`] runs the same loop on a
-//!   background thread (examples, experiments, tests); the
-//!   `shard_server` binary wraps [`serve`] for true multi-process
-//!   deployments. [`ServeOptions`] carries the fault-injection knobs the
-//!   test suite uses to kill or stall a server mid-round.
+//! * **Server** — [`WireServerBuilder::serve`] runs an accept loop over a
+//!   [`TcpListener`], hosting one shared [`Database`]: every connection
+//!   gets an OS thread, every request maps onto the same engine entry
+//!   points the in-process backends use. [`WireServerBuilder::spawn`]
+//!   runs the same loop on a background thread (examples, experiments,
+//!   tests); the `shard_server` binary wraps the blocking loop for true
+//!   multi-process deployments. [`ServeOptions`] carries the
+//!   fault-injection knobs the test suite uses to kill, stall, or —
+//!   recoverably — drop connections mid-round.
 //! * **Client** — [`RemoteConnection`] is one framed, timeout-guarded
 //!   socket (the pluggable shard transport of
 //!   [`crate::backend::ShardedBackend`]); [`RemoteBackend`] wraps a
@@ -20,17 +21,28 @@
 //! SQL travels as text — the soundness of that rests on the
 //! `print ∘ parse ∘ print` fixed point proved by
 //! [`crate::backend::SqlTextBackend`] (see `DESIGN.md` § "Wire
-//! protocol"). Failure handling is deliberately *fail-fast*: connect and
-//! I/O timeouts bound every wait, and the first transport error poisons
-//! the connection so later calls (temp-table cleanup included) return
-//! immediately instead of re-waiting on a dead peer.
+//! protocol").
+//!
+//! **Failure handling** is retry-then-fail: connect and I/O timeouts
+//! bound every wait; on a transport error the client reconnects with
+//! exponential backoff under its [`RetryPolicy`], re-presents its session
+//! resume token, and re-issues the in-flight request. The server keeps a
+//! session alive across connection drops for a grace period — split
+//! handles, temp tables and the last applied `(seq, response)` pair
+//! survive, so a replayed request that was already applied returns the
+//! cached response instead of re-executing (safe replay of
+//! non-idempotent statements). Only when the retry budget is exhausted
+//! does the first error *poison* the connection: every later call fails
+//! immediately with the original error, so cleanup paths touching a dead
+//! shard cost nothing. [`RetryPolicy::none()`] restores the pre-v3
+//! fail-fast behavior exactly.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -71,6 +83,19 @@ pub struct ServeOptions {
     pub fail_after: Option<u64>,
     /// Fault mode: stall (hold sockets silently) instead of dropping them.
     pub stall: bool,
+    /// *Recovering* fault: every `n`-th received request (across all
+    /// connections) is thrown away *before* execution and its connection
+    /// dropped — then the server keeps serving. A retrying client must
+    /// reconnect and re-issue; since the request was never applied, the
+    /// replay executes fresh. Reconnect handshakes count as requests, so
+    /// `n` must be ≥ 3 for a client to make progress between drops.
+    pub drop_every: Option<u64>,
+    /// *Recovering* fault, one-shot: request number `n` is executed but
+    /// its connection drops *before the reply is written* — then the
+    /// server serves normally forever after. The client's replay must be
+    /// answered from the session's response cache, not re-executed (the
+    /// exactly-once case for non-idempotent statements).
+    pub flaky_after: Option<u64>,
 }
 
 /// A training job's life: `Queued → Running → Done | Failed | Cancelled`.
@@ -114,12 +139,14 @@ impl JobProgress {
     }
 }
 
-/// One registered job: owned by the connection that submitted it, driven
+/// One registered job: owned by the session that submitted it, driven
 /// by a background worker thread, cancellable from any connection.
 struct JobHandle {
     id: u64,
-    /// Connection id of the submitter (jobs still active when their
-    /// submitter disconnects are cancelled).
+    /// Session token of the submitter. Jobs still active when their
+    /// session *expires* (disconnected past the grace period) are
+    /// cancelled — a briefly-dropped client that reconnects in time
+    /// keeps its job.
     owner: u64,
     /// Cooperative cancel flag, checked by the training callback after
     /// every boosting iteration.
@@ -156,10 +183,26 @@ struct ServeState {
     /// Admission control: per-session cap on bytes bulk-loaded via
     /// `CreateTable` (`None` = unlimited).
     session_budget: Option<u64>,
+    /// How long a disconnected session's state survives before the
+    /// sweeper reclaims it (cancels its jobs, drops its temp tables).
+    grace: Duration,
+    /// Resumable sessions, keyed by the client's resume token.
+    sessions: Mutex<HashMap<u64, Arc<SessionState>>>,
+    /// One-shot latch for [`ServeOptions::flaky_after`].
+    flaky_fired: AtomicBool,
     /// Loaded message-table dictionaries, keyed by fact table name.
-    /// Invalidated on any mutating request — predict sweeps between
-    /// mutations pay the table scan once.
-    scorer_cache: Mutex<HashMap<String, Arc<MessageIndex>>>,
+    /// A write invalidates only the entries whose relations it touches.
+    scorer_cache: Mutex<HashMap<String, CachedScorer>>,
+    /// Cache-miss loads performed (tests assert on invalidation
+    /// granularity through this).
+    scorer_loads: AtomicU64,
+}
+
+/// A cached scorer dictionary plus the relations it was built from (the
+/// invalidation footprint).
+struct CachedScorer {
+    index: Arc<MessageIndex>,
+    tables: Vec<String>,
 }
 
 impl ServeState {
@@ -168,6 +211,7 @@ impl ServeState {
         opts: ServeOptions,
         max_jobs: usize,
         session_budget: Option<u64>,
+        grace: Duration,
     ) -> ServeState {
         ServeState {
             db,
@@ -180,7 +224,11 @@ impl ServeState {
             next_job: AtomicU64::new(0),
             max_jobs,
             session_budget,
+            grace,
+            sessions: Mutex::new(HashMap::new()),
+            flaky_fired: AtomicBool::new(false),
             scorer_cache: Mutex::new(HashMap::new()),
+            scorer_loads: AtomicU64::new(0),
         }
     }
 
@@ -195,44 +243,208 @@ impl ServeState {
 
     /// The message-table dictionary for `spec`, loaded once and cached.
     fn scorer_index(&self, spec: &ScorerSpec) -> BackendResult<Arc<MessageIndex>> {
-        if let Some(idx) = self.scorer_cache.lock().get(&spec.fact_table) {
-            return Ok(Arc::clone(idx));
+        if let Some(c) = self.scorer_cache.lock().get(&spec.fact_table) {
+            return Ok(Arc::clone(&c.index));
         }
         let idx = Arc::new(MessageIndex::load(spec, &mut |n| self.db.snapshot(n))?);
+        self.scorer_loads.fetch_add(1, Ordering::Relaxed);
         let mut cache = self.scorer_cache.lock();
         if cache.len() >= 8 {
             cache.clear();
         }
-        cache.insert(spec.fact_table.clone(), Arc::clone(&idx));
+        cache.insert(
+            spec.fact_table.clone(),
+            CachedScorer {
+                index: Arc::clone(&idx),
+                tables: spec.tables().iter().map(|s| s.to_string()).collect(),
+            },
+        );
         Ok(idx)
+    }
+
+    /// Evict cached scorer dictionaries whose relations `write` touched —
+    /// or everything, when the statement could not be classified.
+    fn invalidate_scorers(&self, write: &SqlWrite) {
+        let mut cache = self.scorer_cache.lock();
+        match write {
+            SqlWrite::ReadOnly => {}
+            SqlWrite::Unknown => cache.clear(),
+            SqlWrite::Create(t) | SqlWrite::Update(t) | SqlWrite::Drop(t) => {
+                cache.retain(|_, c| !c.tables.iter().any(|x| x == t));
+            }
+            SqlWrite::Swap(a, b) => {
+                cache.retain(|_, c| !c.tables.iter().any(|x| x == a || x == b));
+            }
+        }
+    }
+
+    /// Look up (or create) the session for `token` and bind it to the
+    /// connection `conn_id`. A reconnecting client re-presents its token
+    /// and gets its surviving state back; the generation guard makes a
+    /// late detach from the *previous* connection's thread a no-op.
+    fn attach_session(&self, token: u64, conn_id: u64) -> Arc<SessionState> {
+        let sess = Arc::clone(
+            self.sessions
+                .lock()
+                .entry(token)
+                .or_insert_with(|| Arc::new(SessionState::new(token))),
+        );
+        let mut inner = sess.inner.lock();
+        inner.conn_gen = Some(conn_id);
+        inner.detached_at = None;
+        drop(inner);
+        sess
     }
 }
 
-/// Per-connection state: open split-protocol handles and the session's
-/// load budget. Handles live and die with their connection — a vanished
-/// client cannot leak state past its socket.
-struct Session {
-    conn_id: u64,
-    splits: std::collections::HashMap<u64, LocalSplitState>,
-    next_split: u64,
-    /// Bytes bulk-loaded via `CreateTable` on this connection (frame
-    /// sizes, the number the wire actually carried).
-    bytes_loaded: u64,
+/// A resumable session: split-protocol handles, the load budget, the
+/// session's temp tables, and the idempotent-replay cache. Keyed by the
+/// client's resume token, a session survives connection drops for the
+/// server's grace period — only the expiry sweeper reclaims it.
+struct SessionState {
+    token: u64,
+    inner: Mutex<SessionInner>,
 }
 
-impl Session {
-    fn new(conn_id: u64) -> Session {
-        Session {
-            conn_id,
-            splits: std::collections::HashMap::new(),
-            next_split: 0,
-            bytes_loaded: 0,
+struct SessionInner {
+    splits: HashMap<u64, LocalSplitState>,
+    next_split: u64,
+    /// Bytes bulk-loaded via `CreateTable` in this session (frame
+    /// sizes, the number the wire actually carried).
+    bytes_loaded: u64,
+    /// Highest sequence number applied so far (client seqs start at 1).
+    last_applied: u64,
+    /// The encoded reply to `last_applied`, replayed verbatim when a
+    /// reconnecting client re-issues a request whose reply was lost.
+    last_response: Vec<u8>,
+    /// `jb_`-prefixed (non-`jb_job`) tables this session created over the
+    /// wire and has not dropped: reclaimed when the session expires.
+    temp_tables: HashSet<String>,
+    /// Connection currently bound to this session (`None` = detached).
+    conn_gen: Option<u64>,
+    /// When the session detached; the sweeper reclaims it `grace` later.
+    detached_at: Option<Instant>,
+}
+
+impl SessionState {
+    fn new(token: u64) -> SessionState {
+        SessionState {
+            token,
+            inner: Mutex::new(SessionInner {
+                splits: HashMap::new(),
+                next_split: 0,
+                bytes_loaded: 0,
+                last_applied: 0,
+                last_response: Vec::new(),
+                temp_tables: HashSet::new(),
+                conn_gen: None,
+                detached_at: None,
+            }),
+        }
+    }
+}
+
+/// What a SQL statement writes, extracted from its head tokens. The
+/// emitter's canonical prints (and reasonable hand-written SQL) all
+/// classify; anything else is `Unknown` and treated as touching
+/// everything.
+enum SqlWrite {
+    ReadOnly,
+    Create(String),
+    Update(String),
+    Drop(String),
+    Swap(String, String),
+    Unknown,
+}
+
+/// Lower-cased identifier at the head of `tok` (trailing punctuation such
+/// as `(` or `;` stripped).
+fn ident_of(tok: &str) -> String {
+    tok.trim_end_matches(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .to_ascii_lowercase()
+}
+
+fn classify_write(sql: &str) -> SqlWrite {
+    let mut toks = sql.split_whitespace();
+    let eq = |a: &str, b: &str| a.eq_ignore_ascii_case(b);
+    let Some(head) = toks.next() else {
+        return SqlWrite::Unknown;
+    };
+    if eq(head, "SELECT") {
+        return SqlWrite::ReadOnly;
+    }
+    if eq(head, "UPDATE") {
+        return toks
+            .next()
+            .map_or(SqlWrite::Unknown, |t| SqlWrite::Update(ident_of(t)));
+    }
+    if eq(head, "CREATE") {
+        // CREATE [OR REPLACE] TABLE <name> AS …
+        let mut next = toks.next();
+        if next.is_some_and(|t| eq(t, "OR")) {
+            toks.next(); // REPLACE
+            next = toks.next();
+        }
+        if next.is_some_and(|t| eq(t, "TABLE")) {
+            return toks
+                .next()
+                .map_or(SqlWrite::Unknown, |t| SqlWrite::Create(ident_of(t)));
+        }
+        return SqlWrite::Unknown;
+    }
+    if eq(head, "DROP") {
+        // DROP TABLE [IF EXISTS] <name>
+        if toks.next().is_some_and(|t| eq(t, "TABLE")) {
+            let mut next = toks.next();
+            if next.is_some_and(|t| eq(t, "IF")) {
+                toks.next(); // EXISTS
+                next = toks.next();
+            }
+            return next.map_or(SqlWrite::Unknown, |t| SqlWrite::Drop(ident_of(t)));
+        }
+        return SqlWrite::Unknown;
+    }
+    if eq(head, "SWAP") {
+        // SWAP COLUMN a.x WITH b.y
+        if toks.next().is_some_and(|t| eq(t, "COLUMN")) {
+            let table_of = |t: Option<&str>| t.and_then(|t| t.split('.').next()).map(ident_of);
+            let a = table_of(toks.next());
+            toks.next(); // WITH
+            let b = table_of(toks.next());
+            if let (Some(a), Some(b)) = (a, b) {
+                return SqlWrite::Swap(a, b);
+            }
+        }
+        return SqlWrite::Unknown;
+    }
+    SqlWrite::Unknown
+}
+
+/// Session temp tables the expiry sweeper may reclaim: the `jb_` working
+/// prefix, but never the `jb_job<id>_` message tables, which belong to
+/// the job registry, not to any one session.
+fn is_session_temp(name: &str) -> bool {
+    name.starts_with("jb_") && !name.starts_with("jb_job")
+}
+
+impl SessionInner {
+    /// Record the effect of a *successful* write on this session's
+    /// temp-table set.
+    fn note_write(&mut self, write: &SqlWrite) {
+        match write {
+            SqlWrite::Create(t) if is_session_temp(t) => {
+                self.temp_tables.insert(t.clone());
+            }
+            SqlWrite::Drop(t) => {
+                self.temp_tables.remove(t);
+            }
+            _ => {}
         }
     }
 }
 
 /// Handle one `Split*` request against the connection's session.
-fn handle_split_request(db: &Database, session: &mut Session, req: Request) -> Response {
+fn handle_split_request(db: &Database, session: &mut SessionInner, req: Request) -> Response {
     match req {
         Request::SplitOpen {
             sql,
@@ -334,8 +546,8 @@ fn handle_split_request(db: &Database, session: &mut Session, req: Request) -> R
 // ---------------------------------------------------------------------------
 
 /// Admit (or reject) a job submission, register it, and hand it to a
-/// worker thread.
-fn submit_job(state: &Arc<ServeState>, session: &Session, spec: JobSpec) -> Response {
+/// worker thread. `owner` is the submitting session's resume token.
+fn submit_job(state: &Arc<ServeState>, owner: u64, spec: JobSpec) -> Response {
     {
         let jobs = state.jobs.lock();
         let active = jobs
@@ -354,7 +566,7 @@ fn submit_job(state: &Arc<ServeState>, session: &Session, spec: JobSpec) -> Resp
     let id = state.next_job.fetch_add(1, Ordering::Relaxed);
     let handle = Arc::new(JobHandle {
         id,
-        owner: session.conn_id,
+        owner,
         cancel: AtomicBool::new(false),
         progress: Mutex::new(JobProgress::Queued),
     });
@@ -499,40 +711,46 @@ fn predict_batch_response(
     }
 }
 
-/// Execute one decoded request against the hosted engine.
-fn handle_request(state: &Arc<ServeState>, session: &Session, req: Request) -> Response {
+/// Execute one decoded request against the hosted engine. `token` is the
+/// session's resume token (the owner of any job submitted here).
+fn handle_request(
+    state: &Arc<ServeState>,
+    token: u64,
+    session: &mut SessionInner,
+    req: Request,
+) -> Response {
     let db = &state.db;
     let table = |r: Result<Table, EngineError>| match r {
         Ok(t) => Response::Table(t),
         Err(e) => Response::Err(e),
     };
     match req {
-        Request::Hello { magic, version } => {
-            if magic != MAGIC {
-                Response::Err(EngineError::Other("bad protocol magic".into()))
-            } else if version != VERSION {
-                Response::Err(EngineError::Other(format!(
-                    "protocol version mismatch: client {version}, server {VERSION}"
-                )))
-            } else {
-                Response::Caps {
-                    column_swap: db.config().allow_swap,
-                }
-            }
+        Request::Hello { .. } => {
+            // The connection loop answers the handshake before a session
+            // exists; a second Hello is a protocol violation.
+            Response::Err(EngineError::Other("Hello after handshake".into()))
         }
         Request::Execute { sql } => {
-            // Any statement may rewrite a message table: drop cached
-            // dictionaries rather than risk serving stale scores.
-            state.scorer_cache.lock().clear();
-            table(db.execute(&sql))
-        }
-        Request::CreateTable { name, table: t } => {
-            state.scorer_cache.lock().clear();
-            match db.create_table(&name, t) {
-                Ok(()) => Response::Unit,
-                Err(e) => Response::Err(e),
+            // A mutating statement may rewrite a message table: evict the
+            // cached dictionaries whose relations it touches (everything,
+            // when the statement defies classification).
+            let write = classify_write(&sql);
+            let r = db.execute(&sql);
+            if r.is_ok() {
+                state.invalidate_scorers(&write);
+                session.note_write(&write);
             }
+            table(r)
         }
+        Request::CreateTable { name, table: t } => match db.create_table(&name, t) {
+            Ok(()) => {
+                let write = SqlWrite::Create(name.to_ascii_lowercase());
+                state.invalidate_scorers(&write);
+                session.note_write(&write);
+                Response::Unit
+            }
+            Err(e) => Response::Err(e),
+        },
         Request::Snapshot { name } => table(db.snapshot(&name)),
         Request::ColumnNames { name } => match db.column_names(&name) {
             Ok(names) => Response::Names(names),
@@ -550,16 +768,18 @@ fn handle_request(state: &Arc<ServeState>, session: &Session, req: Request) -> R
         // Tolerant drop and bounds-checked gather share the in-process
         // transport's implementation — one copy of the semantics for
         // local and remote shards.
-        Request::DropTableIfExists { name } => {
-            state.scorer_cache.lock().clear();
-            match ShardTransport::drop_table(db, &name) {
-                Ok(()) => Response::Unit,
-                Err(e) => Response::Err(e),
+        Request::DropTableIfExists { name } => match ShardTransport::drop_table(db, &name) {
+            Ok(()) => {
+                let write = SqlWrite::Drop(name.to_ascii_lowercase());
+                state.invalidate_scorers(&write);
+                session.note_write(&write);
+                Response::Unit
             }
-        }
+            Err(e) => Response::Err(e),
+        },
         Request::GatherRows { name, rows } => table(ShardTransport::gather_rows(db, &name, &rows)),
         Request::TableNames => Response::Names(db.table_names()),
-        Request::SubmitJob { spec } => submit_job(state, session, *spec),
+        Request::SubmitJob { spec } => submit_job(state, token, *spec),
         Request::PollJob { id } => match state.jobs.lock().get(&id) {
             Some(job) => job.progress.lock().response(),
             None => Response::Err(EngineError::Other(format!("unknown job id {id}"))),
@@ -596,25 +816,153 @@ fn handle_request(state: &Arc<ServeState>, session: &Session, req: Request) -> R
 }
 
 /// One connection's request loop. Ends on EOF, I/O error, or fault
-/// injection. On exit, jobs this connection submitted that are still
-/// queued or running get cancelled — a vanished client cannot pin
-/// server resources.
+/// injection. On exit the session is *detached*, not destroyed: its
+/// state (split handles, temp tables, jobs, replay cache) survives for
+/// the server's grace period so a reconnecting client can resume; the
+/// expiry sweeper reclaims sessions that stay gone.
 fn serve_connection(state: &Arc<ServeState>, conn_id: u64, mut stream: TcpStream) {
-    let mut session = Session::new(conn_id);
-    serve_requests(state, &mut session, &mut stream);
-    let owned: Vec<Arc<JobHandle>> = state
-        .jobs
-        .lock()
-        .values()
-        .filter(|j| j.owner == conn_id && j.progress.lock().is_active())
-        .cloned()
-        .collect();
-    for job in owned {
-        cancel_job(&job);
+    let mut session: Option<Arc<SessionState>> = None;
+    serve_requests(state, conn_id, &mut session, &mut stream);
+    if let Some(sess) = session {
+        let mut inner = sess.inner.lock();
+        // Generation guard: if the client already reconnected (a newer
+        // connection holds the session), this late detach is a no-op.
+        if inner.conn_gen == Some(conn_id) {
+            inner.conn_gen = None;
+            inner.detached_at = Some(Instant::now());
+        }
     }
 }
 
-fn serve_requests(state: &Arc<ServeState>, session: &mut Session, stream: &mut TcpStream) {
+/// Answer one enveloped (`[u64 seq][request]`) frame against the
+/// session, consulting the replay cache first. Returns the encoded
+/// response frame; the caller writes it (or drops it, under fault
+/// injection).
+fn enveloped_response(
+    state: &Arc<ServeState>,
+    sess: &Arc<SessionState>,
+    seq: u64,
+    body: &[u8],
+) -> Vec<u8> {
+    let mut inner = sess.inner.lock();
+    if seq != 0 {
+        if seq == inner.last_applied {
+            // The request was applied but its reply was lost in a drop:
+            // replay the cached bytes without re-executing. This is what
+            // makes retrying non-idempotent statements safe.
+            return inner.last_response.clone();
+        }
+        if seq < inner.last_applied {
+            return encode_response(&Response::Err(EngineError::Other(format!(
+                "stale sequence {seq}: session already applied {}",
+                inner.last_applied
+            ))));
+        }
+    }
+    let resp = match decode_request(body) {
+        Ok(
+            req @ (Request::SplitOpen { .. }
+            | Request::SplitBoundaries { .. }
+            | Request::SplitSummaries { .. }
+            | Request::SplitRefine { .. }
+            | Request::SplitFetch { .. }
+            | Request::SplitClose { .. }),
+        ) => handle_split_request(&state.db, &mut inner, req),
+        Ok(req) => {
+            // Per-session load budget: meter `CreateTable` by the
+            // bytes the wire actually carried, and reject — typed,
+            // on a live connection — the frame that would exceed it.
+            let frame_len = body.len() as u64 + 8;
+            let over_budget = matches!(req, Request::CreateTable { .. })
+                && match state.session_budget {
+                    None => {
+                        inner.bytes_loaded = inner.bytes_loaded.saturating_add(frame_len);
+                        false
+                    }
+                    Some(budget) => {
+                        let would = inner.bytes_loaded.saturating_add(frame_len);
+                        if would > budget {
+                            true
+                        } else {
+                            inner.bytes_loaded = would;
+                            false
+                        }
+                    }
+                };
+            if over_budget {
+                Response::Busy(format!(
+                    "session load budget exhausted: {} bytes loaded, frame of {frame_len} \
+                     would exceed the {}-byte cap",
+                    inner.bytes_loaded,
+                    state.session_budget.unwrap_or(0)
+                ))
+            } else {
+                handle_request(state, sess.token, &mut inner, req)
+            }
+        }
+        Err(e) => Response::Err(e),
+    };
+    // A result too large for one frame becomes a *typed* error on a
+    // live connection, not a silent hangup the client would read as
+    // a crashed server.
+    let mut out = encode_response(&resp);
+    if out.len() > MAX_FRAME as usize {
+        out = encode_response(&Response::Err(EngineError::Other(format!(
+            "result frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
+             transfer large tables in parts",
+            out.len()
+        ))));
+    }
+    // Cache the (possibly substituted) encoded reply *before* it is
+    // written: a connection drop between apply and reply then replays
+    // byte-identically.
+    if seq != 0 {
+        inner.last_applied = seq;
+        inner.last_response = out.clone();
+    }
+    out
+}
+
+/// Answer the handshake (the raw, un-enveloped first frame) and attach
+/// the session on success.
+fn hello_response(
+    state: &Arc<ServeState>,
+    session: &mut Option<Arc<SessionState>>,
+    conn_id: u64,
+    payload: &[u8],
+) -> Response {
+    match decode_request(payload) {
+        Ok(Request::Hello {
+            magic,
+            version,
+            token,
+        }) => {
+            if magic != MAGIC {
+                Response::Err(EngineError::Other("bad protocol magic".into()))
+            } else if version != VERSION {
+                Response::Err(EngineError::Other(format!(
+                    "protocol version mismatch: client {version}, server {VERSION}"
+                )))
+            } else {
+                *session = Some(state.attach_session(token, conn_id));
+                Response::Caps {
+                    column_swap: state.db.config().allow_swap,
+                }
+            }
+        }
+        Ok(_) => Response::Err(EngineError::Other(
+            "expected Hello as the first request".into(),
+        )),
+        Err(e) => Response::Err(e),
+    }
+}
+
+fn serve_requests(
+    state: &Arc<ServeState>,
+    conn_id: u64,
+    session: &mut Option<Arc<SessionState>>,
+    stream: &mut TcpStream,
+) {
     loop {
         let payload = match read_frame(stream) {
             Ok(p) => p,
@@ -622,7 +970,7 @@ fn serve_requests(state: &Arc<ServeState>, session: &mut Session, stream: &mut T
         };
         // Fault injection is checked *after* a request arrives — the
         // failure lands mid-round, between statements of a training run.
-        state.requests.fetch_add(1, Ordering::Relaxed);
+        let count = state.requests.fetch_add(1, Ordering::Relaxed) + 1;
         if state.failed() {
             if state.opts.stall {
                 // Hung process: never answer, hold the socket until the
@@ -638,65 +986,95 @@ fn serve_requests(state: &Arc<ServeState>, session: &mut Session, stream: &mut T
             let _ = stream.shutdown(std::net::Shutdown::Both);
             return;
         }
-        let resp = match decode_request(&payload) {
-            Ok(
-                req @ (Request::SplitOpen { .. }
-                | Request::SplitBoundaries { .. }
-                | Request::SplitSummaries { .. }
-                | Request::SplitRefine { .. }
-                | Request::SplitFetch { .. }
-                | Request::SplitClose { .. }),
-            ) => handle_split_request(&state.db, session, req),
-            Ok(req) => {
-                // Per-session load budget: meter `CreateTable` by the
-                // bytes the wire actually carried, and reject — typed,
-                // on a live connection — the frame that would exceed it.
-                let over_budget = matches!(req, Request::CreateTable { .. })
-                    && match state.session_budget {
-                        None => {
-                            session.bytes_loaded =
-                                session.bytes_loaded.saturating_add(payload.len() as u64);
-                            false
-                        }
-                        Some(budget) => {
-                            let would = session.bytes_loaded.saturating_add(payload.len() as u64);
-                            if would > budget {
-                                true
-                            } else {
-                                session.bytes_loaded = would;
-                                false
-                            }
-                        }
-                    };
-                if over_budget {
-                    Response::Busy(format!(
-                        "session load budget exhausted: {} bytes loaded, frame of {} would \
-                         exceed the {}-byte cap",
-                        session.bytes_loaded,
-                        payload.len(),
-                        state.session_budget.unwrap_or(0)
-                    ))
+        // Recovering fault: the n-th request is received and then thrown
+        // away *before* execution — the retrying client's replay
+        // re-executes it from scratch.
+        if state
+            .opts
+            .drop_every
+            .is_some_and(|n| n > 0 && count % n == 0)
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
+        }
+        let out = match session {
+            None => encode_response(&hello_response(state, session, conn_id, &payload)),
+            Some(sess) => {
+                if payload.len() < 8 {
+                    encode_response(&Response::Err(EngineError::Other(
+                        "wire decode: request missing its sequence envelope".into(),
+                    )))
                 } else {
-                    handle_request(state, session, req)
+                    let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                    enveloped_response(state, sess, seq, &payload[8..])
                 }
             }
-            Err(e) => Response::Err(e),
         };
-        // A result too large for one frame becomes a *typed* error on a
-        // live connection, not a silent hangup the client would read as
-        // a crashed server.
-        let mut out = encode_response(&resp);
-        if out.len() > MAX_FRAME as usize {
-            out = encode_response(&Response::Err(EngineError::Other(format!(
-                "result frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
-                 transfer large tables in parts",
-                out.len()
-            ))));
+        // Recovering fault (one-shot): request n was *applied*, but the
+        // connection drops before the reply — the client's replay must be
+        // served from the session's response cache, not re-executed.
+        if state.opts.flaky_after.is_some_and(|n| count >= n)
+            && !state.flaky_fired.swap(true, Ordering::Relaxed)
+        {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+            return;
         }
         if write_frame(stream, &out).is_err() {
             return;
         }
     }
+}
+
+/// Background reclaimer: a session detached for longer than the grace
+/// period is removed — its active jobs are cancelled, its split handles
+/// freed, and the `jb_` temp tables it created over the wire dropped.
+fn sweep_sessions(state: &Arc<ServeState>) {
+    let now = Instant::now();
+    let expired: Vec<Arc<SessionState>> = {
+        let mut sessions = state.sessions.lock();
+        let tokens: Vec<u64> = sessions
+            .iter()
+            .filter(|(_, s)| {
+                let inner = s.inner.lock();
+                inner.conn_gen.is_none()
+                    && inner
+                        .detached_at
+                        .is_some_and(|t| now.duration_since(t) >= state.grace)
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        tokens.iter().filter_map(|t| sessions.remove(t)).collect()
+    };
+    for sess in expired {
+        let temps = {
+            let mut inner = sess.inner.lock();
+            inner.splits.clear();
+            std::mem::take(&mut inner.temp_tables)
+        };
+        for name in temps {
+            let _ = ShardTransport::drop_table(&state.db, &name);
+        }
+        let owned: Vec<Arc<JobHandle>> = state
+            .jobs
+            .lock()
+            .values()
+            .filter(|j| j.owner == sess.token && j.progress.lock().is_active())
+            .cloned()
+            .collect();
+        for job in owned {
+            cancel_job(&job);
+        }
+    }
+}
+
+/// Spawn the session-expiry sweeper; ticks every 25ms until shutdown.
+fn spawn_sweeper(state: Arc<ServeState>) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !state.shutdown.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(25));
+            sweep_sessions(&state);
+        }
+    })
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
@@ -725,18 +1103,9 @@ fn accept_loop(listener: TcpListener, state: Arc<ServeState>) {
     }
 }
 
-/// Serve `db` on `listener` until the process exits.
-#[deprecated(note = "use WireServer::builder(db).serve(listener)")]
-pub fn serve(listener: TcpListener, db: Database, opts: ServeOptions) {
-    let mut b = WireServer::builder(db).stall(opts.stall);
-    if let Some(n) = opts.fail_after {
-        b = b.fail_after(n);
-    }
-    b.serve(listener);
-}
-
 /// Configures a [`WireServer`]: fault injection for the chaos tests, job
-/// admission control, and the per-session load budget.
+/// admission control, the per-session load budget, and the session
+/// grace period.
 ///
 /// ```no_run
 /// # use joinboost::backend::WireServer;
@@ -752,6 +1121,7 @@ pub struct WireServerBuilder {
     opts: ServeOptions,
     max_jobs: usize,
     session_budget: Option<u64>,
+    grace: Duration,
 }
 
 impl WireServerBuilder {
@@ -766,6 +1136,22 @@ impl WireServerBuilder {
     /// `false` (default) drops it.
     pub fn stall(mut self, stall: bool) -> WireServerBuilder {
         self.opts.stall = stall;
+        self
+    }
+
+    /// Recovering fault injection: drop every `n`-th received request's
+    /// connection *before* executing it, then keep serving (see
+    /// [`ServeOptions::drop_every`]).
+    pub fn drop_every(mut self, n: u64) -> WireServerBuilder {
+        self.opts.drop_every = Some(n);
+        self
+    }
+
+    /// Recovering fault injection, one-shot: execute request `n` but drop
+    /// its connection before replying, then serve normally (see
+    /// [`ServeOptions::flaky_after`]).
+    pub fn flaky_after(mut self, n: u64) -> WireServerBuilder {
+        self.opts.flaky_after = Some(n);
         self
     }
 
@@ -785,12 +1171,30 @@ impl WireServerBuilder {
         self
     }
 
+    /// How long a disconnected session's state (split handles, temp
+    /// tables, active jobs, replay cache) survives before the sweeper
+    /// reclaims it (default 2s). Must comfortably exceed the client's
+    /// worst-case reconnect backoff.
+    pub fn session_grace(mut self, grace: Duration) -> WireServerBuilder {
+        self.grace = grace;
+        self
+    }
+
     fn state(self) -> Arc<ServeState> {
+        // Orphan sweep: `jb_` working tables (and `jb_job<id>_` message
+        // tables) left behind by a previous process of this database are
+        // unreachable — no session or job registry entry refers to them.
+        for name in self.db.table_names() {
+            if name.starts_with("jb_") {
+                let _ = ShardTransport::drop_table(&self.db, &name);
+            }
+        }
         Arc::new(ServeState::new(
             self.db,
             self.opts,
             self.max_jobs,
             self.session_budget,
+            self.grace,
         ))
     }
 
@@ -801,10 +1205,12 @@ impl WireServerBuilder {
         let state = self.state();
         let st = Arc::clone(&state);
         let accept = std::thread::spawn(move || accept_loop(listener, st));
+        let sweeper = spawn_sweeper(Arc::clone(&state));
         Ok(WireServer {
             addr,
             state,
             accept: Some(accept),
+            sweeper: Some(sweeper),
         })
     }
 
@@ -812,7 +1218,9 @@ impl WireServerBuilder {
     /// point the `shard_server` binary uses; each accepted connection
     /// still gets its own thread.
     pub fn serve(self, listener: TcpListener) {
-        accept_loop(listener, self.state());
+        let state = self.state();
+        let _sweeper = spawn_sweeper(Arc::clone(&state));
+        accept_loop(listener, state);
     }
 }
 
@@ -824,6 +1232,7 @@ pub struct WireServer {
     addr: SocketAddr,
     state: Arc<ServeState>,
     accept: Option<std::thread::JoinHandle<()>>,
+    sweeper: Option<std::thread::JoinHandle<()>>,
 }
 
 impl WireServer {
@@ -834,18 +1243,8 @@ impl WireServer {
             opts: ServeOptions::default(),
             max_jobs: 4,
             session_budget: None,
+            grace: Duration::from_secs(2),
         }
-    }
-
-    /// Bind an ephemeral loopback port and serve `db` on a background
-    /// thread.
-    #[deprecated(note = "use WireServer::builder(db).spawn()")]
-    pub fn spawn(db: Database, opts: ServeOptions) -> io::Result<WireServer> {
-        let mut b = WireServer::builder(db).stall(opts.stall);
-        if let Some(n) = opts.fail_after {
-            b = b.fail_after(n);
-        }
-        b.spawn()
     }
 
     /// The server's socket address (`127.0.0.1:<ephemeral>`).
@@ -864,6 +1263,12 @@ impl WireServer {
         self.state.requests.load(Ordering::Relaxed)
     }
 
+    /// Scorer-dictionary cache misses so far — the invalidation tests
+    /// assert that unrelated writes do not force reloads.
+    pub fn scorer_cache_loads(&self) -> u64 {
+        self.state.scorer_loads.load(Ordering::Relaxed)
+    }
+
     /// Kill the server: stop accepting and sever every live connection.
     /// Clients observe the same thing a crashed process produces.
     pub fn kill(&mut self) {
@@ -874,6 +1279,9 @@ impl WireServer {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.sweeper.take() {
             let _ = h.join();
         }
     }
@@ -889,6 +1297,88 @@ impl Drop for WireServer {
 // Client
 // ---------------------------------------------------------------------------
 
+/// How a [`RemoteConnection`] handles transport errors: how many times to
+/// reconnect-and-replay, and how the backoff between attempts grows.
+///
+/// The default is a modest retrying policy; [`RetryPolicy::none()`]
+/// restores strict fail-fast (first transport error poisons the
+/// connection immediately), which the kill/stall fault tests rely on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Reconnect attempts after the first failure (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Cap on the (pre-jitter) backoff.
+    pub max_backoff: Duration,
+    /// Uniform jitter fraction in `[0, 1]`: each backoff is scaled by a
+    /// factor drawn from `1 ± jitter`, decorrelating a fleet of clients
+    /// that failed together.
+    pub jitter: f64,
+}
+
+impl RetryPolicy {
+    /// Fail fast: no reconnects, the first transport error poisons the
+    /// connection — the pre-v3 behavior.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+        }
+    }
+
+    /// Backoff before retry number `attempt` (1-based): exponential from
+    /// `base_backoff`, capped at `max_backoff`, jittered.
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let base = self.base_backoff.as_secs_f64() * (1u64 << exp) as f64;
+        let capped = base.min(self.max_backoff.as_secs_f64());
+        let factor = if self.jitter > 0.0 {
+            let unit = (entropy64() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            1.0 + self.jitter * (2.0 * unit - 1.0)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            jitter: 0.2,
+        }
+    }
+}
+
+/// Process-unique 64-bit values for resume tokens and backoff jitter:
+/// wall clock ⊕ pid ⊕ a counter, through a SplitMix64 finalizer. Not
+/// cryptographic — collisions just alias two sessions, and only within
+/// one server's grace window.
+fn entropy64() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let x = t
+        ^ ((std::process::id() as u64) << 32)
+        ^ COUNTER.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A fresh, nonzero session resume token.
+fn fresh_token() -> u64 {
+    entropy64() | 1
+}
+
 /// Client-side transport knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct RemoteOptions {
@@ -898,6 +1388,8 @@ pub struct RemoteOptions {
     /// the socket): a dead or hung server surfaces as an error after at
     /// most this long, never as a hang.
     pub io_timeout: Duration,
+    /// Reconnect-and-replay behavior on transport errors.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RemoteOptions {
@@ -905,6 +1397,7 @@ impl Default for RemoteOptions {
         RemoteOptions {
             connect_timeout: Duration::from_secs(5),
             io_timeout: Duration::from_secs(30),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -914,28 +1407,80 @@ impl Default for RemoteOptions {
 ///
 /// A connection serializes its requests behind a mutex (the protocol is
 /// strictly request/response); the sharded fan-out gets its parallelism
-/// from holding one connection per shard. The first transport failure
-/// *poisons* the connection: every later call fails immediately with the
-/// original error, so cleanup paths touching a dead shard cost nothing —
-/// they do not re-wait on timeouts.
+/// from holding one connection per shard. On a transport failure the
+/// connection reconnects under its [`RetryPolicy`], re-presents its
+/// session resume token, and re-issues the in-flight request (the
+/// server's replay cache makes that exactly-once); only an exhausted
+/// retry budget *poisons* the connection, after which every call fails
+/// immediately with the original error, so cleanup paths touching a dead
+/// shard cost nothing — they do not re-wait on timeouts.
 pub struct RemoteConnection {
-    stream: Mutex<TcpStream>,
+    inner: Mutex<ClientInner>,
     addr: String,
+    opts: RemoteOptions,
+    /// Session resume token presented in every handshake.
+    token: u64,
     column_swap: bool,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     requests: AtomicU64,
+    /// Reconnect attempts performed (diagnostics).
+    retries: AtomicU64,
     poisoned: Mutex<Option<String>>,
 }
 
-/// Configures a [`RemoteConnection`]: address plus transport timeouts.
+/// The mutable half of a connection: the live socket and the monotone
+/// request sequence number.
+struct ClientInner {
+    stream: TcpStream,
+    seq: u64,
+}
+
+/// TCP connect + raw `Hello` handshake presenting `token`. Returns the
+/// socket, the server's column-swap capability, and the handshake's
+/// `(sent, received)` byte counts. Errors stay at the `io` level; the
+/// caller adds the shard-address context.
+fn connect_and_hello(
+    addr: &str,
+    opts: &RemoteOptions,
+    token: u64,
+) -> io::Result<(TcpStream, bool, u64, u64)> {
+    let fail = io::Error::other;
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| fail(format!("connect failed: {e}")))?
+        .next()
+        .ok_or_else(|| fail("no address".into()))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, opts.connect_timeout)
+        .map_err(|e| fail(format!("connect failed: {e}")))?;
+    stream.set_read_timeout(Some(opts.io_timeout))?;
+    stream.set_write_timeout(Some(opts.io_timeout))?;
+    let _ = stream.set_nodelay(true);
+    let hello = encode_request(&Request::Hello {
+        magic: MAGIC,
+        version: VERSION,
+        token,
+    });
+    let sent = write_frame(&mut stream, &hello)? as u64;
+    let frame = read_frame(&mut stream)?;
+    let received = frame.len() as u64 + 4;
+    match decode_response(&frame).map_err(|e| fail(e.to_string()))? {
+        Response::Caps { column_swap } => Ok((stream, column_swap, sent, received)),
+        Response::Err(e) => Err(fail(format!("handshake rejected: {e}"))),
+        other => Err(fail(format!("bad handshake reply: {other:?}"))),
+    }
+}
+
+/// Configures a [`RemoteConnection`]: address, transport timeouts, and
+/// the retry policy.
 ///
 /// ```no_run
 /// # use std::time::Duration;
-/// # use joinboost::backend::RemoteConnection;
+/// # use joinboost::backend::{RemoteConnection, RetryPolicy};
 /// let conn = RemoteConnection::builder("127.0.0.1:7654")
 ///     .connect_timeout(Duration::from_secs(1))
 ///     .io_timeout(Duration::from_secs(10))
+///     .retry(RetryPolicy::none())
 ///     .connect()
 ///     .unwrap();
 /// ```
@@ -957,6 +1502,13 @@ impl RemoteConnectionBuilder {
         self
     }
 
+    /// Reconnect-and-replay behavior on transport errors (default: a
+    /// modest retrying policy — see [`RetryPolicy`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> RemoteConnectionBuilder {
+        self.opts.retry = policy;
+        self
+    }
+
     /// Connect, handshake, and learn the server's capabilities.
     pub fn connect(self) -> BackendResult<RemoteConnection> {
         RemoteConnection::open(&self.addr, self.opts)
@@ -973,64 +1525,25 @@ impl RemoteConnection {
         }
     }
 
-    /// Connect, handshake, and learn the server's capabilities.
-    #[deprecated(note = "use RemoteConnection::builder(addr).connect()")]
-    pub fn connect(
-        addr: impl ToSocketAddrs + std::fmt::Display,
-    ) -> BackendResult<RemoteConnection> {
-        RemoteConnection::builder(addr).connect()
-    }
-
-    /// [`RemoteConnection::builder`] with explicit timeouts.
-    #[deprecated(note = "use RemoteConnection::builder(addr) and its timeout setters")]
-    pub fn connect_with(
-        addr: impl ToSocketAddrs + std::fmt::Display,
-        opts: RemoteOptions,
-    ) -> BackendResult<RemoteConnection> {
-        RemoteConnection::open(&addr.to_string(), opts)
-    }
-
+    /// The *initial* connect is single-attempt regardless of the retry
+    /// policy: a server that was never there fails fast with its connect
+    /// error; retries exist to ride out a server that *was* there.
     fn open(addr: &str, opts: RemoteOptions) -> BackendResult<RemoteConnection> {
         let label = addr.to_string();
-        let ctx = |e: io::Error| {
-            EngineError::Other(format!("shard server at {label}: connect failed: {e}"))
-        };
-        let sock_addr =
-            addr.to_socket_addrs().map_err(ctx)?.next().ok_or_else(|| {
-                EngineError::Other(format!("shard server at {label}: no address"))
-            })?;
-        let stream = TcpStream::connect_timeout(&sock_addr, opts.connect_timeout).map_err(ctx)?;
-        stream
-            .set_read_timeout(Some(opts.io_timeout))
-            .map_err(ctx)?;
-        stream
-            .set_write_timeout(Some(opts.io_timeout))
-            .map_err(ctx)?;
-        let _ = stream.set_nodelay(true);
-        let conn = RemoteConnection {
-            stream: Mutex::new(stream),
-            addr: label,
-            column_swap: false,
-            bytes_sent: AtomicU64::new(0),
-            bytes_received: AtomicU64::new(0),
-            requests: AtomicU64::new(0),
-            poisoned: Mutex::new(None),
-        };
-        let column_swap = match conn.call(&Request::Hello {
-            magic: MAGIC,
-            version: VERSION,
-        })? {
-            Response::Caps { column_swap } => column_swap,
-            other => {
-                return Err(EngineError::Other(format!(
-                    "shard server at {}: bad handshake reply: {other:?}",
-                    conn.addr
-                )))
-            }
-        };
+        let token = fresh_token();
+        let (stream, column_swap, sent, received) = connect_and_hello(&label, &opts, token)
+            .map_err(|e| EngineError::Other(format!("shard server at {label}: {e}")))?;
         Ok(RemoteConnection {
+            inner: Mutex::new(ClientInner { stream, seq: 0 }),
+            addr: label,
+            opts,
+            token,
             column_swap,
-            ..conn
+            bytes_sent: AtomicU64::new(sent),
+            bytes_received: AtomicU64::new(received),
+            requests: AtomicU64::new(1),
+            retries: AtomicU64::new(0),
+            poisoned: Mutex::new(None),
         })
     }
 
@@ -1058,9 +1571,16 @@ impl RemoteConnection {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// One request/response exchange. Transport failures poison the
-    /// connection and carry the shard address; server-side engine errors
-    /// come back as the exact [`EngineError`] variant the engine raised.
+    /// Reconnect attempts performed so far (diagnostics).
+    pub fn retry_count(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    /// One request/response exchange. Transport failures retry under the
+    /// connection's [`RetryPolicy`] and, once the budget is exhausted,
+    /// poison the connection and carry the shard address; server-side
+    /// engine errors come back as the exact [`EngineError`] variant the
+    /// engine raised.
     fn request(&self, req: &Request) -> BackendResult<Response> {
         if let Some(why) = self.poisoned.lock().as_ref() {
             return Err(EngineError::Other(format!(
@@ -1068,17 +1588,24 @@ impl RemoteConnection {
                 self.addr
             )));
         }
-        let payload = encode_request(req);
-        if payload.len() > MAX_FRAME as usize {
+        let body = encode_request(req);
+        if body.len() + 8 > MAX_FRAME as usize {
             // A purely client-side limit: nothing touched the socket, so
             // the connection stays healthy — no poison, typed error.
             return Err(EngineError::Other(format!(
                 "request frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
                  transfer large tables in parts",
-                payload.len()
+                body.len() + 8
             )));
         }
-        let result = self.exchange(&payload);
+        let result = {
+            let mut inner = self.inner.lock();
+            inner.seq += 1;
+            let mut payload = Vec::with_capacity(body.len() + 8);
+            payload.extend_from_slice(&inner.seq.to_le_bytes());
+            payload.extend_from_slice(&body);
+            self.exchange_with_retry(&mut inner, &payload)
+        };
         if let Err(e) = &result {
             let mut p = self.poisoned.lock();
             if p.is_none() {
@@ -1088,11 +1615,50 @@ impl RemoteConnection {
         result.map_err(|e| EngineError::Other(format!("shard server at {}: {e}", self.addr)))
     }
 
-    fn exchange(&self, payload: &[u8]) -> Result<Response, io::Error> {
-        let mut stream = self.stream.lock();
-        let sent = write_frame(&mut *stream, payload)?;
+    /// Exchange `payload`, reconnecting with backoff on transport errors.
+    /// Every retry re-presents the resume token and re-sends the *same*
+    /// sequence number, so the server either replays the cached reply
+    /// (request was applied, reply lost) or executes it fresh (request
+    /// never arrived) — never both.
+    fn exchange_with_retry(&self, inner: &mut ClientInner, payload: &[u8]) -> io::Result<Response> {
+        let retry = self.opts.retry;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..=retry.max_retries {
+            if attempt > 0 {
+                self.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(retry.backoff(attempt));
+                match connect_and_hello(&self.addr, &self.opts, self.token) {
+                    Ok((stream, _, sent, received)) => {
+                        self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+                        self.bytes_received.fetch_add(received, Ordering::Relaxed);
+                        inner.stream = stream;
+                    }
+                    Err(e) => {
+                        last_err = Some(e);
+                        continue; // reconnect failed: spend another attempt
+                    }
+                }
+            }
+            match self.exchange(&mut inner.stream, payload) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        let e = last_err.expect("at least one attempt ran");
+        Err(if retry.max_retries == 0 {
+            e
+        } else {
+            io::Error::new(
+                e.kind(),
+                format!("{e} (after {} reconnect attempts)", retry.max_retries),
+            )
+        })
+    }
+
+    fn exchange(&self, stream: &mut TcpStream, payload: &[u8]) -> Result<Response, io::Error> {
+        let sent = write_frame(stream, payload)?;
         self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
-        let frame = read_frame(&mut *stream)?;
+        let frame = read_frame(stream)?;
         self.bytes_received
             .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
         self.requests.fetch_add(1, Ordering::Relaxed);
@@ -1409,6 +1975,12 @@ impl RemoteBackendBuilder {
         self
     }
 
+    /// Reconnect-and-replay behavior on transport errors.
+    pub fn retry(mut self, policy: RetryPolicy) -> RemoteBackendBuilder {
+        self.inner = self.inner.retry(policy);
+        self
+    }
+
     /// Connect and wrap the connection as a full [`SqlBackend`].
     pub fn connect(self) -> BackendResult<RemoteBackend> {
         Ok(RemoteBackend::from_connection(self.inner.connect()?))
@@ -1431,24 +2003,6 @@ impl RemoteBackend {
             statements: AtomicU64::new(0),
             selects: AtomicU64::new(0),
         }
-    }
-
-    /// Connect to a wire server with default timeouts.
-    #[deprecated(note = "use RemoteBackend::builder(addr).connect()")]
-    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Display) -> BackendResult<RemoteBackend> {
-        RemoteBackend::builder(addr).connect()
-    }
-
-    /// Connect with explicit timeouts.
-    #[deprecated(note = "use RemoteBackend::builder(addr) and its timeout setters")]
-    pub fn connect_with(
-        addr: impl ToSocketAddrs + std::fmt::Display,
-        opts: RemoteOptions,
-    ) -> BackendResult<RemoteBackend> {
-        Ok(RemoteBackend::from_connection(RemoteConnection::open(
-            &addr.to_string(),
-            opts,
-        )?))
     }
 
     /// The underlying connection (byte counters, diagnostics).

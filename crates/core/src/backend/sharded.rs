@@ -315,6 +315,7 @@ impl ShardedBackend {
             let conn = RemoteConnection::builder(addr)
                 .connect_timeout(opts.connect_timeout)
                 .io_timeout(opts.io_timeout)
+                .retry(opts.retry)
                 .connect()?;
             column_swap = column_swap && conn.server_column_swap();
             transports.push(Box::new(conn));

@@ -8,6 +8,16 @@
 //!   the client sends one [`Request`], the server answers with exactly one
 //!   [`Response`]. Oversized lengths (> [`MAX_FRAME`]) are rejected before
 //!   any allocation, so a corrupt or malicious peer cannot OOM the reader.
+//! * **Sessions and replay (v3)** — the first frame on a connection is a
+//!   raw [`Request::Hello`] carrying a client-generated *resume token*;
+//!   every later request frame is prefixed with a `u64` monotone sequence
+//!   number (`[u64 LE seq][encoded request]`). The server keeps, per
+//!   token, the last applied sequence number plus the encoded last
+//!   response: a reconnecting client that re-presents its token and
+//!   re-issues the in-flight request either gets the *cached* response
+//!   (the request was applied but the reply was lost — replay of
+//!   non-idempotent CREATE/UPDATE is therefore safe) or a fresh
+//!   execution (the request never arrived). Responses carry no envelope.
 //! * **SQL travels as text** — [`Request::Execute`] carries the printed
 //!   statement, leaning on the `print ∘ parse ∘ print` fixed-point proved
 //!   by [`crate::backend::SqlTextBackend`]: the server re-parses exactly
@@ -95,7 +105,9 @@ pub const MAGIC: u32 = 0x4a42_5750;
 /// Protocol version; bumped on any incompatible codec change. The server
 /// rejects a `Hello` with a different version instead of misdecoding.
 /// Version 2 added the job/predict API (`SubmitJob` … `PredictBatch`).
-pub const VERSION: u32 = 2;
+/// Version 3 added the session resume token in `Hello` and the per-request
+/// `[u64 LE seq]` envelope that makes reconnect-and-replay safe.
+pub const VERSION: u32 = 3;
 
 /// Upper bound on one frame's payload (64 MiB). Larger tables must be
 /// loaded in parts; in practice JoinBoost's shard messages are orders of
@@ -105,13 +117,20 @@ pub const MAX_FRAME: u32 = 64 << 20;
 /// One client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
-    /// Handshake: protocol magic + version. The server answers with
-    /// [`Response::Caps`] or an error on a version mismatch.
+    /// Handshake: protocol magic + version + session resume token. Always
+    /// the first (and only un-enveloped) frame on a connection. The server
+    /// answers with [`Response::Caps`] or an error on a version mismatch.
+    /// Re-presenting a token re-attaches the connection to that session's
+    /// surviving state (split handles, temp tables, replay cache).
     Hello {
         /// Must equal [`MAGIC`].
         magic: u32,
         /// Must equal [`VERSION`].
         version: u32,
+        /// Client-generated session resume token (nonzero in practice;
+        /// absent on the wire for pre-v3 clients and decoded as 0 so the
+        /// version check still produces a clean mismatch error).
+        token: u64,
     },
     /// Execute one SQL statement given as text; the answer is
     /// [`Response::Table`] (empty for non-`SELECT`s).
@@ -426,6 +445,12 @@ impl<'a> Reader<'a> {
             return Err(corrupt("announced length exceeds frame size"));
         }
         Ok(())
+    }
+
+    /// Bytes not yet consumed (for fields optional at the tail of a
+    /// message, e.g. the pre-v3 `Hello` without a resume token).
+    fn remaining(&self) -> usize {
+        self.buf.len()
     }
 
     fn done(&self) -> DecodeResult<()> {
@@ -809,10 +834,15 @@ const REQ_PREDICT_BATCH: u8 = 20;
 pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut buf = Vec::new();
     match req {
-        Request::Hello { magic, version } => {
+        Request::Hello {
+            magic,
+            version,
+            token,
+        } => {
             buf.put_u8(REQ_HELLO);
             buf.put_u32_le(*magic);
             buf.put_u32_le(*version);
+            buf.put_u64_le(*token);
         }
         Request::Execute { sql } => {
             buf.put_u8(REQ_EXECUTE);
@@ -952,10 +982,19 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
 pub fn decode_request(bytes: &[u8]) -> DecodeResult<Request> {
     let mut r = Reader::new(bytes);
     let req = match r.u8()? {
-        REQ_HELLO => Request::Hello {
-            magic: r.u32()?,
-            version: r.u32()?,
-        },
+        REQ_HELLO => {
+            let magic = r.u32()?;
+            let version = r.u32()?;
+            // Pre-v3 Hellos carry no token; default it so the server's
+            // version check reports a clean mismatch instead of a decode
+            // error.
+            let token = if r.remaining() >= 8 { r.u64()? } else { 0 };
+            Request::Hello {
+                magic,
+                version,
+                token,
+            }
+        }
         REQ_EXECUTE => Request::Execute { sql: r.string()? },
         REQ_CREATE_TABLE => {
             let name = r.string()?;
@@ -1277,6 +1316,7 @@ mod tests {
             Request::Hello {
                 magic: MAGIC,
                 version: VERSION,
+                token: 0x5eed_f00d_dead_beef,
             },
             Request::Execute {
                 sql: "SELECT a, SUM(y) AS s FROM r GROUP BY a".into(),
@@ -1362,6 +1402,25 @@ mod tests {
             // Compare via re-encoding (NaN-proof) and structurally.
             assert_eq!(encode_response(&back), enc, "{resp:?}");
         }
+    }
+
+    #[test]
+    fn pre_v3_hello_without_token_decodes_with_token_zero() {
+        // A v2 client's Hello stops after magic + version; the decoder
+        // must surface it (token 0) so the server can answer with a
+        // version-mismatch error rather than a decode error.
+        let mut old = Vec::new();
+        old.put_u8(0); // REQ_HELLO
+        old.put_u32_le(MAGIC);
+        old.put_u32_le(2);
+        assert_eq!(
+            decode_request(&old).unwrap(),
+            Request::Hello {
+                magic: MAGIC,
+                version: 2,
+                token: 0,
+            }
+        );
     }
 
     #[test]

@@ -3,15 +3,20 @@
 //!
 //! ```text
 //! shard_server [--addr 127.0.0.1:0] [--allow-swap] [--fail-after N] [--stall]
+//!              [--drop-every N] [--flaky-after N] [--grace-ms MS]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound (an ephemeral port with
 //! `--addr 127.0.0.1:0`, the default), then serves until killed. The
 //! `--fail-after`/`--stall` flags are the fault-injection knobs of the
 //! test suite: after N requests the server behaves like a crashed
-//! (respectively hung) process.
+//! (respectively hung) process. `--drop-every`/`--flaky-after` inject
+//! *recovering* faults — connections drop but the server keeps serving,
+//! exercising the client's reconnect-and-replay path — and `--grace-ms`
+//! sets how long a disconnected session's state survives.
 
 use std::net::TcpListener;
+use std::time::Duration;
 
 use joinboost::backend::WireServer;
 use joinboost_engine::{Database, EngineConfig};
@@ -20,21 +25,31 @@ fn main() {
     let mut addr = "127.0.0.1:0".to_string();
     let mut fail_after = None;
     let mut stall = false;
+    let mut drop_every = None;
+    let mut flaky_after = None;
+    let mut grace_ms: Option<u64> = None;
     let mut config = EngineConfig::duckdb_mem();
     let mut args = std::env::args().skip(1);
+    fn number(args: &mut impl Iterator<Item = String>, flag: &str) -> u64 {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} needs a number"))
+    }
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next().expect("--addr needs a value"),
             "--allow-swap" => config.allow_swap = true,
-            "--fail-after" => {
-                let n = args.next().expect("--fail-after needs a value");
-                fail_after = Some(n.parse().expect("--fail-after needs a number"));
-            }
+            "--fail-after" => fail_after = Some(number(&mut args, "--fail-after")),
             "--stall" => stall = true,
+            "--drop-every" => drop_every = Some(number(&mut args, "--drop-every")),
+            "--flaky-after" => flaky_after = Some(number(&mut args, "--flaky-after")),
+            "--grace-ms" => grace_ms = Some(number(&mut args, "--grace-ms")),
             "--help" | "-h" => {
                 println!(
                     "usage: shard_server [--addr HOST:PORT] [--allow-swap] \
-                     [--fail-after N] [--stall]"
+                     [--fail-after N] [--stall] [--drop-every N] \
+                     [--flaky-after N] [--grace-ms MS]"
                 );
                 return;
             }
@@ -54,6 +69,15 @@ fn main() {
     let mut builder = WireServer::builder(Database::new(config)).stall(stall);
     if let Some(n) = fail_after {
         builder = builder.fail_after(n);
+    }
+    if let Some(n) = drop_every {
+        builder = builder.drop_every(n);
+    }
+    if let Some(n) = flaky_after {
+        builder = builder.flaky_after(n);
+    }
+    if let Some(ms) = grace_ms {
+        builder = builder.session_grace(Duration::from_millis(ms));
     }
     builder.serve(listener);
 }

@@ -12,11 +12,17 @@
 //!
 //! Both runs calibrate `fail_after` from a healthy run's request count, so
 //! the fault always lands mid-training, between statements of a round.
+//!
+//! These tests pin [`RetryPolicy::none()`]: they are about the *fail-fast*
+//! contract (first transport error poisons, cleanup costs nothing), which
+//! the default retrying policy deliberately softens. Recovery from
+//! transient faults is covered by `remote_chaos.rs`.
 
 use std::time::{Duration, Instant};
 
 use joinboost::backend::{
-    PushdownConfig, RemoteBackend, RemoteOptions, ShardedBackend, SqlBackend, WireServer,
+    PushdownConfig, RemoteBackend, RemoteOptions, RetryPolicy, ShardedBackend, SqlBackend,
+    WireServer,
 };
 use joinboost::{train_gbm, Dataset, TrainError, TrainParams};
 use joinboost_engine::{Column, Database, EngineConfig, Table};
@@ -112,6 +118,7 @@ fn assert_fails_fast_and_survivor_clean(stall: bool) {
     let opts = RemoteOptions {
         connect_timeout: Duration::from_secs(2),
         io_timeout: Duration::from_secs(2),
+        retry: RetryPolicy::none(),
     };
     let started = Instant::now();
     let err = train_remote(&[survivor.addr(), victim.addr()], opts)
@@ -169,6 +176,7 @@ fn poisoned_connection_fails_immediately_after_first_error() {
     let backend = RemoteBackend::builder(server.addr())
         .connect_timeout(Duration::from_secs(2))
         .io_timeout(Duration::from_secs(2))
+        .retry(RetryPolicy::none())
         .connect()
         .unwrap();
     backend
@@ -191,6 +199,49 @@ fn poisoned_connection_fails_immediately_after_first_error() {
     assert!(
         started.elapsed() < Duration::from_secs(1),
         "poisoned calls must not touch the socket"
+    );
+}
+
+/// With a *retrying* policy against a server that died for good, the
+/// reconnect budget is spent and the final error still names the shard
+/// address — retries must not launder away the failure context.
+#[test]
+fn exhausted_retries_still_name_the_shard_address() {
+    let mut server = WireServer::builder(Database::in_memory()).spawn().unwrap();
+    let addr = server.addr();
+    let backend = RemoteBackend::builder(addr)
+        .connect_timeout(Duration::from_secs(2))
+        .io_timeout(Duration::from_secs(2))
+        .retry(RetryPolicy {
+            max_retries: 2,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            jitter: 0.0,
+        })
+        .connect()
+        .unwrap();
+    backend
+        .create_table(
+            "t",
+            Table::from_columns(vec![("x", Column::int(vec![1, 2, 3]))]),
+        )
+        .unwrap();
+    server.kill();
+    let started = Instant::now();
+    let err = backend.query("SELECT SUM(x) AS s FROM t").unwrap_err();
+    let elapsed = started.elapsed();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("shard server at") && msg.contains(&addr.to_string()),
+        "exhausted-retry error must name the shard: {msg}"
+    );
+    assert!(
+        msg.contains("reconnect attempts"),
+        "error must say the retry budget was spent: {msg}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "2 retries with 10ms base backoff must not take {elapsed:?}"
     );
 }
 

@@ -8,7 +8,8 @@
 use std::time::{Duration, Instant};
 
 use joinboost::backend::{
-    JobSpec, JobStatus, RemoteBackend, ServeClient, ServeError, SqlBackend, WireServer,
+    JobSpec, JobStatus, RemoteBackend, RemoteConnection, RetryPolicy, ServeClient, ServeError,
+    SqlBackend, WireServer,
 };
 use joinboost_engine::{Column, Database, Table};
 
@@ -253,10 +254,15 @@ fn session_budget_rejects_large_loads_without_poisoning() {
 }
 
 /// Jobs still queued or running when their submitter disconnects are
-/// cancelled — observed from a second connection.
+/// cancelled — once the session's grace period expires without a
+/// reconnect. A short grace keeps the test fast; the resumption test
+/// below covers the other side (reconnect *within* grace keeps the job).
 #[test]
 fn disconnect_cancels_owned_jobs() {
-    let server = WireServer::builder(star_db(512)).spawn().unwrap();
+    let server = WireServer::builder(star_db(512))
+        .session_grace(Duration::from_millis(100))
+        .spawn()
+        .unwrap();
     let observer = ServeClient::connect(server.addr()).unwrap();
 
     let id = {
@@ -277,5 +283,130 @@ fn disconnect_cancels_owned_jobs() {
     assert!(
         !names.iter().any(|n| n.starts_with("jb_")),
         "disconnected client's job leaked tables: {names:?}"
+    );
+}
+
+/// The flip side of disconnect-cancels: a session whose *connection*
+/// drops but whose client reconnects within the grace period keeps its
+/// jobs. The server drops every 5th request; the retrying client resumes
+/// its session each time and polls its long-running job throughout.
+#[test]
+fn briefly_dropped_session_keeps_its_jobs() {
+    let server = WireServer::builder(star_db(512))
+        .drop_every(5)
+        .session_grace(Duration::from_secs(30))
+        .spawn()
+        .unwrap();
+    let conn = RemoteConnection::builder(server.addr())
+        .retry(RetryPolicy {
+            max_retries: 4,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.2,
+        })
+        .connect()
+        .unwrap();
+    let client = ServeClient::from_connection(conn);
+
+    let id = client
+        .submit(&JobSpec {
+            num_iterations: 50_000,
+            ..star_job()
+        })
+        .unwrap();
+    wait_running(&client, id, Duration::from_secs(30));
+
+    // Poll through several injected drops: the job must stay alive — a
+    // drop must look like nothing happened, not like a disconnect.
+    for _ in 0..20 {
+        assert!(
+            matches!(
+                client.poll(id).unwrap(),
+                JobStatus::Queued | JobStatus::Running { .. }
+            ),
+            "job must survive connection drops while the session resumes"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(
+        client.connection().retry_count() >= 1,
+        "the fault must actually have fired"
+    );
+
+    // The resumed session still owns the job: cancel works.
+    client.cancel(id).unwrap();
+    assert_eq!(client.wait(id).unwrap(), JobStatus::Cancelled);
+}
+
+/// The scorer cache is invalidated *per relation*: writes to tables a
+/// deployed scorer does not reference leave it cached, while dropping one
+/// of its message tables takes effect immediately (no stale scoring from
+/// memory).
+#[test]
+fn scorer_cache_invalidation_is_per_relation() {
+    let server = WireServer::builder(star_db(64)).spawn().unwrap();
+    let client = ServeClient::connect(server.addr()).unwrap();
+    let backend = RemoteBackend::builder(server.addr()).connect().unwrap();
+
+    let id = client.submit(&star_job()).unwrap();
+    assert_eq!(client.wait(id).unwrap(), JobStatus::Done { iterations: 3 });
+
+    client.predict(id, &[0, 1]).unwrap();
+    assert_eq!(server.scorer_cache_loads(), 1, "first predict loads");
+    client.predict(id, &[2, 3]).unwrap();
+    assert_eq!(server.scorer_cache_loads(), 1, "second predict hits cache");
+
+    // A write touching an *unrelated* table must not evict the scorer.
+    backend
+        .create_table(
+            "scratch",
+            Table::from_columns(vec![("x", Column::int(vec![1]))]),
+        )
+        .unwrap();
+    client.predict(id, &[4]).unwrap();
+    assert_eq!(
+        server.scorer_cache_loads(),
+        1,
+        "unrelated write must not invalidate the scorer cache"
+    );
+
+    // Dropping one of the scorer's own message tables must evict it: the
+    // next predict tries to reload and fails, rather than serving stale
+    // bits from memory.
+    let victim = server
+        .database()
+        .table_names()
+        .into_iter()
+        .find(|n| n.starts_with(&format!("jb_job{id}_")))
+        .expect("job must have deployed message tables");
+    backend.drop_table_if_exists(&victim).unwrap();
+    assert!(
+        client.predict(id, &[0]).is_err(),
+        "predict after dropping {victim} must fail, not serve a stale cached scorer"
+    );
+}
+
+/// Temp tables left behind by a previous process (crash before cleanup)
+/// are swept when the server starts: state is rebuilt from scratch, so
+/// any `jb_`-prefixed table is an orphan by definition.
+#[test]
+fn server_start_sweeps_orphan_temp_tables() {
+    let db = star_db(64);
+    for orphan in ["jb_old_tmp", "jb_job9_msg0"] {
+        db.create_table(
+            orphan,
+            Table::from_columns(vec![("x", Column::int(vec![1, 2]))]),
+        )
+        .unwrap();
+    }
+    let server = WireServer::builder(db).spawn().unwrap();
+    let names = server.database().table_names();
+    assert!(
+        !names.iter().any(|n| n.starts_with("jb_")),
+        "orphan temp tables must be swept at startup: {names:?}"
+    );
+    assert!(
+        names.iter().any(|n| n == "fact") && names.iter().any(|n| n == "dim"),
+        "base tables must survive the sweep: {names:?}"
     );
 }
