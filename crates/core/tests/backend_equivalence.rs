@@ -172,6 +172,51 @@ fn all_backends_train_bit_identical_gbms() {
     }
 }
 
+/// The out-of-core claim: the paged engine — tables on disk behind a
+/// buffer pool, scans pinning pages one at a time — trains the same bits
+/// as the in-memory engine, even when the pool is squeezed to 8 pages
+/// (32 KiB, far below the working set, so every scan thrashes) and the
+/// aggregation spill budget is forced down so accumulator banks park on
+/// disk mid-query. Paging moves bytes; it must never touch fold order.
+#[test]
+fn paged_engine_trains_bit_identical_gbms_even_at_an_8_page_pool() {
+    let engine = EngineBackend::in_memory();
+    let reference = load_and_train(&engine);
+
+    for (pool_pages, spill_bytes) in [(256usize, 64usize << 20), (8, 4 << 10)] {
+        let dir = std::env::temp_dir().join(format!(
+            "jb_equiv_paged_{}_{pool_pages}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EngineConfig {
+            bufferpool_pages: pool_pages,
+            agg_spill_bytes: spill_bytes,
+            ..EngineConfig::paged(&dir)
+        };
+        let paged = EngineBackend::labeled(config, format!("paged-{pool_pages}"));
+        let model = load_and_train(&paged);
+        assert_bit_identical(&reference, &model, &format!("paged {pool_pages} pages"));
+        let stats = paged
+            .database()
+            .bufferpool_stats()
+            .expect("paged engine exposes pool stats");
+        assert!(stats.misses > 0, "scans must actually fault pages in");
+        if pool_pages == 8 {
+            assert!(
+                stats.evictions > 0,
+                "an 8-page pool must thrash on this workload: {stats:?}"
+            );
+            assert!(
+                stats.spilled_bytes > 0,
+                "evicting dirty frames must write pages back: {stats:?}"
+            );
+        }
+        drop(paged);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// The portability claim across a *process boundary*: the same training
 /// run against engines living in separate `shard_server` processes —
 /// reached only through SQL text and columnar blocks over sockets — must

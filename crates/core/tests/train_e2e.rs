@@ -193,6 +193,59 @@ fn gbm_parallel_aggregation_bit_identical_to_serial() {
 }
 
 #[test]
+fn gbm_on_a_paged_engine_with_an_8_page_pool_is_bit_identical() {
+    // The out-of-core stress: the whole training run — every message
+    // materialization, residual update and split query — on an engine
+    // whose buffer pool holds 8 pages (32 KiB) while the working set is
+    // megabytes, with the aggregation spill budget squeezed so banks park
+    // on disk mid-query. Every page fault, eviction and spill must leave
+    // the folded bits untouched.
+    let gen = favorita(&FavoritaConfig {
+        fact_rows: 2500,
+        dim_rows: 25,
+        noise: 1.0,
+        ..Default::default()
+    });
+    let mut reference: Option<joinboost::GbmModel> = None;
+    let dir = std::env::temp_dir().join(format!("jb_e2e_paged_{}", std::process::id()));
+    for paged in [false, true] {
+        let config = if paged {
+            let _ = std::fs::remove_dir_all(&dir);
+            EngineConfig {
+                bufferpool_pages: 8,
+                agg_spill_bytes: 4 << 10,
+                ..EngineConfig::paged(&dir)
+            }
+        } else {
+            EngineConfig::duckdb_mem()
+        };
+        let db = Database::new(config);
+        gen.load_into(&db).unwrap();
+        let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();
+        let mut params = TrainParams::default();
+        params.num_iterations = 5;
+        let model = train_gbm(&set, &params).unwrap();
+        match &reference {
+            None => reference = Some(model),
+            Some(r) => {
+                assert_eq!(r.trees, model.trees, "paging changed the model");
+                assert_eq!(
+                    r.init_score.to_bits(),
+                    model.init_score.to_bits(),
+                    "init score must be bit-identical"
+                );
+                let stats = db.bufferpool_stats().expect("paged engine");
+                assert!(
+                    stats.evictions > 0 && stats.spilled_bytes > 0,
+                    "the tiny pool must actually thrash: {stats:?}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn gbm_column_swap_requires_capable_backend() {
     let (db, gen) = favorita_db(200, 5);
     let set = Dataset::new(&db, gen.graph.clone(), "sales", "net_profit").unwrap();

@@ -22,6 +22,7 @@
 use crate::column::Column;
 use crate::datum::Datum;
 use crate::error::{EngineError, Result};
+use crate::storage::PagedStore;
 
 /// Don't spin up worker threads for tiny inputs.
 const PARALLEL_MIN_ROWS: usize = 8192;
@@ -80,6 +81,43 @@ impl PreparedAgg {
                 is_min: false,
             }),
             (other, _) => Err(EngineError::Other(format!("unknown aggregate {other}"))),
+        }
+    }
+
+    /// Restrict this aggregate's argument to the given rows (in the given
+    /// order). Used by the spilling path to process one group slice at a
+    /// time: row order is preserved, so each group folds the same value
+    /// sequence as the unsliced pass.
+    fn gather(&self, rows: &[u32]) -> PreparedAgg {
+        match self {
+            PreparedAgg::CountStar => PreparedAgg::CountStar,
+            PreparedAgg::Count { valid } => PreparedAgg::Count {
+                valid: valid
+                    .as_ref()
+                    .map(|v| rows.iter().map(|&r| v[r as usize]).collect()),
+            },
+            PreparedAgg::Sum { vals, int_input } => PreparedAgg::Sum {
+                vals: rows.iter().map(|&r| vals[r as usize]).collect(),
+                int_input: *int_input,
+            },
+            PreparedAgg::Avg { vals } => PreparedAgg::Avg {
+                vals: rows.iter().map(|&r| vals[r as usize]).collect(),
+            },
+            PreparedAgg::MinMax { col, is_min } => PreparedAgg::MinMax {
+                col: Column::from_datums(
+                    &rows
+                        .iter()
+                        .map(|&r| {
+                            if col.is_valid(r as usize) {
+                                col.get(r as usize)
+                            } else {
+                                Datum::Null
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+                is_min: *is_min,
+            },
         }
     }
 
@@ -260,6 +298,90 @@ pub fn compute_grouped(
         .collect()
 }
 
+/// Estimated accumulator-bank footprint per group across all aggregates
+/// (Counts: one i64; Sum/Avg: f64 + i64; Min/Max: a Datum slot).
+pub fn bank_bytes_per_group(inputs: &[PreparedAgg]) -> usize {
+    inputs
+        .iter()
+        .map(|a| match a {
+            PreparedAgg::CountStar | PreparedAgg::Count { .. } => 8,
+            PreparedAgg::Sum { .. } | PreparedAgg::Avg { .. } => 16,
+            PreparedAgg::MinMax { .. } => 32,
+        })
+        .sum()
+}
+
+/// Estimated total accumulator-bank footprint of one grouped aggregation.
+pub fn bank_bytes(inputs: &[PreparedAgg], num_groups: usize) -> usize {
+    bank_bytes_per_group(inputs).saturating_mul(num_groups)
+}
+
+/// Spilling variant of [`compute_grouped`]: when the accumulator banks
+/// would exceed `budget_bytes`, slice the *group-id space* so each slice's
+/// banks fit the budget, aggregate one slice at a time, and park finished
+/// slice results as page chains in `store` until every slice is done.
+///
+/// Bit-identical to the unsliced pass: a slice gathers its rows in global
+/// row order, so each group folds exactly the same f64 sequence, and the
+/// page codec round-trips every value by bit pattern.
+pub fn compute_grouped_spilled(
+    inputs: &[PreparedAgg],
+    gids: &[u32],
+    num_groups: usize,
+    sizes: Option<&[u32]>,
+    threads: usize,
+    store: &PagedStore,
+    budget_bytes: usize,
+) -> Result<Vec<Column>> {
+    let per_group = bank_bytes_per_group(inputs).max(1);
+    let groups_per_slice = (budget_bytes / per_group).clamp(1, num_groups.max(1));
+    if groups_per_slice >= num_groups || inputs.is_empty() {
+        return Ok(compute_grouped(inputs, gids, num_groups, sizes, threads));
+    }
+    let num_slices = num_groups.div_ceil(groups_per_slice);
+    // Bucket row indices per slice; pushes preserve global row order.
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); num_slices];
+    for (row, &g) in gids.iter().enumerate() {
+        buckets[g as usize / groups_per_slice].push(row as u32);
+    }
+    let mut spilled: Vec<Vec<crate::storage::PagedColumn>> = Vec::with_capacity(num_slices);
+    for (s, rows) in buckets.iter().enumerate() {
+        let lo = s * groups_per_slice;
+        let hi = ((s + 1) * groups_per_slice).min(num_groups);
+        let local_gids: Vec<u32> = rows.iter().map(|&r| gids[r as usize] - lo as u32).collect();
+        let local_inputs: Vec<PreparedAgg> = inputs.iter().map(|a| a.gather(rows)).collect();
+        let local_sizes = sizes.map(|sz| &sz[lo..hi]);
+        let cols = compute_grouped(&local_inputs, &local_gids, hi - lo, local_sizes, threads);
+        spilled.push(
+            cols.iter()
+                .map(|c| store.store_column(c))
+                .collect::<Result<Vec<_>>>()?,
+        );
+    }
+    // Merge: per aggregate, decode each slice's result and concatenate.
+    let mut out = Vec::with_capacity(inputs.len());
+    for i in 0..inputs.len() {
+        let mut datums = Vec::with_capacity(num_groups);
+        for pcs in &spilled {
+            let col = store.load_column(&pcs[i])?;
+            for r in 0..col.len() {
+                datums.push(if col.is_valid(r) {
+                    col.get(r)
+                } else {
+                    Datum::Null
+                });
+            }
+        }
+        out.push(Column::from_datums(&datums));
+    }
+    for pcs in &spilled {
+        for pc in pcs {
+            store.free_column(pc)?;
+        }
+    }
+    Ok(out)
+}
+
 /// Aggregate-sliced parallel fill: worker `w` owns every `workers`-th
 /// active aggregate and folds all rows into those banks exactly as the
 /// serial pass would.
@@ -364,6 +486,61 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn spilled_is_bit_identical_to_in_memory() {
+        use crate::storage::{PagedStore, Replacement};
+        let dir = std::env::temp_dir().join(format!("jb_agg_spill_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = PagedStore::open(&dir, 4, Replacement::Clock).unwrap();
+        let n = 50_000;
+        let groups = 997;
+        // Sum order matters for these values: reassociation changes bits.
+        let vals: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761usize) % 1000) as f64 * 1e-3 + 1e9 * ((i % 5) as f64))
+            .collect();
+        let gids: Vec<u32> = (0..n).map(|i| ((i * 31) % groups) as u32).collect();
+        let mut sizes = vec![0u32; groups];
+        for &g in &gids {
+            sizes[g as usize] += 1;
+        }
+        let mk = || {
+            vec![
+                PreparedAgg::CountStar,
+                PreparedAgg::Sum {
+                    vals: vals.clone(),
+                    int_input: false,
+                },
+                PreparedAgg::Avg { vals: vals.clone() },
+                PreparedAgg::MinMax {
+                    col: Column::float(vals.clone()),
+                    is_min: true,
+                },
+            ]
+        };
+        let reference = compute_grouped(&mk(), &gids, groups, Some(&sizes), 1);
+        // Budget forces ~13 slices (997 groups × 72 B/group ≫ 5 KiB).
+        let spilled =
+            compute_grouped_spilled(&mk(), &gids, groups, Some(&sizes), 1, &store, 5 * 1024)
+                .unwrap();
+        for (s, p) in reference.iter().zip(&spilled) {
+            for g in 0..groups {
+                match (s.get(g), p.get(g)) {
+                    (Datum::Float(x), Datum::Float(y)) => {
+                        assert_eq!(x.to_bits(), y.to_bits(), "group {g}");
+                    }
+                    (a, b) => assert_eq!(a, b, "group {g}"),
+                }
+            }
+        }
+        // Spill pages were returned to the free list.
+        assert_eq!(
+            store.disk().pages_free() as u64,
+            store.disk().pages_allocated(),
+            "all spill pages freed"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

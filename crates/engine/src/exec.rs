@@ -324,13 +324,29 @@ impl<'a> Executor<'a> {
         for agg in &aggs {
             prepared.push(self.prepare_aggregate(agg, input, ctx)?);
         }
-        let agg_cols = crate::agg::compute_grouped(
-            &prepared,
-            &gids,
-            num_groups,
-            Some(&sizes),
-            self.db.config().agg_threads,
-        );
+        // Paged engines spill accumulator banks that exceed the configured
+        // budget, slicing the group-id space (bit-identical; see `agg`).
+        let spill = self.db.spill_target().filter(|&(_, budget)| {
+            num_groups > 1 && crate::agg::bank_bytes(&prepared, num_groups) > budget
+        });
+        let agg_cols = match spill {
+            Some((store, budget)) => crate::agg::compute_grouped_spilled(
+                &prepared,
+                &gids,
+                num_groups,
+                Some(&sizes),
+                self.db.config().agg_threads,
+                store,
+                budget,
+            )?,
+            None => crate::agg::compute_grouped(
+                &prepared,
+                &gids,
+                num_groups,
+                Some(&sizes),
+                self.db.config().agg_threads,
+            ),
+        };
         // 4. Synthetic table: group keys (named __key{i}) + aggregates.
         let mut synth = Table::new();
         for (i, kc) in key_cols.iter().enumerate() {

@@ -24,7 +24,11 @@
 //!   ([`interop`]),
 //! * **partitioned execution** — hash-partition a fact table over N worker
 //!   threads ("machines") with an explicit shuffle/merge stage
-//!   ([`partition`]).
+//!   ([`partition`]),
+//! * **out-of-core paged storage** — tables live in fixed-size pages on
+//!   disk behind a capacity-bounded buffer pool (Clock or LRU), scans pin
+//!   pages one at a time, aggregation state spills above a budget, and
+//!   committed state survives crashes via WAL replay ([`storage`]).
 //!
 //! Entry point: [`Database`].
 //!
@@ -60,6 +64,7 @@ pub mod expr;
 pub mod interop;
 pub mod keys;
 pub mod partition;
+pub mod storage;
 pub mod table;
 pub mod wal;
 
@@ -67,4 +72,5 @@ pub use column::Column;
 pub use datum::{DataType, Datum};
 pub use db::{Database, EngineConfig, ExecMode, StorageMode};
 pub use error::{EngineError, Result};
+pub use storage::{BufferPoolStats, Replacement};
 pub use table::Table;

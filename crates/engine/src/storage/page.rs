@@ -1,0 +1,150 @@
+//! Fixed-size pages: the unit of disk I/O and buffer-pool residency.
+//!
+//! A column is serialized with the shared checked codec
+//! ([`super::codec`]) into a flat byte string, then split across
+//! fixed-size pages. Each page carries an 8-byte header — magic, flags
+//! (bit 0 marks the first page of a chain), and the payload length — so
+//! a reader can validate a chain page by page without trusting catalog
+//! metadata. Decoding is fully checked end to end: header validation
+//! here, then the codec's bounds/count checks, so truncated or
+//! bit-flipped pages error instead of panicking or over-allocating.
+
+use crate::column::Column;
+use crate::error::Result;
+
+use super::codec::{self, ByteReader};
+
+/// Page size in bytes (header included). 4 KiB matches the common DBMS
+/// and filesystem block size.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Header bytes at the start of every page:
+/// `magic u16 LE | flags u8 | reserved u8 | payload_len u32 LE`.
+pub const PAGE_HEADER_BYTES: usize = 8;
+
+/// Payload bytes a page can carry.
+pub const PAGE_CAPACITY: usize = PAGE_SIZE - PAGE_HEADER_BYTES;
+
+/// `"JP"` — JoinBoost page.
+const PAGE_MAGIC: u16 = 0x4A50;
+
+/// Flag bit: this page starts a column chain.
+const FLAG_FIRST: u8 = 1;
+
+/// One page-sized buffer.
+pub type PageBuf = [u8; PAGE_SIZE];
+
+/// Write a page header in place (zero-fills nothing else).
+pub fn write_header(page: &mut PageBuf, first: bool, payload_len: usize) {
+    debug_assert!(payload_len <= PAGE_CAPACITY);
+    page[0..2].copy_from_slice(&PAGE_MAGIC.to_le_bytes());
+    page[2] = if first { FLAG_FIRST } else { 0 };
+    page[3] = 0;
+    page[4..8].copy_from_slice(&(payload_len as u32).to_le_bytes());
+}
+
+/// Validate a page header and return the payload length. `expect_first`
+/// asserts the chain-position flag, so a chain stitched from the wrong
+/// pages (or a corrupted header) is rejected.
+pub fn read_header(page: &PageBuf, expect_first: bool) -> Result<usize> {
+    let magic = u16::from_le_bytes(page[0..2].try_into().expect("2 bytes"));
+    if magic != PAGE_MAGIC {
+        return Err(codec::corrupt("bad page magic"));
+    }
+    let first = page[2] & FLAG_FIRST != 0;
+    if first != expect_first {
+        return Err(codec::corrupt("page chain order"));
+    }
+    let len = u32::from_le_bytes(page[4..8].try_into().expect("4 bytes")) as usize;
+    if len > PAGE_CAPACITY {
+        return Err(codec::corrupt("page payload length"));
+    }
+    Ok(len)
+}
+
+/// Split a byte string into pages (at least one, even when empty). Every
+/// page except the last is full — [`unpaginate`] enforces this, so a
+/// chain missing an interior page cannot silently concatenate.
+pub fn paginate(bytes: &[u8]) -> Vec<Box<PageBuf>> {
+    let mut chunks: Vec<&[u8]> = bytes.chunks(PAGE_CAPACITY).collect();
+    if chunks.is_empty() {
+        chunks.push(&[]);
+    }
+    chunks
+        .iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut page: Box<PageBuf> = Box::new([0u8; PAGE_SIZE]);
+            write_header(&mut page, i == 0, chunk.len());
+            page[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + chunk.len()].copy_from_slice(chunk);
+            page
+        })
+        .collect()
+}
+
+/// Reassemble the byte string from a page chain, validating every header.
+pub fn unpaginate(pages: &[&PageBuf]) -> Result<Vec<u8>> {
+    if pages.is_empty() {
+        return Err(codec::corrupt("empty page chain"));
+    }
+    let mut out = Vec::with_capacity(pages.len() * PAGE_CAPACITY);
+    for (i, page) in pages.iter().enumerate() {
+        let len = read_header(page, i == 0)?;
+        if i + 1 < pages.len() && len != PAGE_CAPACITY {
+            return Err(codec::corrupt("short interior page"));
+        }
+        out.extend_from_slice(&page[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + len]);
+    }
+    Ok(out)
+}
+
+/// Encode a column into a fresh page chain.
+pub fn encode_column_pages(col: &Column) -> Vec<Box<PageBuf>> {
+    let mut bytes = Vec::with_capacity(col.byte_size() + 64);
+    codec::encode_column(&mut bytes, col);
+    paginate(&bytes)
+}
+
+/// Decode a column from a page chain (checked end to end; the whole
+/// chain must be consumed exactly).
+pub fn decode_column_pages(pages: &[&PageBuf]) -> Result<Column> {
+    let bytes = unpaginate(pages)?;
+    let mut r = ByteReader::new(&bytes);
+    let col = codec::decode_column(&mut r)?;
+    r.done()?;
+    Ok(col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_page_roundtrip() {
+        // ~24 KB of floats spans several pages.
+        let col = Column::float((0..3000).map(|i| i as f64 * 0.1).collect());
+        let pages = encode_column_pages(&col);
+        assert!(pages.len() > 1, "must actually span pages");
+        let refs: Vec<&PageBuf> = pages.iter().map(|p| p.as_ref()).collect();
+        let back = decode_column_pages(&refs).unwrap();
+        assert_eq!(back, col);
+    }
+
+    #[test]
+    fn missing_interior_page_is_rejected() {
+        let col = Column::int((0..3000).collect());
+        let pages = encode_column_pages(&col);
+        let mut refs: Vec<&PageBuf> = pages.iter().map(|p| p.as_ref()).collect();
+        refs.remove(1);
+        assert!(decode_column_pages(&refs).is_err());
+    }
+
+    #[test]
+    fn reordered_chain_is_rejected() {
+        let col = Column::int((0..3000).collect());
+        let pages = encode_column_pages(&col);
+        let mut refs: Vec<&PageBuf> = pages.iter().map(|p| p.as_ref()).collect();
+        refs.swap(0, 1);
+        assert!(decode_column_pages(&refs).is_err());
+    }
+}
