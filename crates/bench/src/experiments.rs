@@ -12,8 +12,8 @@ use std::time::{Duration, Instant};
 use joinboost::backend::{EngineBackend, ShardedBackend, SqlBackend, SqlTextBackend};
 use joinboost::predict::{materialize_features, targets};
 use joinboost::{
-    train_decision_tree, train_gbm, train_gbm_cb, train_random_forest, Dataset, TrainParams,
-    UpdateMethod,
+    train_decision_tree, train_gbm, train_gbm_cb, train_gbm_resume, train_random_forest, Dataset,
+    TrainParams, UpdateMethod,
 };
 use joinboost_baselines::lightgbm::{self, LgbmParams};
 use joinboost_baselines::{batch, madlib, naive};
@@ -54,6 +54,7 @@ pub fn run(name: &str) -> Result<(), String> {
         "remote-flaky" => remote_scale(true),
         "serve" => serve_bench(),
         "paged" => paged_bench(),
+        "recovery" => recovery_bench(),
         "all" => {
             for n in [
                 "fig5", "fig8a", "fig8b", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
@@ -135,6 +136,10 @@ pub const EXPERIMENTS: &[(&str, &str)] = &[
     (
         "paged",
         "out-of-core engine: GBM wall-clock + buffer-pool hit rate across pool sizes (8..1024 pages), models asserted bit-identical to the in-memory engine",
+    ),
+    (
+        "recovery",
+        "crash recovery: reopen time + WAL size vs workload length with and without checkpoints, and restart-resume vs cold-retrain wall-clock (models asserted bit-identical)",
     ),
 ];
 
@@ -1295,6 +1300,172 @@ fn paged_bench() -> Result<(), String> {
         ("rows", JsonValue::Arr(json_rows)),
     ]);
     let path = write_bench_json("paged", &json).map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// Crash recovery economics, both halves of the durability story:
+///
+/// 1. **reopen time vs log length** — the same UPDATE workload on a
+///    paged engine with checkpointing off (recovery replays the whole
+///    log) and on (recovery loads the snapshot plus a bounded suffix);
+/// 2. **restart-resume vs cold retrain** — finishing an interrupted
+///    12-iteration GBM from its 6-tree checkpoint versus training all
+///    12 iterations from scratch, models asserted bit-identical.
+fn recovery_bench() -> Result<(), String> {
+    const CKPT_BUDGET: u64 = 64 * 1024;
+    let seed_rows = 4_000i64;
+    let workload = |n: usize| -> Vec<String> {
+        (0..n)
+            .map(|i| format!("UPDATE t SET v = v + {}.0 WHERE k > {}", i % 7, i % 1000))
+            .collect()
+    };
+    // Run `n` statements under `budget`, crash, and time the reopen.
+    let run = |n: usize, budget: Option<u64>| -> Result<(Duration, u64, u64), String> {
+        let dir = std::env::temp_dir().join(format!(
+            "jb_bench_recovery_{}_{n}_{}",
+            std::process::id(),
+            budget.is_some()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = EngineConfig {
+            checkpoint_bytes: budget,
+            ..EngineConfig::paged(&dir)
+        };
+        let checkpoints;
+        {
+            let db = Database::new(config.clone());
+            db.create_table(
+                "seed",
+                joinboost_engine::Table::from_columns(vec![
+                    ("k", Column::int((0..seed_rows).collect())),
+                    (
+                        "v",
+                        Column::float((0..seed_rows).map(|i| i as f64 * 0.125).collect()),
+                    ),
+                ]),
+            )
+            .map_err(|e| e.to_string())?;
+            db.execute("CREATE TABLE t AS SELECT * FROM seed")
+                .map_err(|e| e.to_string())?;
+            for s in workload(n) {
+                db.execute(&s).map_err(|e| e.to_string())?;
+            }
+            checkpoints = db.stats().checkpoints;
+            db.simulate_crash().map_err(|e| e.to_string())?;
+        }
+        let wal_bytes = std::fs::metadata(dir.join("wal.log"))
+            .map(|m| m.len())
+            .unwrap_or(0);
+        let (db, open) = time(|| Database::new(config));
+        let rows = db.row_count("t").map_err(|e| e.to_string())?;
+        if rows != seed_rows as usize {
+            return Err(format!("recovered t has {rows} rows, want {seed_rows}"));
+        }
+        drop(db);
+        let _ = std::fs::remove_dir_all(&dir);
+        Ok((open, wal_bytes, checkpoints))
+    };
+
+    let mut report = Report::new(
+        "Recovery: reopen time vs workload length, checkpoints off/on (64 KiB budget)",
+        &[
+            "statements",
+            "wal (off)",
+            "open (off)",
+            "wal (on)",
+            "open (on)",
+            "ckpts",
+        ],
+    );
+    let mut open_rows: Vec<JsonValue> = Vec::new();
+    for &n in &[50usize, 200, 800] {
+        let (open_off, wal_off, _) = run(n, None)?;
+        let (open_on, wal_on, ckpts) = run(n, Some(CKPT_BUDGET))?;
+        report.row(&[
+            n.to_string(),
+            format!("{:.1} KB", wal_off as f64 / 1024.0),
+            secs(open_off),
+            format!("{:.1} KB", wal_on as f64 / 1024.0),
+            secs(open_on),
+            ckpts.to_string(),
+        ]);
+        open_rows.push(JsonValue::obj(vec![
+            ("statements", JsonValue::Int(n as i64)),
+            ("wal_bytes_off", JsonValue::Int(wal_off as i64)),
+            ("open_s_off", JsonValue::Num(open_off.as_secs_f64())),
+            ("wal_bytes_on", JsonValue::Int(wal_on as i64)),
+            ("open_s_on", JsonValue::Num(open_on.as_secs_f64())),
+            ("checkpoints", JsonValue::Int(ckpts as i64)),
+        ]));
+    }
+    report.note(
+        "off: recovery replays every statement since birth; on: snapshot + \
+         a suffix bounded by the checkpoint budget",
+    );
+    report.print();
+
+    // Half 2: resume an interrupted job vs retrain from scratch.
+    let gen = favorita_scaled(6_000, 40, 1);
+    let backend = EngineBackend::in_memory();
+    for (name, t) in &gen.tables {
+        backend
+            .create_table(name, t.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    backend
+        .execute("UPDATE sales SET net_profit = FLOOR(net_profit * 8.0) / 8.0")
+        .map_err(|e| e.to_string())?;
+    let set = Dataset::new(
+        &backend,
+        gen.graph.clone(),
+        &gen.target_relation,
+        &gen.target_column,
+    )
+    .map_err(|e| e.to_string())?;
+    let mut params = TrainParams::default();
+    params.num_iterations = 12;
+    params.learning_rate = 0.5;
+    params.leaf_quantization = (2.0f64).powi(-10);
+    let (cold, cold_time) = time(|| train_gbm(&set, &params));
+    let cold = cold.map_err(|e| e.to_string())?;
+    // The "crash": a persisted checkpoint holding the first 6 trees.
+    let prior: Vec<joinboost::Tree> = cold.trees[..6].to_vec();
+    let (resumed, resume_time) = time(|| train_gbm_resume(&set, &params, &prior, |_, _| true));
+    let resumed = resumed.map_err(|e| e.to_string())?;
+    if resumed.init_score.to_bits() != cold.init_score.to_bits() || resumed.trees != cold.trees {
+        return Err("resumed model diverged from the cold retrain".into());
+    }
+    let mut report = Report::new(
+        "Recovery: finish a 12-iteration GBM from a 6-tree checkpoint vs cold retrain",
+        &["strategy", "wall-clock", "vs cold"],
+    );
+    report.row(&["cold retrain".into(), secs(cold_time), "1.00x".into()]);
+    report.row(&[
+        "resume @6/12".into(),
+        secs(resume_time),
+        format!(
+            "{:.2}x",
+            resume_time.as_secs_f64() / cold_time.as_secs_f64()
+        ),
+    ]);
+    report.note("resume replays stored trees' residual updates (no split search), then trains only the missing iterations; final models bit-identical");
+    report.print();
+
+    let json = JsonValue::obj(vec![
+        ("experiment", JsonValue::Str("recovery".into())),
+        (
+            "checkpoint_budget_bytes",
+            JsonValue::Int(CKPT_BUDGET as i64),
+        ),
+        ("open_rows", JsonValue::Arr(open_rows)),
+        ("cold_train_s", JsonValue::Num(cold_time.as_secs_f64())),
+        ("resume_train_s", JsonValue::Num(resume_time.as_secs_f64())),
+        ("resume_from", JsonValue::Int(6)),
+        ("iterations", JsonValue::Int(12)),
+        ("bit_identical", JsonValue::Int(1)),
+    ]);
+    let path = write_bench_json("recovery", &json).map_err(|e| e.to_string())?;
     println!("wrote {}", path.display());
     Ok(())
 }

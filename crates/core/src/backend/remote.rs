@@ -56,15 +56,17 @@ use super::split::{
     LocalSplitState, MergeSpec, SplitHandle, SplitSpec,
 };
 use super::wire::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    JobSpec, Request, Response, MAGIC, MAX_FRAME, VERSION,
+    decode_request, decode_response, encode_request, encode_response, forest_bytes,
+    forest_from_bytes, job_spec_bytes, job_spec_from_bytes, read_frame, scorer_spec_bytes,
+    scorer_spec_from_bytes, write_frame, JobSpec, Request, Response, MAGIC, MAX_FRAME, VERSION,
 };
 use super::{BackendCapabilities, BackendResult, BackendStats, ShardTransport, SqlBackend};
-use crate::boosting::train_gbm_cb;
+use crate::boosting::train_gbm_resume;
 use crate::dataset::Dataset;
 use crate::params::TrainParams;
 use crate::serve::{compile_messages, MessageIndex, ScorerSpec};
-use joinboost_engine::Datum;
+use crate::tree::Tree;
+use joinboost_engine::{Column, Datum};
 
 // ---------------------------------------------------------------------------
 // Server
@@ -96,6 +98,14 @@ pub struct ServeOptions {
     /// answered from the session's response cache, not re-executed (the
     /// exactly-once case for non-idempotent statements).
     pub flaky_after: Option<u64>,
+    /// Crash-the-process fault: after this many boosting iterations have
+    /// been trained (across all jobs, counted *after* the iteration's
+    /// registry checkpoint was persisted), the server calls
+    /// [`std::process::abort`] — no destructors, no WAL flush beyond what
+    /// commit already did. Only meaningful for a real `shard_server`
+    /// child process; the restart tests use it to kill training at an
+    /// exact, reproducible point.
+    pub crash_after_iters: Option<u64>,
 }
 
 /// A training job's life: `Queued → Running → Done | Failed | Cancelled`.
@@ -146,12 +156,21 @@ struct JobHandle {
     /// Session token of the submitter. Jobs still active when their
     /// session *expires* (disconnected past the grace period) are
     /// cancelled — a briefly-dropped client that reconnects in time
-    /// keeps its job.
+    /// keeps its job. Jobs recovered from the durable registry at boot
+    /// carry owner `0`, which no live session token can equal (tokens
+    /// are odd), so the expiry sweeper never cancels them.
     owner: u64,
     /// Cooperative cancel flag, checked by the training callback after
     /// every boosting iteration.
     cancel: AtomicBool,
     progress: Mutex<JobProgress>,
+    /// The submitted spec, kept so the registry can persist it and a
+    /// restarted server can resume the job.
+    spec: JobSpec,
+    /// Latest persisted training checkpoint: the partial forest after
+    /// the most recent completed iteration. Cleared when the job goes
+    /// `Done` (the compiled scorer is the durable artifact from then on).
+    forest: Mutex<Vec<Tree>>,
 }
 
 fn cancel_job(job: &JobHandle) {
@@ -196,6 +215,22 @@ struct ServeState {
     /// Cache-miss loads performed (tests assert on invalidation
     /// granularity through this).
     scorer_loads: AtomicU64,
+    /// Does the hosted engine persist tables across restarts? When true,
+    /// the job registry is mirrored into the WAL-logged `jb_sys_jobs`
+    /// table on every transition and training checkpoint.
+    durable: bool,
+    /// Persist a Running job's partial forest every this many iterations.
+    job_checkpoint_iters: u64,
+    /// Boosting iterations trained across all jobs (drives
+    /// [`ServeOptions::crash_after_iters`]).
+    train_iters: AtomicU64,
+    /// Byte budget across all sessions' cached replay responses.
+    replay_budget: u64,
+    /// Current total bytes held in sessions' replay caches.
+    replay_bytes: AtomicU64,
+    /// Replay-cache entries evicted under the budget (tests assert the
+    /// bound bites through this).
+    replay_evictions: AtomicU64,
 }
 
 /// A cached scorer dictionary plus the relations it was built from (the
@@ -212,7 +247,10 @@ impl ServeState {
         max_jobs: usize,
         session_budget: Option<u64>,
         grace: Duration,
+        job_checkpoint_iters: u64,
+        replay_budget: u64,
     ) -> ServeState {
+        let durable = db.config().storage_path.is_some();
         ServeState {
             db,
             opts,
@@ -229,6 +267,12 @@ impl ServeState {
             flaky_fired: AtomicBool::new(false),
             scorer_cache: Mutex::new(HashMap::new()),
             scorer_loads: AtomicU64::new(0),
+            durable,
+            job_checkpoint_iters: job_checkpoint_iters.max(1),
+            train_iters: AtomicU64::new(0),
+            replay_budget,
+            replay_bytes: AtomicU64::new(0),
+            replay_evictions: AtomicU64::new(0),
         }
     }
 
@@ -317,6 +361,11 @@ struct SessionInner {
     /// The encoded reply to `last_applied`, replayed verbatim when a
     /// reconnecting client re-issues a request whose reply was lost.
     last_response: Vec<u8>,
+    /// The cached reply was evicted under the server's replay byte
+    /// budget: a replay of `last_applied` gets a typed error instead of
+    /// re-execution (exactly-once is preserved; at-least-once is not
+    /// silently substituted).
+    replay_evicted: bool,
     /// `jb_`-prefixed (non-`jb_job`) tables this session created over the
     /// wire and has not dropped: reclaimed when the session expires.
     temp_tables: HashSet<String>,
@@ -336,6 +385,7 @@ impl SessionState {
                 bytes_loaded: 0,
                 last_applied: 0,
                 last_response: Vec::new(),
+                replay_evicted: false,
                 temp_tables: HashSet::new(),
                 conn_gen: None,
                 detached_at: None,
@@ -545,6 +595,191 @@ fn handle_split_request(db: &Database, session: &mut SessionInner, req: Request)
 // Jobs
 // ---------------------------------------------------------------------------
 
+/// The WAL-logged system table mirroring the job registry on durable
+/// engines. Rewritten as one `create_or_replace_table` call — a single
+/// WAL statement, so no crash window can lose the whole table — on every
+/// job state transition and every training checkpoint. Column layout:
+/// `id`/`state`/`iters` (Int), `message` (Str), and the `spec`/`scorer`/
+/// `forest` blobs hex-encoded into Str columns (wire codecs, floats by
+/// bit pattern).
+const JOB_REGISTRY_TABLE: &str = "jb_sys_jobs";
+
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble < 16"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble < 16"));
+    }
+    s
+}
+
+fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    for pair in s.as_bytes().chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+/// `jb_job<id>_…` message-table name → the owning job id.
+fn job_table_id(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("jb_job")?;
+    let (id, _) = rest.split_once('_')?;
+    id.parse().ok()
+}
+
+/// Mirror the live job registry into [`JOB_REGISTRY_TABLE`]. A no-op on
+/// non-durable engines. Write failures are swallowed: the previous
+/// registry image stays in place, and recovery simply resumes from that
+/// older checkpoint.
+fn persist_jobs(state: &ServeState) {
+    if !state.durable {
+        return;
+    }
+    let handles: Vec<Arc<JobHandle>> = {
+        let jobs = state.jobs.lock();
+        let mut v: Vec<_> = jobs.values().cloned().collect();
+        v.sort_by_key(|j| j.id);
+        v
+    };
+    let n = handles.len();
+    let (mut ids, mut states, mut iters) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    let (mut messages, mut specs, mut scorers, mut forests) = (
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+        Vec::with_capacity(n),
+    );
+    for job in handles {
+        let (tag, it, msg, scorer) = {
+            let p = job.progress.lock();
+            match &*p {
+                JobProgress::Queued => (0i64, 0i64, String::new(), String::new()),
+                JobProgress::Running { iterations } => {
+                    (1, *iterations as i64, String::new(), String::new())
+                }
+                JobProgress::Done { iterations, spec } => (
+                    2,
+                    *iterations as i64,
+                    String::new(),
+                    spec.as_ref()
+                        .map_or_else(String::new, |s| to_hex(&scorer_spec_bytes(s))),
+                ),
+                JobProgress::Failed(m) => (3, 0, m.clone(), String::new()),
+                JobProgress::Cancelled => (4, 0, String::new(), String::new()),
+            }
+        };
+        ids.push(job.id as i64);
+        states.push(tag);
+        iters.push(it);
+        messages.push(msg);
+        specs.push(to_hex(&job_spec_bytes(&job.spec)));
+        scorers.push(scorer);
+        forests.push(to_hex(&forest_bytes(&job.forest.lock())));
+    }
+    let table = Table::from_columns(vec![
+        ("id", Column::int(ids)),
+        ("state", Column::int(states)),
+        ("iters", Column::int(iters)),
+        ("message", Column::str(messages)),
+        ("spec", Column::str(specs)),
+        ("scorer", Column::str(scorers)),
+        ("forest", Column::str(forests)),
+    ]);
+    let _ = state.db.create_or_replace_table(JOB_REGISTRY_TABLE, table);
+}
+
+/// One registry row brought back to life at boot. `resume` marks jobs
+/// that were `Queued`/`Running` when the previous process died: the
+/// server re-queues them and a worker picks their training back up from
+/// the persisted forest checkpoint.
+struct RecoveredJob {
+    handle: Arc<JobHandle>,
+    resume: bool,
+}
+
+/// Decode [`JOB_REGISTRY_TABLE`] into live job handles. Terminal jobs
+/// come back with their final state (a `Done` job's compiled scorer
+/// included, so `PredictBatch { job }` keeps answering after a restart);
+/// active jobs come back `Queued` with their partial forest. Rows that
+/// fail to decode surface as `Failed` jobs rather than vanishing.
+fn recover_jobs(db: &Database) -> Vec<RecoveredJob> {
+    if !db.has_table(JOB_REGISTRY_TABLE) {
+        return Vec::new();
+    }
+    let Ok(t) = db.snapshot(JOB_REGISTRY_TABLE) else {
+        return Vec::new();
+    };
+    let int_col = |name: &str| {
+        t.column(None, name)
+            .ok()
+            .and_then(|c| c.as_i64_slice())
+            .map(<[i64]>::to_vec)
+    };
+    let str_at = |name: &str, row: usize| {
+        t.column(None, name)
+            .ok()
+            .map_or_else(String::new, |c| match c.get(row) {
+                Datum::Str(s) => s,
+                _ => String::new(),
+            })
+    };
+    let (Some(ids), Some(tags), Some(iter_counts)) =
+        (int_col("id"), int_col("state"), int_col("iters"))
+    else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for row in 0..t.num_rows() {
+        let iterations = iter_counts[row].max(0) as u64;
+        let spec = from_hex(&str_at("spec", row)).and_then(|b| job_spec_from_bytes(&b).ok());
+        let scorer = from_hex(&str_at("scorer", row)).and_then(|b| scorer_spec_from_bytes(&b).ok());
+        let forest = from_hex(&str_at("forest", row))
+            .and_then(|b| forest_from_bytes(&b).ok())
+            .unwrap_or_default();
+        let (progress, resume, spec) = match spec {
+            None => (
+                JobProgress::Failed("registry entry could not be decoded after restart".into()),
+                false,
+                JobSpec::default(),
+            ),
+            Some(spec) => {
+                let p = match tags[row] {
+                    0 | 1 => JobProgress::Queued,
+                    2 => JobProgress::Done {
+                        iterations,
+                        spec: scorer,
+                    },
+                    3 => JobProgress::Failed(str_at("message", row)),
+                    _ => JobProgress::Cancelled,
+                };
+                (p, matches!(tags[row], 0 | 1), spec)
+            }
+        };
+        out.push(RecoveredJob {
+            resume,
+            handle: Arc::new(JobHandle {
+                id: ids[row].max(0) as u64,
+                owner: 0,
+                cancel: AtomicBool::new(false),
+                progress: Mutex::new(progress),
+                spec,
+                forest: Mutex::new(forest),
+            }),
+        });
+    }
+    out
+}
+
 /// Admit (or reject) a job submission, register it, and hand it to a
 /// worker thread. `owner` is the submitting session's resume token.
 fn submit_job(state: &Arc<ServeState>, owner: u64, spec: JobSpec) -> Response {
@@ -569,51 +804,77 @@ fn submit_job(state: &Arc<ServeState>, owner: u64, spec: JobSpec) -> Response {
         owner,
         cancel: AtomicBool::new(false),
         progress: Mutex::new(JobProgress::Queued),
+        spec,
+        forest: Mutex::new(Vec::new()),
     });
     state.jobs.lock().insert(id, Arc::clone(&handle));
+    // The submission is durable before any work happens: a crash from
+    // here on resumes the job instead of forgetting it.
+    persist_jobs(state);
     let st = Arc::clone(state);
-    std::thread::spawn(move || run_job(&st, &handle, spec));
+    std::thread::spawn(move || run_job(&st, &handle));
     Response::JobSubmitted(id)
 }
 
 /// Worker-thread body: drive one job from `Queued` to a terminal state.
-fn run_job(state: &Arc<ServeState>, handle: &Arc<JobHandle>, spec: JobSpec) {
+/// Also the resume path: a recovered job enters with a non-empty forest
+/// checkpoint and training replays it before growing new trees.
+fn run_job(state: &Arc<ServeState>, handle: &Arc<JobHandle>) {
     if handle.cancel.load(Ordering::Relaxed) {
         *handle.progress.lock() = JobProgress::Cancelled;
+        persist_jobs(state);
         return;
     }
-    *handle.progress.lock() = JobProgress::Running { iterations: 0 };
-    let outcome = train_job(state, handle, &spec);
-    let mut p = handle.progress.lock();
-    *p = match outcome {
-        Err(msg) => JobProgress::Failed(msg),
-        Ok(compiled) => {
-            let iterations = match *p {
-                JobProgress::Running { iterations } => iterations,
-                _ => 0,
-            };
-            if handle.cancel.load(Ordering::Relaxed) {
-                // The training loop broke early; the dataset guard has
-                // already dropped every `jb_` temp table it created.
-                JobProgress::Cancelled
-            } else {
-                JobProgress::Done {
-                    iterations,
-                    spec: compiled,
+    *handle.progress.lock() = JobProgress::Running {
+        iterations: handle.forest.lock().len() as u64,
+    };
+    persist_jobs(state);
+    let outcome = train_job(state, handle);
+    {
+        let mut p = handle.progress.lock();
+        *p = match outcome {
+            Err(msg) => JobProgress::Failed(msg),
+            Ok(compiled) => {
+                let iterations = match *p {
+                    JobProgress::Running { iterations } => iterations,
+                    _ => 0,
+                };
+                if handle.cancel.load(Ordering::Relaxed) {
+                    // The training loop broke early; the dataset guard has
+                    // already dropped every `jb_` temp table it created.
+                    JobProgress::Cancelled
+                } else {
+                    JobProgress::Done {
+                        iterations,
+                        spec: compiled,
+                    }
                 }
             }
-        }
-    };
+        };
+    }
+    if matches!(&*handle.progress.lock(), JobProgress::Done { .. }) {
+        // The compiled scorer is the durable artifact now; dropping the
+        // forest checkpoint keeps the registry row small.
+        handle.forest.lock().clear();
+    }
+    persist_jobs(state);
 }
 
 /// Train the job's model and, when a `key_column` was named, compile it
 /// into `jb_job{id}_`-prefixed message tables that outlive training.
+///
+/// Training always goes through [`train_gbm_resume`] with the handle's
+/// forest checkpoint as the prior: empty for a fresh submission (where
+/// it is exactly `train_gbm_cb`), non-empty after a crash — the stored
+/// trees are replayed statement-for-statement, so the finished model is
+/// `to_bits()`-identical to an uncrashed run (see `DESIGN.md`
+/// § "Durability & recovery").
 fn train_job(
     state: &Arc<ServeState>,
     handle: &Arc<JobHandle>,
-    spec: &JobSpec,
 ) -> Result<Option<ScorerSpec>, String> {
     let err = |e: EngineError| e.to_string();
+    let spec = &handle.spec;
     let mut graph = JoinGraph::new();
     for (name, features) in &spec.relations {
         let refs: Vec<&str> = features.iter().map(String::as_str).collect();
@@ -633,10 +894,24 @@ fn train_job(
         seed: spec.seed,
         ..TrainParams::default()
     };
-    let model = train_gbm_cb(&set, &params, |iter, _| {
-        *handle.progress.lock() = JobProgress::Running {
-            iterations: iter as u64 + 1,
-        };
+    let mut prior = handle.forest.lock().clone();
+    // A crash can land between the final iteration's checkpoint and the
+    // Done transition; the replay prior is never longer than the target.
+    prior.truncate(params.num_iterations);
+    let checkpoint_every = state.job_checkpoint_iters;
+    let model = train_gbm_resume(&set, &params, &prior, |iter, m| {
+        let iterations = iter as u64 + 1;
+        *handle.progress.lock() = JobProgress::Running { iterations };
+        *handle.forest.lock() = m.trees.clone();
+        if iterations % checkpoint_every == 0 {
+            persist_jobs(state);
+        }
+        // Fault injection: die mid-training with no warning — after the
+        // checkpoint above, so the restart test resumes from iteration n.
+        let trained = state.train_iters.fetch_add(1, Ordering::Relaxed) + 1;
+        if state.opts.crash_after_iters.is_some_and(|n| trained >= n) {
+            std::process::abort();
+        }
         !handle.cancel.load(Ordering::Relaxed)
     })
     .map_err(|e| e.to_string())?;
@@ -791,7 +1066,9 @@ fn handle_request(
                     // Idempotent: cancelling a terminal job just reports
                     // its (unchanged) final state.
                     cancel_job(&job);
-                    job.progress.lock().response()
+                    let resp = job.progress.lock().response();
+                    persist_jobs(state);
+                    resp
                 }
                 None => Response::Err(EngineError::Other(format!("unknown job id {id}"))),
             }
@@ -847,6 +1124,16 @@ fn enveloped_response(
     let mut inner = sess.inner.lock();
     if seq != 0 {
         if seq == inner.last_applied {
+            if inner.replay_evicted {
+                // The reply was applied but its cached bytes fell to the
+                // replay byte budget. Re-executing could double-apply a
+                // non-idempotent statement, so the client gets a typed
+                // error instead.
+                return encode_response(&Response::Err(EngineError::Other(format!(
+                    "replay of sequence {seq} unavailable: cached response evicted \
+                     under the server's replay byte budget"
+                ))));
+            }
             // The request was applied but its reply was lost in a drop:
             // replay the cached bytes without re-executing. This is what
             // makes retrying non-idempotent statements safe.
@@ -917,10 +1204,53 @@ fn enveloped_response(
     // written: a connection drop between apply and reply then replays
     // byte-identically.
     if seq != 0 {
+        let old = inner.last_response.len() as u64;
         inner.last_applied = seq;
         inner.last_response = out.clone();
+        inner.replay_evicted = false;
+        drop(inner);
+        state.replay_bytes.fetch_sub(old, Ordering::Relaxed);
+        state
+            .replay_bytes
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        enforce_replay_budget(state, sess.token);
     }
     out
+}
+
+/// Bring the total bytes held across sessions' replay caches back under
+/// the budget by evicting *other* sessions' cached replies — never the
+/// in-flight session's, whose entry is exactly the one a reconnect would
+/// need next. A session whose reply alone exceeds the budget therefore
+/// keeps it; the bound is enforced against accumulation across sessions.
+fn enforce_replay_budget(state: &Arc<ServeState>, keep_token: u64) {
+    if state.replay_bytes.load(Ordering::Relaxed) <= state.replay_budget {
+        return;
+    }
+    let victims: Vec<Arc<SessionState>> = state.sessions.lock().values().cloned().collect();
+    for sess in victims {
+        if state.replay_bytes.load(Ordering::Relaxed) <= state.replay_budget {
+            return;
+        }
+        if sess.token == keep_token {
+            continue;
+        }
+        // `try_lock`: a session busy applying its own request is about to
+        // overwrite its cache anyway; skipping it avoids any lock-order
+        // deadlock between two sessions evicting each other.
+        let Some(mut inner) = sess.inner.try_lock() else {
+            continue;
+        };
+        let len = inner.last_response.len() as u64;
+        if len == 0 {
+            continue;
+        }
+        inner.last_response = Vec::new();
+        inner.replay_evicted = true;
+        drop(inner);
+        state.replay_bytes.fetch_sub(len, Ordering::Relaxed);
+        state.replay_evictions.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Answer the handshake (the raw, un-enveloped first frame) and attach
@@ -1049,6 +1379,12 @@ fn sweep_sessions(state: &Arc<ServeState>) {
         let temps = {
             let mut inner = sess.inner.lock();
             inner.splits.clear();
+            // The session's replay cache dies with it: release its bytes
+            // from the global budget.
+            let cached = std::mem::take(&mut inner.last_response);
+            state
+                .replay_bytes
+                .fetch_sub(cached.len() as u64, Ordering::Relaxed);
             std::mem::take(&mut inner.temp_tables)
         };
         for name in temps {
@@ -1058,11 +1394,17 @@ fn sweep_sessions(state: &Arc<ServeState>) {
             .jobs
             .lock()
             .values()
-            .filter(|j| j.owner == sess.token && j.progress.lock().is_active())
+            // Recovered jobs carry owner 0 and belong to no session; they
+            // outlive every session expiry.
+            .filter(|j| j.owner != 0 && j.owner == sess.token && j.progress.lock().is_active())
             .cloned()
             .collect();
+        let cancelled = !owned.is_empty();
         for job in owned {
             cancel_job(&job);
+        }
+        if cancelled {
+            persist_jobs(state);
         }
     }
 }
@@ -1122,6 +1464,8 @@ pub struct WireServerBuilder {
     max_jobs: usize,
     session_budget: Option<u64>,
     grace: Duration,
+    job_checkpoint_iters: u64,
+    replay_budget: u64,
 }
 
 impl WireServerBuilder {
@@ -1155,6 +1499,31 @@ impl WireServerBuilder {
         self
     }
 
+    /// Fault injection: abort the whole process after `n` boosting
+    /// iterations have trained (see [`ServeOptions::crash_after_iters`]).
+    pub fn crash_after_iters(mut self, n: u64) -> WireServerBuilder {
+        self.opts.crash_after_iters = Some(n);
+        self
+    }
+
+    /// Persist a running job's partial forest to the durable registry
+    /// every `k` iterations (default 1: every iteration is resumable).
+    /// Clamped to at least 1. No effect on non-durable engines.
+    pub fn job_checkpoint_iters(mut self, k: u64) -> WireServerBuilder {
+        self.job_checkpoint_iters = k.max(1);
+        self
+    }
+
+    /// Byte budget across all sessions' cached replay responses (default
+    /// 8 MiB). Over budget, *other* sessions' cached replies are evicted
+    /// — never the session that just applied a request, so the in-flight
+    /// exactly-once guarantee always holds. A client replaying into an
+    /// evicted entry gets a typed error, never a silent re-execution.
+    pub fn replay_budget_bytes(mut self, bytes: u64) -> WireServerBuilder {
+        self.replay_budget = bytes;
+        self
+    }
+
     /// Admission control: at most `n` training jobs queued + running
     /// (default 4). Excess submissions get a typed
     /// [`Response::Busy`](super::wire::Response::Busy) rejection, not a
@@ -1181,21 +1550,64 @@ impl WireServerBuilder {
     }
 
     fn state(self) -> Arc<ServeState> {
-        // Orphan sweep: `jb_` working tables (and `jb_job<id>_` message
-        // tables) left behind by a previous process of this database are
-        // unreachable — no session or job registry entry refers to them.
+        // Recover the durable job registry *before* sweeping orphans: a
+        // recovered Done job vouches for its `jb_job<id>_` message
+        // tables, which must survive so `PredictBatch { job }` keeps
+        // answering after the restart.
+        let recovered = if self.db.config().storage_path.is_some() {
+            recover_jobs(&self.db)
+        } else {
+            Vec::new()
+        };
+        let keep_job_tables: HashSet<u64> = recovered
+            .iter()
+            .filter(|r| matches!(&*r.handle.progress.lock(), JobProgress::Done { .. }))
+            .map(|r| r.handle.id)
+            .collect();
+        // Orphan sweep, gated on the registry: `jb_` working tables left
+        // behind by a previous process are unreachable — except the
+        // `jb_sys_` system tables and the message tables of recovered
+        // Done jobs, which the registry still refers to.
         for name in self.db.table_names() {
-            if name.starts_with("jb_") {
-                let _ = ShardTransport::drop_table(&self.db, &name);
+            if !name.starts_with("jb_") || name.starts_with("jb_sys_") {
+                continue;
             }
+            if job_table_id(&name).is_some_and(|id| keep_job_tables.contains(&id)) {
+                continue;
+            }
+            let _ = ShardTransport::drop_table(&self.db, &name);
         }
-        Arc::new(ServeState::new(
+        let state = Arc::new(ServeState::new(
             self.db,
             self.opts,
             self.max_jobs,
             self.session_budget,
             self.grace,
-        ))
+            self.job_checkpoint_iters,
+            self.replay_budget,
+        ));
+        if !recovered.is_empty() {
+            let next = recovered.iter().map(|r| r.handle.id).max().unwrap_or(0) + 1;
+            state.next_job.store(next, Ordering::Relaxed);
+            let mut resumable = Vec::new();
+            {
+                let mut jobs = state.jobs.lock();
+                for r in recovered {
+                    if r.resume {
+                        resumable.push(Arc::clone(&r.handle));
+                    }
+                    jobs.insert(r.handle.id, r.handle);
+                }
+            }
+            // Interrupted jobs go back to work: each worker replays the
+            // persisted forest checkpoint and trains the remaining
+            // iterations (bit-identical to the uncrashed run).
+            for handle in resumable {
+                let st = Arc::clone(&state);
+                std::thread::spawn(move || run_job(&st, &handle));
+            }
+        }
+        state
     }
 
     /// Bind an ephemeral loopback port and serve on a background thread.
@@ -1244,6 +1656,8 @@ impl WireServer {
             max_jobs: 4,
             session_budget: None,
             grace: Duration::from_secs(2),
+            job_checkpoint_iters: 1,
+            replay_budget: 8 << 20,
         }
     }
 
@@ -1267,6 +1681,12 @@ impl WireServer {
     /// assert that unrelated writes do not force reloads.
     pub fn scorer_cache_loads(&self) -> u64 {
         self.state.scorer_loads.load(Ordering::Relaxed)
+    }
+
+    /// Replay-cache entries evicted under the replay byte budget so far
+    /// (see [`WireServerBuilder::replay_budget_bytes`]).
+    pub fn replay_evictions(&self) -> u64 {
+        self.state.replay_evictions.load(Ordering::Relaxed)
     }
 
     /// Kill the server: stop accepting and sever every live connection.

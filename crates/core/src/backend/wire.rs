@@ -46,6 +46,7 @@ use joinboost_engine::table::ColumnMeta;
 use joinboost_engine::{Column, DataType, EngineError, Table};
 
 use crate::serve::ScorerSpec;
+use crate::tree::{Split, SplitCondition, Tree, TreeNode};
 
 /// A training job as submitted over the wire: the join graph by name
 /// (the referenced tables must already be loaded on the server), the
@@ -785,6 +786,139 @@ fn decode_job_spec(r: &mut Reader<'_>) -> DecodeResult<JobSpec> {
         leaf_quantization: read_f64(r)?,
         seed: r.u64()?,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Durable registry blobs
+// ---------------------------------------------------------------------------
+//
+// The server's durable job registry (`jb_sys_jobs`, see
+// [`crate::backend::remote`]) stores job specs, compiled scorers and
+// partial-forest training checkpoints as byte blobs inside engine string
+// columns. The blobs reuse the wire codecs, so every float survives by
+// bit pattern — the resume-bit-identity argument needs the recovered
+// forest to be *exactly* the one that was checkpointed.
+
+/// Encode a [`JobSpec`] as a standalone blob for the durable registry.
+pub(crate) fn job_spec_bytes(spec: &JobSpec) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_job_spec(spec, &mut buf);
+    buf
+}
+
+/// Decode a registry [`JobSpec`] blob (whole-buffer, no trailing bytes).
+pub(crate) fn job_spec_from_bytes(bytes: &[u8]) -> DecodeResult<JobSpec> {
+    let mut r = Reader::new(bytes);
+    let spec = decode_job_spec(&mut r)?;
+    r.done()?;
+    Ok(spec)
+}
+
+/// Encode a [`ScorerSpec`] as a standalone blob for the durable registry.
+pub(crate) fn scorer_spec_bytes(spec: &ScorerSpec) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_scorer_spec(spec, &mut buf);
+    buf
+}
+
+/// Decode a registry [`ScorerSpec`] blob (whole-buffer).
+pub(crate) fn scorer_spec_from_bytes(bytes: &[u8]) -> DecodeResult<ScorerSpec> {
+    let mut r = Reader::new(bytes);
+    let spec = decode_scorer_spec(&mut r)?;
+    r.done()?;
+    Ok(spec)
+}
+
+const SPLIT_LEAF: u8 = 0;
+const SPLIT_LTEQ: u8 = 1;
+const SPLIT_EQ_NUM: u8 = 2;
+const SPLIT_EQ_STR: u8 = 3;
+
+/// Encode a (possibly partial) forest as a standalone blob: the training
+/// checkpoint the durable job registry persists every k iterations.
+pub(crate) fn forest_bytes(trees: &[Tree]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.put_u32_le(trees.len() as u32);
+    for tree in trees {
+        buf.put_u32_le(tree.nodes.len() as u32);
+        for node in &tree.nodes {
+            match &node.split {
+                None => buf.put_u8(SPLIT_LEAF),
+                Some(split) => {
+                    match &split.cond {
+                        SplitCondition::LtEq(v) => {
+                            buf.put_u8(SPLIT_LTEQ);
+                            put_f64(&mut buf, *v);
+                        }
+                        SplitCondition::EqNum(v) => {
+                            buf.put_u8(SPLIT_EQ_NUM);
+                            put_f64(&mut buf, *v);
+                        }
+                        SplitCondition::EqStr(s) => {
+                            buf.put_u8(SPLIT_EQ_STR);
+                            put_string(&mut buf, s);
+                        }
+                    }
+                    put_string(&mut buf, &split.feature);
+                    put_string(&mut buf, &split.relation);
+                    buf.put_u8(split.default_left as u8);
+                }
+            }
+            buf.put_u32_le(node.left as u32);
+            buf.put_u32_le(node.right as u32);
+            put_f64(&mut buf, node.value);
+            put_f64(&mut buf, node.weight);
+            buf.put_u32_le(node.depth as u32);
+        }
+    }
+    buf
+}
+
+/// Decode a registry forest blob (whole-buffer). Bit-exact inverse of
+/// [`forest_bytes`].
+pub(crate) fn forest_from_bytes(bytes: &[u8]) -> DecodeResult<Vec<Tree>> {
+    let mut r = Reader::new(bytes);
+    let ntrees = r.count(4)?;
+    let mut trees = Vec::with_capacity(ntrees);
+    for _ in 0..ntrees {
+        let nnodes = r.count(16)?;
+        let mut nodes = Vec::with_capacity(nnodes);
+        for _ in 0..nnodes {
+            let tag = r.u8()?;
+            let split = match tag {
+                SPLIT_LEAF => None,
+                SPLIT_LTEQ | SPLIT_EQ_NUM | SPLIT_EQ_STR => {
+                    let cond = match tag {
+                        SPLIT_LTEQ => SplitCondition::LtEq(read_f64(&mut r)?),
+                        SPLIT_EQ_NUM => SplitCondition::EqNum(read_f64(&mut r)?),
+                        _ => SplitCondition::EqStr(r.string()?),
+                    };
+                    Some(Split {
+                        feature: r.string()?,
+                        relation: r.string()?,
+                        cond,
+                        default_left: match r.u8()? {
+                            0 => false,
+                            1 => true,
+                            _ => return Err(corrupt("bad default_left flag")),
+                        },
+                    })
+                }
+                _ => return Err(corrupt("unknown split tag")),
+            };
+            nodes.push(TreeNode {
+                split,
+                left: r.u32()? as usize,
+                right: r.u32()? as usize,
+                value: read_f64(&mut r)?,
+                weight: read_f64(&mut r)?,
+                depth: r.u32()? as usize,
+            });
+        }
+        trees.push(Tree { nodes });
+    }
+    r.done()?;
+    Ok(trees)
 }
 
 fn dtype_tag(d: DataType) -> u8 {

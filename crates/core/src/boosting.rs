@@ -106,8 +106,53 @@ pub fn train_gbm_cb(
         return train_cuboid(set, params, &mut callback);
     }
     match set.graph.snowflake_fact() {
-        Some(fact) => train_snowflake(set, params, fact, &mut callback),
-        None => train_galaxy(set, params, &mut callback),
+        Some(fact) => train_snowflake(set, params, fact, &[], &mut callback),
+        None => train_galaxy(set, params, &[], &mut callback),
+    }
+}
+
+/// Resume an interrupted training run from a partial forest (the
+/// serving tier's crash-recovery path: a job persists its trees every k
+/// iterations and warm-starts here after a restart).
+///
+/// The base tables must hold the same data the original run trained on
+/// (a recovered WAL-backed engine guarantees this). The initial score is
+/// recomputed — deterministic on identical data — the fact is re-lifted,
+/// and each stored tree's residual/gradient update is *replayed*: the
+/// replayed statements are byte-for-byte the statements the original run
+/// executed, in the same order, so the annotation columns reach the
+/// identical bit pattern and every subsequent split decision matches a
+/// run that was never interrupted. Under the dyadic `leaf_quantization`
+/// recipe the finished model is therefore `to_bits()`-identical to an
+/// uncrashed reference. Tree leaf values round-trip exactly through the
+/// wire codec (f64 by bit pattern), so a deserialized forest resumes as
+/// faithfully as a live one.
+///
+/// The callback only fires for *newly trained* iterations. Not supported
+/// with the cuboid optimization (`use_cuboid`), whose trees are relabeled
+/// to user-facing relations after their update statements run.
+pub fn train_gbm_resume(
+    set: &Dataset,
+    params: &TrainParams,
+    prior: &[Tree],
+    mut callback: impl FnMut(usize, &GbmModel) -> bool,
+) -> Result<GbmModel> {
+    params.validate()?;
+    if params.use_cuboid {
+        return Err(TrainError::Invalid(
+            "resume is not supported with the cuboid optimization".into(),
+        ));
+    }
+    if prior.len() > params.num_iterations {
+        return Err(TrainError::Invalid(format!(
+            "partial forest has {} trees but the run only asks for {} iterations",
+            prior.len(),
+            params.num_iterations
+        )));
+    }
+    match set.graph.snowflake_fact() {
+        Some(fact) => train_snowflake(set, params, fact, prior, &mut callback),
+        None => train_galaxy(set, params, prior, &mut callback),
     }
 }
 
@@ -271,6 +316,7 @@ fn train_snowflake(
     set: &Dataset,
     params: &TrainParams,
     fact: RelId,
+    prior: &[Tree],
     callback: &mut impl FnMut(usize, &GbmModel) -> bool,
 ) -> Result<GbmModel> {
     check_update_capability(set, params)?;
@@ -351,7 +397,45 @@ fn train_snowflake(
         update_time: Duration::ZERO,
         stats: TrainStats::default(),
     };
-    for iter in 0..params.num_iterations {
+    // Warm start (resume): replay each stored tree's update statements
+    // against the freshly lifted fact. These are byte-for-byte the
+    // statements the original run executed, in order, so the annotation
+    // columns land on the identical bit pattern and the first new tree
+    // grows exactly as iteration `prior.len()` of an uninterrupted run.
+    for tree in prior {
+        if use_variance {
+            let leaf_cases = leaf_case_updates(
+                set,
+                fact,
+                tree,
+                params.learning_rate,
+                Expr::col("jb_s"),
+                true,
+            )?;
+            updater.apply(set, &[("jb_s".into(), leaf_cases)], tree, fact, params)?;
+        } else {
+            let p_new = leaf_case_updates(
+                set,
+                fact,
+                tree,
+                params.learning_rate,
+                Expr::col("jb_p"),
+                false,
+            )?;
+            let mut assigns = vec![("jb_p".to_string(), p_new.clone())];
+            assigns.push((
+                "jb_g".into(),
+                gradient_sql(&obj, Expr::col("jb_y"), p_new.clone()),
+            ));
+            if !unit_hessian(&obj) {
+                assigns.push(("jb_h".into(), hessian_sql(&obj, Expr::col("jb_y"), p_new)));
+            }
+            updater.apply(set, &assigns, tree, fact, params)?;
+        }
+        fx.bump_epoch(fact);
+        model.trees.push(tree.clone());
+    }
+    for iter in prior.len()..params.num_iterations {
         let t0 = Instant::now();
         let mut grower = TreeGrower::new(&mut fx, params, set.features());
         let mut tree = grower.grow()?;
@@ -829,6 +913,7 @@ impl Updater {
 fn train_galaxy(
     set: &Dataset,
     params: &TrainParams,
+    prior: &[Tree],
     callback: &mut impl FnMut(usize, &GbmModel) -> bool,
 ) -> Result<GbmModel> {
     if !params.objective.supports_galaxy() {
@@ -910,7 +995,48 @@ fn train_galaxy(
         update_time: Duration::ZERO,
         stats: TrainStats::default(),
     };
-    for iter in 0..params.num_iterations {
+    // Warm start (resume): replay each stored tree's aggregate update.
+    // A CPT tree only ever splits inside one cluster, so its active
+    // cluster is recoverable from any split's relation; a stump updates
+    // the target's cluster — the same choice the original run made.
+    for tree in prior {
+        let cluster_idx = match tree.nodes.iter().find_map(|n| n.split.as_ref()) {
+            Some(split) => {
+                let rel = g.rel_id(&split.relation)?;
+                cluster_list
+                    .iter()
+                    .position(|c| c.contains(rel))
+                    .ok_or_else(|| TrainError::Graph("split relation not in any cluster".into()))?
+            }
+            None => cluster_list
+                .iter()
+                .position(|c| c.contains(target))
+                .unwrap_or(0),
+        };
+        let cfact = cluster_list[cluster_idx].fact;
+        let ctable = lifted_of
+            .get(&cfact)
+            .cloned()
+            .ok_or_else(|| TrainError::Graph("cluster fact not lifted".into()))?;
+        let case_expr = leaf_case_updates(
+            set,
+            cfact,
+            tree,
+            params.learning_rate,
+            Expr::col("jb_s"),
+            true,
+        )?;
+        let columns = set.db.column_names(&ctable)?;
+        let updater = Updater {
+            method: params.update_method,
+            table: ctable,
+            columns,
+        };
+        updater.apply(set, &[("jb_s".into(), case_expr)], tree, cfact, params)?;
+        fx.bump_epoch(cfact);
+        model.trees.push(tree.clone());
+    }
+    for iter in prior.len()..params.num_iterations {
         let t0 = Instant::now();
         let mut grower = TreeGrower::new(&mut fx, params, set.features());
         grower.cpt_clusters = Some(cluster_members.clone());

@@ -98,7 +98,7 @@ pub use backend::{
     BackendCapabilities, BackendResult, EngineBackend, RemoteBackend, ShardedBackend, SqlBackend,
     SqlTextBackend,
 };
-pub use boosting::{train_gbm, train_gbm_cb, GbmModel};
+pub use boosting::{train_gbm, train_gbm_cb, train_gbm_resume, GbmModel};
 pub use dataset::{Dataset, FeatureKind};
 pub use error::{Result, TrainError};
 pub use forest::{train_random_forest, RfModel};

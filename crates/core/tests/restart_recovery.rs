@@ -1,0 +1,316 @@
+//! Kill a real `shard_server` process mid-job and restart it on the same
+//! storage directory: nothing observable may be lost.
+//!
+//! The contract under test is the durable job registry + resumable
+//! training stack:
+//!
+//! * a server aborted *mid-training* resumes the job from its persisted
+//!   forest checkpoint and finishes with predictions `to_bits()`-identical
+//!   to a never-crashed run (resume replays the stored trees' update
+//!   statements, so the arithmetic history is byte-for-byte the same);
+//! * Done / Cancelled / Failed jobs keep their ids, terminal states and
+//!   (for Done) their deployed message tables across a SIGKILL + restart;
+//! * job ids keep monotonically increasing after recovery.
+//!
+//! Both tests drive real child processes — an in-process "restart" would
+//! leave the old worker threads writing to the same WAL.
+
+use std::time::{Duration, Instant};
+
+use joinboost::backend::{JobSpec, JobStatus, RemoteBackend, ServeClient, SqlBackend, WireServer};
+use joinboost_engine::{Column, Database, Table};
+
+// ---------------------------------------------------------------------------
+// Workload: the dyadic star schema of serve_api.rs
+// ---------------------------------------------------------------------------
+
+const ROWS: i64 = 64;
+
+fn star_fact() -> Table {
+    Table::from_columns(vec![
+        ("k", Column::int((0..ROWS).collect())),
+        ("d_id", Column::int((0..ROWS).map(|i| i % 6).collect())),
+        ("x", Column::int((0..ROWS).map(|i| (i * 13) % 40).collect())),
+        (
+            "y",
+            Column::float(
+                (0..ROWS)
+                    .map(|i| (((i * 5) % 16) as f64) / 8.0 + ((i % 6) as f64) / 2.0)
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn star_dim() -> Table {
+    Table::from_columns(vec![
+        ("d_id", Column::int((0..6).collect())),
+        ("g", Column::int((0..6).map(|d| (d * 3) % 5).collect())),
+    ])
+}
+
+fn star_job(iterations: u32) -> JobSpec {
+    JobSpec {
+        relations: vec![
+            ("fact".into(), vec!["x".into()]),
+            ("dim".into(), vec!["g".into()]),
+        ],
+        edges: vec![("fact".into(), "dim".into(), vec!["d_id".into()])],
+        target_relation: "fact".into(),
+        target_column: "y".into(),
+        key_column: Some("k".into()),
+        num_iterations: iterations,
+        ..JobSpec::default()
+    }
+}
+
+fn fresh_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("jb_restart_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Load the star tables onto a server over the wire.
+fn load_star(addr: std::net::SocketAddr) {
+    let backend = RemoteBackend::builder(addr).connect().unwrap();
+    backend.create_table("fact", star_fact()).unwrap();
+    backend.create_table("dim", star_dim()).unwrap();
+}
+
+/// Poll until the job reports `Running` (or panic after `timeout`).
+fn wait_running(client: &ServeClient, id: u64, timeout: Duration) {
+    let start = Instant::now();
+    loop {
+        match client.poll(id).unwrap() {
+            JobStatus::Running { .. } => return,
+            JobStatus::Queued => {}
+            other => panic!("job {id} reached {other:?} before Running"),
+        }
+        assert!(start.elapsed() < timeout, "job {id} never started running");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Prediction bit patterns over every fact key (None ⇒ u64::MAX).
+fn predict_bits(client: &ServeClient, id: u64) -> Vec<u64> {
+    let keys: Vec<i64> = (0..ROWS).collect();
+    client
+        .predict(id, &keys)
+        .unwrap()
+        .into_iter()
+        .map(|s| s.map(|v| v.to_bits()).unwrap_or(u64::MAX))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Child-process rig (same shape as remote_chaos.rs)
+// ---------------------------------------------------------------------------
+
+/// A real `shard_server` child process: spawned on an ephemeral port with
+/// the given extra flags, killed on drop.
+struct ShardServerProc {
+    child: std::process::Child,
+    addr: std::net::SocketAddr,
+}
+
+impl ShardServerProc {
+    fn spawn(extra_args: &[&str]) -> ShardServerProc {
+        use std::io::BufRead as _;
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_shard_server"))
+            .args(extra_args)
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn shard_server");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("read LISTENING line");
+        let addr = line
+            .trim()
+            .strip_prefix("LISTENING ")
+            .expect("server must announce its address")
+            .parse()
+            .expect("valid socket address");
+        ShardServerProc { child, addr }
+    }
+
+    /// Block until the child exits on its own (`--crash-after-iters`).
+    fn wait_exit(&mut self) {
+        let status = self.child.wait().expect("wait on child");
+        assert!(
+            !status.success(),
+            "server was expected to abort, exited cleanly instead"
+        );
+    }
+
+    /// SIGKILL the child — no warning, no flush, like the OOM killer.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for ShardServerProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Headline: crash mid-training, restart, bit-identical predictions
+// ---------------------------------------------------------------------------
+
+/// A server that aborts after 3 trained iterations of a 6-iteration job,
+/// restarted on the same directory, must resume from the persisted
+/// 3-tree checkpoint and serve predictions bit-identical to a server
+/// that never crashed.
+#[test]
+fn sigkill_mid_training_resumes_to_bit_identical_predictions() {
+    // Reference: the same job on an in-process, never-crashed server.
+    let reference_bits = {
+        let db = Database::in_memory();
+        db.create_table("fact", star_fact()).unwrap();
+        db.create_table("dim", star_dim()).unwrap();
+        let server = WireServer::builder(db).spawn().unwrap();
+        let client = ServeClient::connect(server.addr()).unwrap();
+        let id = client.submit(&star_job(6)).unwrap();
+        assert_eq!(client.wait(id).unwrap(), JobStatus::Done { iterations: 6 });
+        predict_bits(&client, id)
+    };
+
+    let dir = fresh_dir("bitident");
+    let dir_s = dir.to_str().unwrap();
+
+    // Doomed server: persists the forest after every iteration and
+    // aborts the whole process after the third.
+    let mut doomed = ShardServerProc::spawn(&[
+        "--storage",
+        dir_s,
+        "--job-checkpoint-iters",
+        "1",
+        "--crash-after-iters",
+        "3",
+    ]);
+    load_star(doomed.addr);
+    let client = ServeClient::connect(doomed.addr).unwrap();
+    let id = client.submit(&star_job(6)).unwrap();
+    // The abort fires inside the training callback; no clean shutdown,
+    // no final registry write — only the per-iteration checkpoints.
+    doomed.wait_exit();
+    drop(client);
+
+    // Restart on the same directory: boot recovery re-registers the job
+    // and resumes it from the persisted 3-tree forest.
+    let revived = ShardServerProc::spawn(&["--storage", dir_s]);
+    let client = ServeClient::connect(revived.addr).unwrap();
+    assert_eq!(
+        client.wait(id).unwrap(),
+        JobStatus::Done { iterations: 6 },
+        "recovered job must finish all 6 iterations"
+    );
+    assert_eq!(
+        predict_bits(&client, id),
+        reference_bits,
+        "resumed training diverged from the uncrashed run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Restart battery: every terminal (and one live) state survives SIGKILL
+// ---------------------------------------------------------------------------
+
+/// One server accumulates jobs in all four states — Done, Cancelled,
+/// Failed, Running — then dies by SIGKILL. The restarted server must
+/// report every terminal state unchanged (same ids), serve PredictBatch
+/// for the Done job bit-identically, resume the Running job, and hand
+/// out fresh ids above every recovered one.
+#[test]
+fn restart_battery_preserves_every_job_state() {
+    let dir = fresh_dir("battery");
+    let dir_s = dir.to_str().unwrap();
+
+    let mut first = ShardServerProc::spawn(&["--storage", dir_s, "--job-checkpoint-iters", "4"]);
+    load_star(first.addr);
+    let client = ServeClient::connect(first.addr).unwrap();
+
+    // Done: a short job run to completion, predictions recorded.
+    let done_id = client.submit(&star_job(3)).unwrap();
+    assert_eq!(
+        client.wait(done_id).unwrap(),
+        JobStatus::Done { iterations: 3 }
+    );
+    let done_bits = predict_bits(&client, done_id);
+
+    // Cancelled: a job far too long to finish, cancelled once running.
+    let cancel_id = client.submit(&star_job(50_000)).unwrap();
+    wait_running(&client, cancel_id, Duration::from_secs(20));
+    client.cancel(cancel_id).unwrap();
+    assert_eq!(client.wait(cancel_id).unwrap(), JobStatus::Cancelled);
+
+    // Failed: the target relation does not exist.
+    let failed_id = client
+        .submit(&JobSpec {
+            target_relation: "no_such_table".into(),
+            ..star_job(3)
+        })
+        .unwrap();
+    let failed_msg = match client.wait(failed_id).unwrap() {
+        JobStatus::Failed(msg) => msg,
+        other => panic!("bad-relation job ended {other:?}, expected Failed"),
+    };
+
+    // Running: a long job killed mid-flight.
+    let running_id = client.submit(&star_job(50_000)).unwrap();
+    wait_running(&client, running_id, Duration::from_secs(20));
+    drop(client);
+    first.kill();
+
+    // Restart. Every id and state must come back.
+    let second = ShardServerProc::spawn(&["--storage", dir_s, "--job-checkpoint-iters", "4"]);
+    let client = ServeClient::connect(second.addr).unwrap();
+
+    assert_eq!(
+        client.poll(done_id).unwrap(),
+        JobStatus::Done { iterations: 3 },
+        "Done job lost its terminal state"
+    );
+    assert_eq!(
+        predict_bits(&client, done_id),
+        done_bits,
+        "Done job's predictions changed across restart"
+    );
+    assert_eq!(
+        client.poll(cancel_id).unwrap(),
+        JobStatus::Cancelled,
+        "Cancelled job lost its terminal state"
+    );
+    assert_eq!(
+        client.poll(failed_id).unwrap(),
+        JobStatus::Failed(failed_msg),
+        "Failed job lost its message"
+    );
+
+    // The Running job was resumed at boot: it must be live again
+    // (Queued or Running), and cancellable like any other job.
+    match client.poll(running_id).unwrap() {
+        JobStatus::Queued | JobStatus::Running { .. } => {}
+        other => panic!("killed-while-Running job recovered as {other:?}"),
+    }
+    wait_running(&client, running_id, Duration::from_secs(20));
+    client.cancel(running_id).unwrap();
+    assert_eq!(client.wait(running_id).unwrap(), JobStatus::Cancelled);
+
+    // Fresh submissions never reuse a recovered id.
+    let fresh_id = client.submit(&star_job(1)).unwrap();
+    assert!(
+        fresh_id > running_id,
+        "fresh id {fresh_id} collides with recovered ids (max was {running_id})"
+    );
+    assert_eq!(
+        client.wait(fresh_id).unwrap(),
+        JobStatus::Done { iterations: 1 }
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

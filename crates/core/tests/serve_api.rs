@@ -11,7 +11,7 @@ use joinboost::backend::{
     JobSpec, JobStatus, RemoteBackend, RemoteConnection, RetryPolicy, ServeClient, ServeError,
     SqlBackend, WireServer,
 };
-use joinboost_engine::{Column, Database, Table};
+use joinboost_engine::{Column, Database, Datum, Table};
 
 /// A star-schema database whose target is on the dyadic 1/8 grid, so
 /// the exactness recipe (lr 0.5, leaf quantization 2⁻¹⁰) holds.
@@ -409,4 +409,36 @@ fn server_start_sweeps_orphan_temp_tables() {
         names.iter().any(|n| n == "fact") && names.iter().any(|n| n == "dim"),
         "base tables must survive the sweep: {names:?}"
     );
+}
+
+/// The per-session replay cache is bounded: under a tiny byte budget,
+/// idle sessions' cached responses are evicted (observable via the
+/// eviction counter) while every connection stays fully usable for new
+/// requests — the budget trades replay coverage, never liveness.
+#[test]
+fn replay_cache_eviction_under_byte_budget() {
+    let server = WireServer::builder(star_db(64))
+        .replay_budget_bytes(64)
+        .spawn()
+        .unwrap();
+
+    // Three concurrent sessions, each caching a response far larger than
+    // the 64-byte budget: every new cache write must evict the others.
+    let backends: Vec<RemoteBackend> = (0..3)
+        .map(|_| RemoteBackend::builder(server.addr()).connect().unwrap())
+        .collect();
+    for b in &backends {
+        b.query("SELECT k, x, y FROM fact").unwrap();
+    }
+    assert!(
+        server.replay_evictions() >= 1,
+        "three over-budget cache writes must evict at least one entry"
+    );
+
+    // Eviction must not break the sessions: each still answers fresh
+    // requests (new sequence numbers never consult the replay cache).
+    for b in &backends {
+        let t = b.query("SELECT COUNT(*) AS n FROM dim").unwrap();
+        assert_eq!(t.column(None, "n").unwrap().get(0), Datum::Int(6));
+    }
 }

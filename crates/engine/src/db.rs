@@ -9,6 +9,7 @@ use parking_lot::{Mutex, RwLock};
 use joinboost_sql::ast::{Expr, Statement};
 use joinboost_sql::parse_statement;
 
+use crate::checkpoint::{self, CheckpointWriter};
 use crate::column::Column;
 use crate::compress::{compress, decompress, CompressedColumn};
 use crate::error::{EngineError, Result};
@@ -79,6 +80,14 @@ pub struct EngineConfig {
     /// accumulator-bank footprint exceeds this many bytes (paged mode
     /// only; the group-id space is sliced so results stay bit-identical).
     pub agg_spill_bytes: usize,
+    /// Automatic checkpoint budget (paged mode only): once the WAL has
+    /// grown past this many bytes, the next statement boundary snapshots
+    /// the catalog into `checkpoint.jbc` and truncates the log, so the
+    /// log file stays bounded by `checkpoint_bytes` plus one statement
+    /// and reopening replays only the post-checkpoint suffix. `None`
+    /// disables automatic checkpoints ([`Database::checkpoint`] can
+    /// still be called manually).
+    pub checkpoint_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -103,6 +112,7 @@ impl EngineConfig {
             bufferpool_pages: 256,
             replacement: Replacement::Clock,
             agg_spill_bytes: 64 << 20,
+            checkpoint_bytes: None,
         }
     }
 
@@ -141,6 +151,7 @@ impl EngineConfig {
             bufferpool_pages: 256,
             replacement: Replacement::Clock,
             agg_spill_bytes: 64 << 20,
+            checkpoint_bytes: None,
         }
     }
 
@@ -167,6 +178,7 @@ impl EngineConfig {
             mvcc: false,
             compression: false,
             storage_path: Some(dir.into()),
+            checkpoint_bytes: Some(64 << 20),
             ..Self::duckdb_mem()
         }
     }
@@ -193,6 +205,10 @@ pub struct DbStats {
     pub compressed_bytes_written: u64,
     /// `SWAP COLUMN` statements executed.
     pub swaps: u64,
+    /// Checkpoints taken (manual + automatic).
+    pub checkpoints: u64,
+    /// Bytes written into checkpoint snapshots.
+    pub checkpoint_bytes_written: u64,
 }
 
 enum Stored {
@@ -222,6 +238,10 @@ pub struct Database {
     stats: Mutex<DbStats>,
     /// The paged store (out-of-core mode only).
     storage: Option<PagedStore>,
+    /// Checkpoint vs writer exclusion: every write statement holds a read
+    /// guard while it logs + applies; a checkpoint takes the write guard,
+    /// so its snapshot always sits on a statement boundary.
+    write_gate: RwLock<()>,
 }
 
 #[derive(Default)]
@@ -265,12 +285,14 @@ impl Database {
             undo: Mutex::new(UndoLog::default()),
             stats: Mutex::new(DbStats::default()),
             storage: None,
+            write_gate: RwLock::new(()),
         })
     }
 
-    /// Open the paged engine: create the directory, replay the WAL's
-    /// committed prefix into the (fresh) page file, then reopen the log
-    /// for appending with fsync-on-commit enabled.
+    /// Open the paged engine: create the directory, load the latest
+    /// checkpoint (if any), replay the WAL's committed prefix on top into
+    /// the (fresh) page file, then reopen the log for appending with
+    /// fsync-on-commit enabled.
     fn open_paged(config: EngineConfig) -> Result<Database> {
         let dir = config.storage_path.clone().expect("paged config has a dir");
         std::fs::create_dir_all(&dir)?;
@@ -281,9 +303,14 @@ impl Database {
         } else {
             (Vec::new(), 0, 0)
         };
-        // Re-apply the committed statements in log order. Full after-images
-        // make this idempotent: the last image of each table/column wins.
-        let mut tables: HashMap<String, Table> = HashMap::new();
+        // Start from the checkpoint snapshot, then re-apply the committed
+        // statements in log order. Full after-images make this idempotent
+        // (the last image of each table/column wins), which is what makes
+        // the checkpoint's crash windows safe: replaying a log that still
+        // contains pre-checkpoint records converges to the same state.
+        let mut tables: HashMap<String, Table> = checkpoint::load(&dir)?
+            .map(|snap| snap.into_iter().collect())
+            .unwrap_or_default();
         for record in records {
             match record {
                 WalRecord::CreateTable { name, table } => {
@@ -322,6 +349,7 @@ impl Database {
             undo: Mutex::new(UndoLog::default()),
             stats: Mutex::new(DbStats::default()),
             storage: Some(store),
+            write_gate: RwLock::new(()),
         })
     }
 
@@ -374,6 +402,71 @@ impl Database {
             .map(|s| (s, self.config.agg_spill_bytes))
     }
 
+    /// Checkpoint the catalog (paged mode only): snapshot every table's
+    /// schema and column images into `checkpoint.jbc` (written to a tmp
+    /// file, fsynced, atomically renamed, directory fsynced), then
+    /// truncate the WAL to empty. Concurrent write statements are
+    /// excluded for the duration, so the snapshot always captures a
+    /// statement boundary; reads proceed normally. A crash at any point
+    /// during the checkpoint recovers from the previous one (see
+    /// [`crate::checkpoint`] for the window-by-window argument).
+    pub fn checkpoint(&self) -> Result<()> {
+        let store = self
+            .storage
+            .as_ref()
+            .ok_or_else(|| EngineError::Other("checkpoint requires the paged engine".into()))?;
+        let dir = self
+            .config
+            .storage_path
+            .clone()
+            .expect("paged config has a dir");
+        let _gate = self.write_gate.write();
+        // Page-chain metadata is cheap to clone; contents cannot move under
+        // the exclusive gate. Sorted order keeps snapshots deterministic.
+        let entries: Vec<(String, PagedTable)> = {
+            let cat = self.catalog.read();
+            let mut v: Vec<(String, PagedTable)> = cat
+                .iter()
+                .filter_map(|(k, s)| match s {
+                    Stored::Paged(pt) => Some((k.clone(), pt.clone())),
+                    // External tables are deliberately non-durable (they
+                    // bypass the WAL too), so they stay out of snapshots.
+                    _ => None,
+                })
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0));
+            v
+        };
+        let mut writer = CheckpointWriter::create(&dir, entries.len() as u32)?;
+        for (name, pt) in &entries {
+            writer.add_table(name, &store.load_table(pt)?)?;
+        }
+        let bytes = writer.finish()?;
+        // Only now — with the snapshot durably installed — is the log
+        // redundant and safe to cut.
+        self.wal.lock().truncate_to_empty()?;
+        let mut stats = self.stats.lock();
+        stats.checkpoints += 1;
+        stats.checkpoint_bytes_written += bytes;
+        Ok(())
+    }
+
+    /// Auto-checkpoint trigger, called after each write statement commits
+    /// (and after its gate guard is released — [`Database::checkpoint`]
+    /// takes the exclusive gate itself).
+    fn maybe_checkpoint(&self) -> Result<()> {
+        if self.storage.is_none() {
+            return Ok(());
+        }
+        let Some(budget) = self.config.checkpoint_bytes else {
+            return Ok(());
+        };
+        if self.wal.lock().bytes_logged >= budget {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
     /// Log a commit record for the statement just applied (paged mode:
     /// this is the fsync that makes the statement durable).
     fn wal_commit(&self) -> Result<()> {
@@ -397,6 +490,7 @@ impl Database {
     /// Register a table built in Rust (bulk load).
     pub fn create_table(&self, name: &str, table: Table) -> Result<()> {
         let key = name.to_ascii_lowercase();
+        let gate = self.write_gate.read();
         let mut cat = self.catalog.write();
         if cat.contains_key(&key) {
             return Err(EngineError::TableExists(name.to_string()));
@@ -411,7 +505,31 @@ impl Database {
         let stored = self.store(table)?;
         cat.insert(key, stored);
         drop(cat);
-        self.wal_commit()
+        self.wal_commit()?;
+        drop(gate);
+        self.maybe_checkpoint()
+    }
+
+    /// Register a table, replacing any existing table of the same name,
+    /// as a *single* WAL-logged statement. Unlike `drop_table` followed
+    /// by [`Database::create_table`] — two statements, between which a
+    /// crash leaves the table missing — replay of the one `CreateTable`
+    /// record overwrites the old image atomically, so recovery sees
+    /// either the old table or the new one, never neither. This is the
+    /// primitive durable system tables (e.g. a server's job registry)
+    /// are rewritten through.
+    pub fn create_or_replace_table(&self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let gate = self.write_gate.read();
+        if self.storage.is_some() && self.config.wal {
+            self.wal.lock().log_create_table(name, &table)?;
+        }
+        let stored = self.store(table)?;
+        let old = self.catalog.write().insert(key, stored);
+        self.release(old);
+        self.wal_commit()?;
+        drop(gate);
+        self.maybe_checkpoint()
     }
 
     /// Register (or replace) a table held in external dataframe storage
@@ -436,6 +554,7 @@ impl Database {
     /// Remove a table from the catalog.
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
+        let gate = self.write_gate.read();
         let old = self.catalog.write().remove(&key);
         if old.is_none() {
             return Err(EngineError::UnknownTable(name.to_string()));
@@ -444,7 +563,9 @@ impl Database {
         if self.config.wal {
             self.wal.lock().log_drop_table(name)?;
         }
-        self.wal_commit()
+        self.wal_commit()?;
+        drop(gate);
+        self.maybe_checkpoint()
     }
 
     /// Does a table with this name exist?
@@ -609,6 +730,7 @@ impl Database {
                 self.stats.lock().queries += 1;
                 let result = Executor::new(self).query(query)?.unqualified();
                 let key = name.to_ascii_lowercase();
+                let gate = self.write_gate.read();
                 {
                     let cat = self.catalog.read();
                     if cat.contains_key(&key) && !or_replace {
@@ -622,6 +744,8 @@ impl Database {
                 let old = self.catalog.write().insert(key, stored);
                 self.release(old);
                 self.wal_commit()?;
+                drop(gate);
+                self.maybe_checkpoint()?;
                 Ok(Table::new())
             }
             Statement::Update {
@@ -657,6 +781,7 @@ impl Database {
         assignments: &[(String, Expr)],
         where_clause: Option<&Expr>,
     ) -> Result<()> {
+        let gate = self.write_gate.read();
         // Snapshot pays decompression (compressed storage) or copy-in
         // (external storage); the write below pays WAL + undo + recompress.
         let current = self.snapshot(table)?;
@@ -733,7 +858,9 @@ impl Database {
             let old = self.catalog.write().insert(key, stored);
             self.release(old);
         }
-        self.wal_commit()
+        self.wal_commit()?;
+        drop(gate);
+        self.maybe_checkpoint()
     }
 
     fn swap_column(&self, ta: &str, ca: &str, tb: &str, cb: &str) -> Result<()> {

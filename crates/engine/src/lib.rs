@@ -54,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod agg;
+pub mod checkpoint;
 pub mod column;
 pub mod compress;
 pub mod datum;

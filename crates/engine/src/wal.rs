@@ -193,6 +193,24 @@ impl Wal {
         self.write_record(RecordKind::Commit, &[])
     }
 
+    /// After a checkpoint has made the log's contents redundant, cut the
+    /// log back to empty and reset all counters. fsyncs the truncation so
+    /// a subsequent crash cannot resurrect pre-checkpoint records on top
+    /// of the new snapshot.
+    pub fn truncate_to_empty(&mut self) -> Result<()> {
+        if let Some(w) = &mut self.writer {
+            w.flush()?;
+            let file = w.get_mut();
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.sync_data()?;
+        }
+        self.bytes_logged = 0;
+        self.records = 0;
+        self.synced_bytes = 0;
+        Ok(())
+    }
+
     /// Flush any buffered bytes to the OS.
     pub fn flush(&mut self) -> Result<()> {
         if let Some(w) = &mut self.writer {
