@@ -1839,16 +1839,27 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
             "rows_shipped",
             "wire sent",
             "wire recv",
+            "split rounds",
+            "split recv/round",
         ],
     );
     let mb = |b: u64| format!("{:.2} MB", b as f64 / (1024.0 * 1024.0));
+    let kb = |b: u64| format!("{:.1} KB", b as f64 / 1024.0);
     let mut reference: Option<joinboost::GbmModel> = None;
     let mut dense_recv: u64 = 0;
     let mut pushed_recv: u64 = 0;
+    // Split-protocol volume at 4 servers, per refinement round: the
+    // dense baseline re-ships every shard's absorbed table once per
+    // split query (one ship-everything "round"); the pipelined-delta
+    // coordinator receives boundary summaries only, and after round 0
+    // only the subdivided intervals.
+    let (mut dense_split_recv, mut dense_split_rounds) = (0u64, 0u64);
+    let (mut delta_split_recv, mut delta_split_rounds) = (0u64, 0u64);
     let mut json_rows: Vec<JsonValue> = Vec::new();
     for &(shards, pushdown) in &[(1usize, true), (2, false), (2, true), (4, false), (4, true)] {
         let mut times: Vec<f64> = Vec::new();
         let (mut shipped, mut sent, mut received) = (0u64, 0u64, 0u64);
+        let (mut split_rounds, mut split_sent, mut split_recv) = (0u64, 0u64, 0u64);
         for _ in 0..3 {
             // Real socket servers, one engine process-alike each (spawned
             // in-process so the sweep is self-contained; the shard_server
@@ -1906,6 +1917,9 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
             shipped = stats.rows_shipped;
             sent = stats.bytes_sent;
             received = stats.bytes_received;
+            split_rounds = stats.split_rounds;
+            split_sent = stats.split_bytes_sent;
+            split_recv = stats.split_bytes_received;
             match &reference {
                 None => reference = Some(model),
                 Some(r) => {
@@ -1921,8 +1935,12 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
         if shards == 4 {
             if pushdown {
                 pushed_recv = received;
+                delta_split_recv = split_recv;
+                delta_split_rounds = split_rounds;
             } else {
                 dense_recv = received;
+                dense_split_recv = split_recv;
+                dense_split_rounds = split_rounds;
             }
         }
         report.row(&[
@@ -1932,6 +1950,8 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
             shipped.to_string(),
             mb(sent),
             mb(received),
+            split_rounds.to_string(),
+            kb(split_recv / split_rounds.max(1)),
         ]);
         json_rows.push(JsonValue::obj(vec![
             ("servers", JsonValue::Int(shards as i64)),
@@ -1940,6 +1960,9 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
             ("rows_shipped", JsonValue::Int(shipped as i64)),
             ("wire_bytes_sent", JsonValue::Int(sent as i64)),
             ("wire_bytes_received", JsonValue::Int(received as i64)),
+            ("split_rounds", JsonValue::Int(split_rounds as i64)),
+            ("split_bytes_sent", JsonValue::Int(split_sent as i64)),
+            ("split_bytes_received", JsonValue::Int(split_recv as i64)),
         ]));
     }
     if dense_recv > 0 && pushed_recv > 0 {
@@ -1949,6 +1972,20 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
             mb(dense_recv),
             mb(pushed_recv),
             dense_recv as f64 / pushed_recv as f64
+        ));
+    }
+    let dense_per_round = dense_split_recv / dense_split_rounds.max(1);
+    let delta_per_round = delta_split_recv / delta_split_rounds.max(1);
+    if dense_per_round > 0 && delta_per_round > 0 {
+        report.note(format!(
+            "4-server split traffic per refinement round: {} dense re-ship \
+             ({} rounds) vs {} pipelined delta ({} rounds) — {:.1}x fewer recv \
+             bytes per round",
+            kb(dense_per_round),
+            dense_split_rounds,
+            kb(delta_per_round),
+            delta_split_rounds,
+            dense_per_round as f64 / delta_per_round as f64
         ));
     }
     if flaky {
@@ -1966,6 +2003,14 @@ fn remote_scale(flaky: bool) -> Result<(), String> {
         ("flaky", JsonValue::Int(i64::from(flaky))),
         ("dense_recv_4server", JsonValue::Int(dense_recv as i64)),
         ("pushed_recv_4server", JsonValue::Int(pushed_recv as i64)),
+        (
+            "dense_split_recv_per_round_4server",
+            JsonValue::Int(dense_per_round as i64),
+        ),
+        (
+            "delta_split_recv_per_round_4server",
+            JsonValue::Int(delta_per_round as i64),
+        ),
         ("rows", JsonValue::Arr(json_rows)),
     ]);
     let path = write_bench_json("remote", &json).map_err(|e| e.to_string())?;

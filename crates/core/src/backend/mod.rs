@@ -143,6 +143,9 @@ pub struct BackendStats {
     /// Split queries evaluated shard-locally (boundary summaries + top-k
     /// candidates shipped instead of full per-value aggregates).
     pub pushdown_splits: u64,
+    /// Summary rounds executed across all pushdown splits — the
+    /// denominator that turns split wire volume into *per-round* volume.
+    pub split_rounds: u64,
     /// Rows moved shard → coordinator by gathers, merges, summaries and
     /// samples — the shuffle volume of the paper's multi-node experiments.
     pub rows_shipped: u64,
@@ -154,6 +157,15 @@ pub struct BackendStats {
     pub bytes_sent: u64,
     /// Bytes read back from remote sockets (framing included).
     pub bytes_received: u64,
+    /// The subset of `bytes_sent` carrying split-protocol frames
+    /// (open/boundaries/summaries/refine/fetch) — divided by
+    /// `split_rounds` this is the per-round request volume of
+    /// distributed split evaluation.
+    pub split_bytes_sent: u64,
+    /// The subset of `bytes_received` carrying split-protocol replies —
+    /// divided by `split_rounds`, the per-round wire volume the
+    /// delta encoding exists to shrink.
+    pub split_bytes_received: u64,
 }
 
 /// A DBMS seen through JoinBoost's eyes.

@@ -26,25 +26,26 @@
 //! **Failure handling** is retry-then-fail: connect and I/O timeouts
 //! bound every wait; on a transport error the client reconnects with
 //! exponential backoff under its [`RetryPolicy`], re-presents its session
-//! resume token, and re-issues the in-flight request. The server keeps a
-//! session alive across connection drops for a grace period — split
-//! handles, temp tables and the last applied `(seq, response)` pair
-//! survive, so a replayed request that was already applied returns the
-//! cached response instead of re-executing (safe replay of
-//! non-idempotent statements). Only when the retry budget is exhausted
+//! resume token, and re-issues every in-flight request. The server keeps
+//! a session alive across connection drops for a grace period — split
+//! handles, temp tables and the replay window of applied-but-unacked
+//! `(seq, response)` pairs survive, so a replayed request that was
+//! already applied returns the cached response instead of re-executing
+//! (safe replay of non-idempotent statements). Only when the retry
+//! budget is exhausted
 //! does the first error *poison* the connection: every later call fails
 //! immediately with the original error, so cleanup paths touching a dead
 //! shard cost nothing. [`RetryPolicy::none()`] restores the pre-v3
 //! fail-fast behavior exactly.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use joinboost_engine::{DataType, Database, EngineError, Table};
 use joinboost_graph::JoinGraph;
@@ -58,7 +59,8 @@ use super::split::{
 use super::wire::{
     decode_request, decode_response, encode_request, encode_response, forest_bytes,
     forest_from_bytes, job_spec_bytes, job_spec_from_bytes, read_frame, scorer_spec_bytes,
-    scorer_spec_from_bytes, write_frame, JobSpec, Request, Response, MAGIC, MAX_FRAME, VERSION,
+    scorer_spec_from_bytes, write_frame, JobSpec, Request, Response, MAGIC, MAX_FRAME, MIN_VERSION,
+    VERSION,
 };
 use super::{BackendCapabilities, BackendResult, BackendStats, ShardTransport, SqlBackend};
 use crate::boosting::train_gbm_resume;
@@ -106,6 +108,12 @@ pub struct ServeOptions {
     /// child process; the restart tests use it to kill training at an
     /// exact, reproducible point.
     pub crash_after_iters: Option<u64>,
+    /// Deterministic reply jitter `(seed, max_micros)`: before writing
+    /// each reply the server sleeps `splitmix64(seed ^ request_number) %
+    /// max_micros` microseconds. With several shard servers on different
+    /// seeds this randomizes *cross-shard completion order* — the
+    /// pipelined coordinator's ordering-independence proptests drive it.
+    pub reply_jitter: Option<(u64, u64)>,
 }
 
 /// A training job's life: `Queued → Running → Done | Failed | Cancelled`.
@@ -357,15 +365,27 @@ struct SessionInner {
     /// sizes, the number the wire actually carried).
     bytes_loaded: u64,
     /// Highest sequence number applied so far (client seqs start at 1).
+    /// Diagnostics only under multiplexing: a pipelined client's frames
+    /// may arrive out of seq order, so replay decisions key off the
+    /// window and the acked floor, never off this maximum.
     last_applied: u64,
-    /// The encoded reply to `last_applied`, replayed verbatim when a
-    /// reconnecting client re-issues a request whose reply was lost.
-    last_response: Vec<u8>,
-    /// The cached reply was evicted under the server's replay byte
-    /// budget: a replay of `last_applied` gets a typed error instead of
-    /// re-execution (exactly-once is preserved; at-least-once is not
-    /// silently substituted).
-    replay_evicted: bool,
+    /// The replay window: per applied-but-unacknowledged seq, the
+    /// encoded reply (`Some`), replayed verbatim when a reconnecting
+    /// client re-issues a request whose reply was lost — or `None` when
+    /// the cached bytes fell to the replay byte budget, in which case
+    /// the replay gets a typed error instead of re-execution
+    /// (exactly-once is preserved; at-least-once is not silently
+    /// substituted). A v4 client acks its lowest in-flight seq on every
+    /// request, releasing older entries; a v3 client keeps at most one
+    /// entry (the pre-multiplexing single slot, pruned below each
+    /// applied seq).
+    responses: std::collections::BTreeMap<u64, Option<Vec<u8>>>,
+    /// Every seq below this has been acknowledged (v4) or superseded
+    /// (v3): it can never be legitimately replayed, so a request below
+    /// the floor that misses the window is answered with a typed
+    /// stale-sequence error. A fresh seq at or above the floor executes
+    /// regardless of arrival order.
+    acked_floor: u64,
     /// `jb_`-prefixed (non-`jb_job`) tables this session created over the
     /// wire and has not dropped: reclaimed when the session expires.
     temp_tables: HashSet<String>,
@@ -384,8 +404,8 @@ impl SessionState {
                 next_split: 0,
                 bytes_loaded: 0,
                 last_applied: 0,
-                last_response: Vec::new(),
-                replay_evicted: false,
+                responses: std::collections::BTreeMap::new(),
+                acked_floor: 0,
                 temp_tables: HashSet::new(),
                 conn_gen: None,
                 detached_at: None,
@@ -493,6 +513,47 @@ impl SessionInner {
     }
 }
 
+/// Execute the absorbed query and build the shard-side split state, or
+/// the ready-made fallback/error response. `Err(Response::Table)` is the
+/// dense fallback (NULL components); other `Err`s are typed errors.
+fn open_split_state(
+    db: &Database,
+    sql: String,
+    key_col: u32,
+    c0_col: u32,
+    c1_col: u32,
+    specs: Vec<u8>,
+) -> Result<LocalSplitState, Response> {
+    let specs: Option<Vec<MergeSpec>> = specs.iter().map(|&t| MergeSpec::from_tag(t)).collect();
+    let Some(specs) = specs else {
+        return Err(Response::Err(EngineError::Other(
+            "bad merge-spec tag".into(),
+        )));
+    };
+    let table = match db.execute(&sql) {
+        Ok(t) => t,
+        Err(e) => return Err(Response::Err(e)),
+    };
+    if [key_col, c0_col, c1_col]
+        .iter()
+        .any(|&c| c as usize >= table.num_columns())
+        || specs.len() != table.num_columns()
+    {
+        return Err(Response::Err(EngineError::Other(
+            "split spec does not match the absorbed result".into(),
+        )));
+    }
+    let spec = SplitSpec {
+        key_col: key_col as usize,
+        c0_col: c0_col as usize,
+        c1_col: c1_col as usize,
+        specs,
+    };
+    // Protocol inapplicable (NULL components): hand the absorbed result
+    // back so the client's dense fallback needs no second execution.
+    LocalSplitState::build(table, spec).map_err(Response::Table)
+}
+
 /// Handle one `Split*` request against the connection's session.
 fn handle_split_request(db: &Database, session: &mut SessionInner, req: Request) -> Response {
     match req {
@@ -502,51 +563,44 @@ fn handle_split_request(db: &Database, session: &mut SessionInner, req: Request)
             c0_col,
             c1_col,
             specs,
-        } => {
-            let specs: Option<Vec<MergeSpec>> =
-                specs.iter().map(|&t| MergeSpec::from_tag(t)).collect();
-            let Some(specs) = specs else {
-                return Response::Err(EngineError::Other("bad merge-spec tag".into()));
-            };
-            let table = match db.execute(&sql) {
-                Ok(t) => t,
-                Err(e) => return Response::Err(e),
-            };
-            if [key_col, c0_col, c1_col]
-                .iter()
-                .any(|&c| c as usize >= table.num_columns())
-                || specs.len() != table.num_columns()
-            {
-                return Response::Err(EngineError::Other(
-                    "split spec does not match the absorbed result".into(),
-                ));
+        } => match open_split_state(db, sql, key_col, c0_col, c1_col, specs) {
+            Err(resp) => resp,
+            Ok(state) => {
+                let rows = state.num_rows() as u64;
+                let id = session.next_split;
+                session.next_split += 1;
+                session.splits.insert(id, state);
+                Response::SplitOpened(id, rows)
             }
-            let spec = SplitSpec {
-                key_col: key_col as usize,
-                c0_col: c0_col as usize,
-                c1_col: c1_col as usize,
-                specs,
-            };
-            match LocalSplitState::build(table, spec) {
-                // Protocol inapplicable here: hand the absorbed result
-                // back so the client's dense fallback needs no second
-                // execution.
-                Err(table) => Response::Table(table),
-                Ok(state) => {
-                    let rows = state.num_rows() as u64;
-                    let id = session.next_split;
-                    session.next_split += 1;
-                    session.splits.insert(id, state);
-                    Response::SplitOpened(id, rows)
-                }
+        },
+        Request::SplitOpenBounds {
+            sql,
+            key_col,
+            c0_col,
+            c1_col,
+            specs,
+            k,
+        } => match open_split_state(db, sql, key_col, c0_col, c1_col, specs) {
+            Err(resp) => resp,
+            Ok(state) => {
+                let rows = state.num_rows() as u64;
+                let bounds = match state.boundaries(k as usize) {
+                    Ok(keys) => keys_to_table(&keys),
+                    Err(e) => return Response::Err(e),
+                };
+                let id = session.next_split;
+                session.next_split += 1;
+                session.splits.insert(id, state);
+                Response::SplitOpenedBounds { id, rows, bounds }
             }
-        }
+        },
         Request::SplitClose { id } => {
             session.splits.remove(&id);
             Response::Unit
         }
         Request::SplitBoundaries { id, .. }
         | Request::SplitSummaries { id, .. }
+        | Request::SplitSummariesDelta { id, .. }
         | Request::SplitRefine { id, .. }
         | Request::SplitFetch { id, .. } => {
             let Some(state) = session.splits.get(&id) else {
@@ -559,6 +613,18 @@ fn handle_split_request(db: &Database, session: &mut SessionInner, req: Request)
                 Request::SplitSummaries { grid, .. } => state
                     .summaries(&keys_from_table(&grid))
                     .map(|s| Response::Table(summaries_to_table(&s))),
+                Request::SplitSummariesDelta { grid, changed, .. } => {
+                    let grid = keys_from_table(&grid);
+                    if changed.iter().any(|&j| j as usize >= grid.len()) {
+                        return Response::Err(EngineError::Other(
+                            "delta interval out of grid range".into(),
+                        ));
+                    }
+                    let changed: Vec<usize> = changed.iter().map(|&j| j as usize).collect();
+                    state
+                        .summaries_delta(&grid, &changed)
+                        .map(|s| Response::Table(summaries_to_table(&s)))
+                }
                 Request::SplitRefine { grid, targets, .. } => {
                     let targets: Vec<(usize, usize)> = targets
                         .iter()
@@ -1080,8 +1146,10 @@ fn handle_request(
             partial,
         } => predict_batch_response(state, job, spec, &keys, partial),
         Request::SplitOpen { .. }
+        | Request::SplitOpenBounds { .. }
         | Request::SplitBoundaries { .. }
         | Request::SplitSummaries { .. }
+        | Request::SplitSummariesDelta { .. }
         | Request::SplitRefine { .. }
         | Request::SplitFetch { .. }
         | Request::SplitClose { .. } => {
@@ -1111,46 +1179,76 @@ fn serve_connection(state: &Arc<ServeState>, conn_id: u64, mut stream: TcpStream
     }
 }
 
-/// Answer one enveloped (`[u64 seq][request]`) frame against the
-/// session, consulting the replay cache first. Returns the encoded
-/// response frame; the caller writes it (or drops it, under fault
-/// injection).
+/// Answer one enveloped request frame (`[u64 seq][request]` for v3,
+/// `[u64 seq][u64 ack][request]` for v4) against the session, consulting
+/// the replay window first. Returns the encoded response frame — with
+/// its own `[u64 seq]` envelope when the connection negotiated v4 — and
+/// the caller writes it (or drops it, under fault injection).
 fn enveloped_response(
     state: &Arc<ServeState>,
     sess: &Arc<SessionState>,
     seq: u64,
+    ack: u64,
+    v4: bool,
     body: &[u8],
 ) -> Vec<u8> {
+    // Response envelope: a v4 client matches replies to in-flight
+    // requests by seq; a v3 client gets bare responses as before.
+    let envelope = |bytes: Vec<u8>| -> Vec<u8> {
+        if !v4 {
+            return bytes;
+        }
+        let mut out = Vec::with_capacity(bytes.len() + 8);
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&bytes);
+        out
+    };
     let mut inner = sess.inner.lock();
     if seq != 0 {
-        if seq == inner.last_applied {
-            if inner.replay_evicted {
-                // The reply was applied but its cached bytes fell to the
-                // replay byte budget. Re-executing could double-apply a
-                // non-idempotent statement, so the client gets a typed
-                // error instead.
-                return encode_response(&Response::Err(EngineError::Other(format!(
-                    "replay of sequence {seq} unavailable: cached response evicted \
+        match inner.responses.get(&seq) {
+            Some(Some(cached)) => {
+                // The request was applied but its reply was lost in a
+                // drop: replay the cached (already enveloped) bytes
+                // without re-executing. This is what makes retrying
+                // non-idempotent statements safe.
+                return cached.clone();
+            }
+            Some(None) => {
+                // The request was applied but its cached reply fell to
+                // the replay byte budget. Re-executing could
+                // double-apply a non-idempotent statement, so the
+                // client gets a typed error instead.
+                return envelope(encode_response(&Response::Err(EngineError::Other(
+                    format!(
+                        "replay of sequence {seq} unavailable: cached response evicted \
                      under the server's replay byte budget"
+                    ),
                 ))));
             }
-            // The request was applied but its reply was lost in a drop:
-            // replay the cached bytes without re-executing. This is what
-            // makes retrying non-idempotent statements safe.
-            return inner.last_response.clone();
-        }
-        if seq < inner.last_applied {
-            return encode_response(&Response::Err(EngineError::Other(format!(
-                "stale sequence {seq}: session already applied {}",
-                inner.last_applied
-            ))));
+            None if seq < inner.acked_floor => {
+                // Below the floor the client has acknowledged (or, for
+                // v3, below the last applied seq): it can never be a
+                // legitimate replay.
+                return envelope(encode_response(&Response::Err(EngineError::Other(
+                    format!(
+                        "stale sequence {seq}: session already applied {}",
+                        inner.last_applied
+                    ),
+                ))));
+            }
+            // A fresh seq at or above the floor executes below. A
+            // pipelined client's frames may arrive out of seq order,
+            // so "greater than some applied seq" proves nothing.
+            None => {}
         }
     }
     let resp = match decode_request(body) {
         Ok(
             req @ (Request::SplitOpen { .. }
+            | Request::SplitOpenBounds { .. }
             | Request::SplitBoundaries { .. }
             | Request::SplitSummaries { .. }
+            | Request::SplitSummariesDelta { .. }
             | Request::SplitRefine { .. }
             | Request::SplitFetch { .. }
             | Request::SplitClose { .. }),
@@ -1193,23 +1291,35 @@ fn enveloped_response(
     // live connection, not a silent hangup the client would read as
     // a crashed server.
     let mut out = encode_response(&resp);
-    if out.len() > MAX_FRAME as usize {
+    let env_len = if v4 { 8 } else { 0 };
+    if out.len() + env_len > MAX_FRAME as usize {
         out = encode_response(&Response::Err(EngineError::Other(format!(
             "result frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
              transfer large tables in parts",
             out.len()
         ))));
     }
+    let out = envelope(out);
     // Cache the (possibly substituted) encoded reply *before* it is
     // written: a connection drop between apply and reply then replays
-    // byte-identically.
+    // byte-identically. The client's ack (its lowest in-flight seq; the
+    // applied seq itself for v3, restoring the single slot) releases
+    // window entries it can never replay again.
     if seq != 0 {
-        let old = inner.last_response.len() as u64;
-        inner.last_applied = seq;
-        inner.last_response = out.clone();
-        inner.replay_evicted = false;
+        inner.last_applied = inner.last_applied.max(seq);
+        let floor = if v4 { ack.min(seq) } else { seq };
+        inner.acked_floor = inner.acked_floor.max(floor);
+        let keep = inner.acked_floor;
+        let mut released = 0u64;
+        while let Some(entry) = inner.responses.first_entry() {
+            if *entry.key() >= keep {
+                break;
+            }
+            released += entry.remove().map_or(0, |b| b.len()) as u64;
+        }
+        inner.responses.insert(seq, Some(out.clone()));
         drop(inner);
-        state.replay_bytes.fetch_sub(old, Ordering::Relaxed);
+        state.replay_bytes.fetch_sub(released, Ordering::Relaxed);
         state
             .replay_bytes
             .fetch_add(out.len() as u64, Ordering::Relaxed);
@@ -1241,12 +1351,15 @@ fn enforce_replay_budget(state: &Arc<ServeState>, keep_token: u64) {
         let Some(mut inner) = sess.inner.try_lock() else {
             continue;
         };
-        let len = inner.last_response.len() as u64;
+        let mut len = 0u64;
+        for v in inner.responses.values_mut() {
+            if let Some(bytes) = v.take() {
+                len += bytes.len() as u64;
+            }
+        }
         if len == 0 {
             continue;
         }
-        inner.last_response = Vec::new();
-        inner.replay_evicted = true;
         drop(inner);
         state.replay_bytes.fetch_sub(len, Ordering::Relaxed);
         state.replay_evictions.fetch_add(1, Ordering::Relaxed);
@@ -1254,12 +1367,16 @@ fn enforce_replay_budget(state: &Arc<ServeState>, keep_token: u64) {
 }
 
 /// Answer the handshake (the raw, un-enveloped first frame) and attach
-/// the session on success.
+/// the session on success. `wire_version` receives the negotiated
+/// protocol version: the server speaks every version down to
+/// [`MIN_VERSION`], so an old v3 client keeps its pre-multiplexing
+/// framing (bare responses, single-slot replay) on this connection.
 fn hello_response(
     state: &Arc<ServeState>,
     session: &mut Option<Arc<SessionState>>,
     conn_id: u64,
     payload: &[u8],
+    wire_version: &mut u32,
 ) -> Response {
     match decode_request(payload) {
         Ok(Request::Hello {
@@ -1269,11 +1386,13 @@ fn hello_response(
         }) => {
             if magic != MAGIC {
                 Response::Err(EngineError::Other("bad protocol magic".into()))
-            } else if version != VERSION {
+            } else if !(MIN_VERSION..=VERSION).contains(&version) {
                 Response::Err(EngineError::Other(format!(
-                    "protocol version mismatch: client {version}, server {VERSION}"
+                    "protocol version mismatch: client {version}, server {VERSION} \
+                     (oldest supported {MIN_VERSION})"
                 )))
             } else {
+                *wire_version = version;
                 *session = Some(state.attach_session(token, conn_id));
                 Response::Caps {
                     column_swap: state.db.config().allow_swap,
@@ -1287,12 +1406,22 @@ fn hello_response(
     }
 }
 
+/// splitmix64 finalizer: the deterministic hash behind
+/// [`ServeOptions::reply_jitter`].
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 fn serve_requests(
     state: &Arc<ServeState>,
     conn_id: u64,
     session: &mut Option<Arc<SessionState>>,
     stream: &mut TcpStream,
 ) {
+    let mut wire_version = VERSION;
     loop {
         let payload = match read_frame(stream) {
             Ok(p) => p,
@@ -1328,7 +1457,13 @@ fn serve_requests(
             return;
         }
         let out = match session {
-            None => encode_response(&hello_response(state, session, conn_id, &payload)),
+            None => encode_response(&hello_response(
+                state,
+                session,
+                conn_id,
+                &payload,
+                &mut wire_version,
+            )),
             Some(sess) => {
                 if payload.len() < 8 {
                     encode_response(&Response::Err(EngineError::Other(
@@ -1336,7 +1471,23 @@ fn serve_requests(
                     )))
                 } else {
                     let seq = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-                    enveloped_response(state, sess, seq, &payload[8..])
+                    if wire_version >= 4 {
+                        if payload.len() < 16 {
+                            let mut out = seq.to_le_bytes().to_vec();
+                            out.extend_from_slice(&encode_response(&Response::Err(
+                                EngineError::Other(
+                                    "wire decode: request missing its ack envelope".into(),
+                                ),
+                            )));
+                            out
+                        } else {
+                            let ack =
+                                u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+                            enveloped_response(state, sess, seq, ack, true, &payload[16..])
+                        }
+                    } else {
+                        enveloped_response(state, sess, seq, 0, false, &payload[8..])
+                    }
                 }
             }
         };
@@ -1348,6 +1499,13 @@ fn serve_requests(
         {
             let _ = stream.shutdown(std::net::Shutdown::Both);
             return;
+        }
+        // Deterministic reply jitter: stagger completion order across
+        // shards (per-request hash of the seed), never change results.
+        if let Some((jseed, max_us)) = state.opts.reply_jitter {
+            if max_us > 0 {
+                std::thread::sleep(Duration::from_micros(splitmix64(jseed ^ count) % max_us));
+            }
         }
         if write_frame(stream, &out).is_err() {
             return;
@@ -1379,12 +1537,15 @@ fn sweep_sessions(state: &Arc<ServeState>) {
         let temps = {
             let mut inner = sess.inner.lock();
             inner.splits.clear();
-            // The session's replay cache dies with it: release its bytes
+            // The session's replay window dies with it: release its bytes
             // from the global budget.
-            let cached = std::mem::take(&mut inner.last_response);
-            state
-                .replay_bytes
-                .fetch_sub(cached.len() as u64, Ordering::Relaxed);
+            let cached: u64 = inner
+                .responses
+                .values()
+                .map(|v| v.as_ref().map_or(0, |b| b.len() as u64))
+                .sum();
+            inner.responses.clear();
+            state.replay_bytes.fetch_sub(cached, Ordering::Relaxed);
             std::mem::take(&mut inner.temp_tables)
         };
         for name in temps {
@@ -1546,6 +1707,15 @@ impl WireServerBuilder {
     /// worst-case reconnect backoff.
     pub fn session_grace(mut self, grace: Duration) -> WireServerBuilder {
         self.grace = grace;
+        self
+    }
+
+    /// Deterministic reply jitter: sleep a seed-derived `0..max_micros`
+    /// microseconds before each reply (see [`ServeOptions::reply_jitter`]).
+    /// The interleaving proptests use it to randomize cross-shard
+    /// completion order without changing any result.
+    pub fn reply_jitter(mut self, seed: u64, max_micros: u64) -> WireServerBuilder {
+        self.opts.reply_jitter = Some((seed, max_micros));
         self
     }
 
@@ -1825,17 +1995,34 @@ impl Default for RemoteOptions {
 /// One framed connection to a wire server: the remote flavor of
 /// [`ShardTransport`], and the engine half of [`RemoteBackend`].
 ///
-/// A connection serializes its requests behind a mutex (the protocol is
-/// strictly request/response); the sharded fan-out gets its parallelism
-/// from holding one connection per shard. On a transport failure the
-/// connection reconnects under its [`RetryPolicy`], re-presents its
-/// session resume token, and re-issues the in-flight request (the
-/// server's replay cache makes that exactly-once); only an exhausted
-/// retry budget *poisons* the connection, after which every call fails
-/// immediately with the original error, so cleanup paths touching a dead
-/// shard cost nothing — they do not re-wait on timeouts.
+/// A connection *multiplexes*: any number of threads may have requests
+/// in flight over the one socket at once. Each request carries a fresh
+/// sequence number; replies carry the seq they answer, so completions
+/// may arrive in any order. No dedicated I/O thread exists — whichever
+/// waiting caller gets there first takes the reader role and drains
+/// reply frames for everyone (leader/follower), handing the role off
+/// when its own reply lands.
+///
+/// On a transport failure the connection reconnects under its
+/// [`RetryPolicy`], re-presents its session resume token, and replays
+/// *every* in-flight request (the server's replay window makes that
+/// exactly-once); only an exhausted retry budget *poisons* the
+/// connection, failing all in-flight requests at once, after which every
+/// call fails immediately with the original error — cleanup paths
+/// touching a dead shard cost nothing, they do not re-wait on timeouts.
 pub struct RemoteConnection {
-    inner: Mutex<ClientInner>,
+    /// Multiplexer bookkeeping — in-flight slots, the live socket, the
+    /// seq counter. Never held across blocking socket I/O, so reply
+    /// deposits can always make progress.
+    mux: Mutex<MuxState>,
+    /// Signals waiters: a reply was deposited, the reader role freed, or
+    /// recovery finished (either way the slots say what happened).
+    cv: Condvar,
+    /// Serializes frame *writes* so concurrent requests cannot
+    /// interleave bytes mid-frame. Held across the (possibly blocking)
+    /// write and nothing else; the server drains its socket one frame at
+    /// a time, so a blocked write never deadlocks against the reader.
+    wlock: Mutex<()>,
     addr: String,
     opts: RemoteOptions,
     /// Session resume token presented in every handshake.
@@ -1843,17 +2030,81 @@ pub struct RemoteConnection {
     column_swap: bool,
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
+    /// Split-protocol wire volume (one logical frame per request/reply,
+    /// reconnect retransmits excluded) — the per-round traffic the
+    /// sharded coordinator reports, as opposed to lifetime totals.
+    split_bytes_sent: AtomicU64,
+    split_bytes_received: AtomicU64,
     requests: AtomicU64,
     /// Reconnect attempts performed (diagnostics).
     retries: AtomicU64,
     poisoned: Mutex<Option<String>>,
 }
 
-/// The mutable half of a connection: the live socket and the monotone
-/// request sequence number.
-struct ClientInner {
-    stream: TcpStream,
-    seq: u64,
+/// The multiplexer state behind [`RemoteConnection::mux`].
+struct MuxState {
+    /// The live socket, or `None` while recovery is rebuilding it (and
+    /// forever after poisoning). Senders and the reader work on
+    /// `try_clone`d handles, so nothing blocks while holding the lock.
+    stream: Option<TcpStream>,
+    /// Monotone request sequence numbers, starting at 1.
+    next_seq: u64,
+    /// Every request that has not yet resolved, keyed by seq. The entry
+    /// keeps the *unenveloped* request body so a reconnect can replay it
+    /// with a fresh ack.
+    inflight: BTreeMap<u64, Pending>,
+    /// A thread currently owns the reader role (is blocked reading reply
+    /// frames). At most one at a time.
+    reading: bool,
+    /// Bumped on every reconnect. A thread that hits an I/O error on a
+    /// socket of an older generation knows someone else already
+    /// recovered past that failure and must not recover again.
+    generation: u64,
+    /// A thread is inside [`RemoteConnection::recover`] (backoff,
+    /// reconnect, replay). At most one at a time.
+    recovering: bool,
+}
+
+/// One in-flight request: its body (kept for reconnect replay) and the
+/// slot its reply lands in.
+struct Pending {
+    body: Vec<u8>,
+    slot: Slot,
+}
+
+/// Completion state of an in-flight request.
+enum Slot {
+    /// No reply yet; on reconnect the request is replayed.
+    Waiting,
+    /// The reply's encoded `Response` bytes (seq envelope stripped).
+    Ready(Vec<u8>),
+    /// The connection died and the retry budget is spent.
+    Failed(String),
+}
+
+/// `[u64 seq][u64 ack][body]` — the v4 request envelope.
+fn envelope_v4(seq: u64, ack: u64, body: &[u8]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(body.len() + 16);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&ack.to_le_bytes());
+    payload.extend_from_slice(body);
+    payload
+}
+
+/// Whether a request belongs to the split protocol (for the split wire
+/// volume counters).
+fn is_split_request(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::SplitOpen { .. }
+            | Request::SplitOpenBounds { .. }
+            | Request::SplitBoundaries { .. }
+            | Request::SplitSummaries { .. }
+            | Request::SplitSummariesDelta { .. }
+            | Request::SplitRefine { .. }
+            | Request::SplitFetch { .. }
+            | Request::SplitClose { .. }
+    )
 }
 
 /// TCP connect + raw `Hello` handshake presenting `token`. Returns the
@@ -1954,13 +2205,24 @@ impl RemoteConnection {
         let (stream, column_swap, sent, received) = connect_and_hello(&label, &opts, token)
             .map_err(|e| EngineError::Other(format!("shard server at {label}: {e}")))?;
         Ok(RemoteConnection {
-            inner: Mutex::new(ClientInner { stream, seq: 0 }),
+            mux: Mutex::new(MuxState {
+                stream: Some(stream),
+                next_seq: 0,
+                inflight: BTreeMap::new(),
+                reading: false,
+                generation: 0,
+                recovering: false,
+            }),
+            cv: Condvar::new(),
+            wlock: Mutex::new(()),
             addr: label,
             opts,
             token,
             column_swap,
             bytes_sent: AtomicU64::new(sent),
             bytes_received: AtomicU64::new(received),
+            split_bytes_sent: AtomicU64::new(0),
+            split_bytes_received: AtomicU64::new(0),
             requests: AtomicU64::new(1),
             retries: AtomicU64::new(0),
             poisoned: Mutex::new(None),
@@ -1996,94 +2258,336 @@ impl RemoteConnection {
         self.retries.load(Ordering::Relaxed)
     }
 
-    /// One request/response exchange. Transport failures retry under the
-    /// connection's [`RetryPolicy`] and, once the budget is exhausted,
-    /// poison the connection and carry the shard address; server-side
-    /// engine errors come back as the exact [`EngineError`] variant the
-    /// engine raised.
+    /// `(bytes_sent, bytes_received)` attributable to the split
+    /// protocol, framing and envelopes included, counted once per
+    /// logical request/reply (reconnect retransmits excluded).
+    pub fn split_wire_byte_counts(&self) -> (u64, u64) {
+        (
+            self.split_bytes_sent.load(Ordering::Relaxed),
+            self.split_bytes_received.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One request/response exchange over the multiplexer: register an
+    /// in-flight slot, write the enveloped frame, then wait (or read on
+    /// everyone's behalf) until the reply with this seq lands. Transport
+    /// failures trigger a shared reconnect-and-replay under the
+    /// connection's [`RetryPolicy`]; once the budget is exhausted the
+    /// connection is poisoned and the error carries the shard address.
+    /// Server-side engine errors come back as the exact [`EngineError`]
+    /// variant the engine raised.
     fn request(&self, req: &Request) -> BackendResult<Response> {
-        if let Some(why) = self.poisoned.lock().as_ref() {
-            return Err(EngineError::Other(format!(
-                "shard server at {}: connection previously failed: {why}",
-                self.addr
-            )));
-        }
         let body = encode_request(req);
-        if body.len() + 8 > MAX_FRAME as usize {
+        if body.len() + 16 > MAX_FRAME as usize {
             // A purely client-side limit: nothing touched the socket, so
             // the connection stays healthy — no poison, typed error.
             return Err(EngineError::Other(format!(
                 "request frame of {} bytes exceeds the {MAX_FRAME}-byte wire limit; \
                  transfer large tables in parts",
-                body.len() + 8
+                body.len() + 16
             )));
         }
-        let result = {
-            let mut inner = self.inner.lock();
-            inner.seq += 1;
-            let mut payload = Vec::with_capacity(body.len() + 8);
-            payload.extend_from_slice(&inner.seq.to_le_bytes());
-            payload.extend_from_slice(&body);
-            self.exchange_with_retry(&mut inner, &payload)
-        };
-        if let Err(e) = &result {
-            let mut p = self.poisoned.lock();
-            if p.is_none() {
-                *p = Some(e.to_string());
+        let split = is_split_request(req);
+        let seq = {
+            // Registration and the poison check share one critical
+            // section with recovery's fail-everything pass, so a request
+            // can never slip in after poisoning and wait forever.
+            let mut mux = self.mux.lock();
+            if let Some(why) = self.poisoned.lock().as_ref() {
+                return Err(EngineError::Other(format!(
+                    "shard server at {}: connection previously failed: {why}",
+                    self.addr
+                )));
             }
-        }
+            mux.next_seq += 1;
+            let seq = mux.next_seq;
+            if split {
+                self.split_bytes_sent
+                    .fetch_add(body.len() as u64 + 20, Ordering::Relaxed);
+            }
+            mux.inflight.insert(
+                seq,
+                Pending {
+                    body,
+                    slot: Slot::Waiting,
+                },
+            );
+            seq
+        };
+        self.send(seq);
+        let outcome = self.await_reply(seq);
+        let result = match outcome {
+            Ok(bytes) => {
+                if split {
+                    self.split_bytes_received
+                        .fetch_add(bytes.len() as u64 + 12, Ordering::Relaxed);
+                }
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                decode_response(&bytes).map_err(|e| {
+                    // A reply that decodes to garbage is a broken peer,
+                    // not a recoverable drop — replaying would fetch the
+                    // same cached bytes. Poison.
+                    let mut p = self.poisoned.lock();
+                    if p.is_none() {
+                        *p = Some(e.to_string());
+                    }
+                    e.to_string()
+                })
+            }
+            Err(why) => Err(why),
+        };
         result.map_err(|e| EngineError::Other(format!("shard server at {}: {e}", self.addr)))
     }
 
-    /// Exchange `payload`, reconnecting with backoff on transport errors.
-    /// Every retry re-presents the resume token and re-sends the *same*
-    /// sequence number, so the server either replays the cached reply
-    /// (request was applied, reply lost) or executes it fresh (request
-    /// never arrived) — never both.
-    fn exchange_with_retry(&self, inner: &mut ClientInner, payload: &[u8]) -> io::Result<Response> {
-        let retry = self.opts.retry;
-        let mut last_err: Option<io::Error> = None;
-        for attempt in 0..=retry.max_retries {
-            if attempt > 0 {
-                self.retries.fetch_add(1, Ordering::Relaxed);
-                std::thread::sleep(retry.backoff(attempt));
-                match connect_and_hello(&self.addr, &self.opts, self.token) {
-                    Ok((stream, _, sent, received)) => {
-                        self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
-                        self.bytes_received.fetch_add(received, Ordering::Relaxed);
-                        inner.stream = stream;
+    /// Envelope and write in-flight request `seq`. The ack — the lowest
+    /// seq still in flight — is computed at write time, so every frame
+    /// (including recovery replays) carries the freshest window release.
+    /// A write failure routes into [`RemoteConnection::recover`]; a
+    /// `None` stream means recovery is already rebuilding the socket and
+    /// its replay pass owns delivery of this request.
+    fn send(&self, seq: u64) {
+        let (payload, stream, generation) = {
+            let mux = self.mux.lock();
+            let Some(stream) = mux.stream.as_ref() else {
+                return;
+            };
+            let Some(p) = mux.inflight.get(&seq) else {
+                return;
+            };
+            let ack = *mux.inflight.keys().next().expect("inflight holds seq");
+            let stream = match stream.try_clone() {
+                Ok(s) => s,
+                Err(e) => {
+                    let generation = mux.generation;
+                    drop(mux);
+                    self.recover(generation, e);
+                    return;
+                }
+            };
+            (envelope_v4(seq, ack, &p.body), stream, mux.generation)
+        };
+        let mut stream = stream;
+        let written = {
+            let _w = self.wlock.lock();
+            write_frame(&mut stream, &payload)
+        };
+        match written {
+            Ok(n) => {
+                self.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+            }
+            Err(e) => self.recover(generation, e),
+        }
+    }
+
+    /// Block until in-flight request `seq` resolves, taking the reader
+    /// role whenever it is free (leader/follower: exactly one waiter
+    /// reads, deposits every reply it sees, and hands off).
+    fn await_reply(&self, seq: u64) -> Result<Vec<u8>, String> {
+        let mut mux = self.mux.lock();
+        loop {
+            match mux.inflight.get(&seq).map(|p| &p.slot) {
+                Some(Slot::Waiting) => {}
+                None => {
+                    // Unreachable: only this thread removes its entry.
+                    return Err(format!("in-flight slot for seq {seq} vanished"));
+                }
+                Some(_) => {
+                    let p = mux.inflight.remove(&seq).expect("just matched");
+                    return match p.slot {
+                        Slot::Ready(bytes) => Ok(bytes),
+                        Slot::Failed(why) => Err(why),
+                        Slot::Waiting => unreachable!("matched resolved slot"),
+                    };
+                }
+            }
+            if !mux.reading && !mux.recovering && mux.stream.is_some() {
+                let generation = mux.generation;
+                match mux.stream.as_ref().expect("checked is_some").try_clone() {
+                    Ok(stream) => {
+                        mux.reading = true;
+                        drop(mux);
+                        self.read_until(seq, stream, generation);
                     }
                     Err(e) => {
-                        last_err = Some(e);
+                        drop(mux);
+                        self.recover(generation, e);
+                    }
+                }
+                mux = self.mux.lock();
+                continue;
+            }
+            mux = self.cv.wait(mux);
+        }
+    }
+
+    /// The reader role: drain reply frames — depositing each into its
+    /// in-flight slot by seq — until our own request `seq` resolves, the
+    /// socket dies (routes into recovery), or a reconnect makes this
+    /// socket generation stale. Clears `reading` and wakes all waiters
+    /// on every exit path.
+    fn read_until(&self, seq: u64, mut stream: TcpStream, generation: u64) {
+        loop {
+            match read_frame(&mut stream) {
+                Ok(frame) => {
+                    self.bytes_received
+                        .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
+                    let mut mux = self.mux.lock();
+                    if frame.len() >= 8 {
+                        let rseq = u64::from_le_bytes(frame[..8].try_into().expect("8 bytes"));
+                        if let Some(p) = mux.inflight.get_mut(&rseq) {
+                            if matches!(p.slot, Slot::Waiting) {
+                                p.slot = Slot::Ready(frame[8..].to_vec());
+                            }
+                        }
+                        // An unknown or already-resolved seq is a
+                        // duplicate delivery (a reconnect replay raced
+                        // the original reply): drop it.
+                    }
+                    let mine =
+                        !matches!(mux.inflight.get(&seq).map(|p| &p.slot), Some(Slot::Waiting));
+                    if mine || mux.generation != generation {
+                        // Hand the role off: either our reply landed or
+                        // recovery replaced the socket (its replay
+                        // re-delivers anything still buffered here).
+                        mux.reading = false;
+                        drop(mux);
+                        self.cv.notify_all();
+                        return;
+                    }
+                    drop(mux);
+                    self.cv.notify_all();
+                }
+                Err(e) => {
+                    self.mux.lock().reading = false;
+                    self.cv.notify_all();
+                    self.recover(generation, e);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Shared reconnect-and-replay. Exactly one thread runs this at a
+    /// time: it tears down the socket of `generation` (unblocking any
+    /// parked reader), then under the [`RetryPolicy`] reconnects,
+    /// re-presents the resume token, and replays every request still
+    /// waiting — in seq order, with fresh acks. The server's replay
+    /// window turns re-delivery into exactly-once. An exhausted budget
+    /// poisons the connection and fails every waiter with the last
+    /// transport error.
+    fn recover(&self, generation: u64, err: io::Error) {
+        {
+            let mut mux = self.mux.lock();
+            if mux.generation != generation || mux.recovering {
+                // The failure is from a socket generation someone else
+                // already recovered past (or is recovering right now).
+                return;
+            }
+            mux.recovering = true;
+            mux.generation += 1;
+            if let Some(s) = mux.stream.take() {
+                // A reader parked on the dead socket returns immediately
+                // once it is shut down.
+                let _ = s.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        let retry = self.opts.retry;
+        let mut last_err = err;
+        for attempt in 1..=retry.max_retries {
+            self.retries.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(retry.backoff(attempt));
+            let (mut stream, sent, received) =
+                match connect_and_hello(&self.addr, &self.opts, self.token) {
+                    Ok((stream, _, sent, received)) => (stream, sent, received),
+                    Err(e) => {
+                        last_err = e;
                         continue; // reconnect failed: spend another attempt
+                    }
+                };
+            self.bytes_sent.fetch_add(sent, Ordering::Relaxed);
+            self.bytes_received.fetch_add(received, Ordering::Relaxed);
+            // Install the socket and snapshot the replays in one
+            // critical section: requests registered later see the live
+            // stream and send themselves. (A request that does both is
+            // delivered twice; the server's window and the reader's
+            // resolved-slot check both drop the duplicate.)
+            let replays: Vec<Vec<u8>> = {
+                let mut mux = self.mux.lock();
+                match stream.try_clone() {
+                    Ok(s) => mux.stream = Some(s),
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+                let ack = mux.inflight.keys().next().copied();
+                mux.inflight
+                    .iter()
+                    .filter(|(_, p)| matches!(p.slot, Slot::Waiting))
+                    .map(|(&s, p)| envelope_v4(s, ack.unwrap_or(s), &p.body))
+                    .collect()
+            };
+            self.cv.notify_all();
+            let mut replay_err = None;
+            for payload in &replays {
+                let written = {
+                    let _w = self.wlock.lock();
+                    write_frame(&mut stream, payload)
+                };
+                match written {
+                    Ok(n) => {
+                        self.bytes_sent.fetch_add(n as u64, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        replay_err = Some(e);
+                        break;
                     }
                 }
             }
-            match self.exchange(&mut inner.stream, payload) {
-                Ok(resp) => return Ok(resp),
-                Err(e) => last_err = Some(e),
+            match replay_err {
+                None => {
+                    self.mux.lock().recovering = false;
+                    self.cv.notify_all();
+                    return;
+                }
+                Some(e) => {
+                    // The freshly installed socket died too: reclaim it
+                    // (we still hold `recovering`, so nobody else can
+                    // race a competing recovery) and spend another
+                    // attempt.
+                    last_err = e;
+                    let mut mux = self.mux.lock();
+                    mux.generation += 1;
+                    if let Some(s) = mux.stream.take() {
+                        let _ = s.shutdown(std::net::Shutdown::Both);
+                    }
+                }
             }
         }
-        let e = last_err.expect("at least one attempt ran");
-        Err(if retry.max_retries == 0 {
-            e
+        // Budget exhausted: poison and fail every waiter at once.
+        let why = if retry.max_retries == 0 {
+            last_err.to_string()
         } else {
-            io::Error::new(
-                e.kind(),
-                format!("{e} (after {} reconnect attempts)", retry.max_retries),
+            format!(
+                "{last_err} (after {} reconnect attempts)",
+                retry.max_retries
             )
-        })
-    }
-
-    fn exchange(&self, stream: &mut TcpStream, payload: &[u8]) -> Result<Response, io::Error> {
-        let sent = write_frame(stream, payload)?;
-        self.bytes_sent.fetch_add(sent as u64, Ordering::Relaxed);
-        let frame = read_frame(stream)?;
-        self.bytes_received
-            .fetch_add(frame.len() as u64 + 4, Ordering::Relaxed);
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        decode_response(&frame)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        };
+        let mut mux = self.mux.lock();
+        {
+            let mut p = self.poisoned.lock();
+            if p.is_none() {
+                *p = Some(why.clone());
+            }
+        }
+        for p in mux.inflight.values_mut() {
+            if matches!(p.slot, Slot::Waiting) {
+                p.slot = Slot::Failed(why.clone());
+            }
+        }
+        mux.recovering = false;
+        drop(mux);
+        self.cv.notify_all();
     }
 
     /// Request + unwrap a server-side error into the engine error it was.
@@ -2225,9 +2729,40 @@ impl ShardTransport for RemoteConnection {
         }
     }
 
-    fn split_open(&self, stmt: &Statement, spec: &SplitSpec) -> BackendResult<SplitOpen<'_>> {
+    fn split_open(
+        &self,
+        stmt: &Statement,
+        spec: &SplitSpec,
+        k: usize,
+    ) -> BackendResult<SplitOpen<'_>> {
         // The absorbed result stays on the server; only the protocol's
         // messages (boundaries, summaries, candidate rows) will cross.
+        // `k > 0` uses the fused open: the reply already carries the
+        // first k equal-count boundary keys, saving one round trip.
+        if k > 0 {
+            let req = Request::SplitOpenBounds {
+                sql: stmt.to_string(),
+                key_col: spec.key_col as u32,
+                c0_col: spec.c0_col as u32,
+                c1_col: spec.c1_col as u32,
+                specs: spec.specs.iter().map(|s| s.to_tag()).collect(),
+                k: k as u32,
+            };
+            return match self.call(&req)? {
+                Response::SplitOpenedBounds { id, rows, bounds } => Ok(SplitOpen::Protocol {
+                    handle: Box::new(RemoteSplitHandle {
+                        conn: self,
+                        id,
+                        rows: rows as usize,
+                    }),
+                    bounds: keys_from_table(&bounds),
+                }),
+                // Protocol inapplicable on the server's data: the
+                // absorbed result came back, ready for the dense merge.
+                Response::Table(t) => Ok(SplitOpen::Dense(t)),
+                other => Err(self.unexpected("SplitOpenBounds", &other)),
+            };
+        }
         let req = Request::SplitOpen {
             sql: stmt.to_string(),
             key_col: spec.key_col as u32,
@@ -2236,13 +2771,14 @@ impl ShardTransport for RemoteConnection {
             specs: spec.specs.iter().map(|s| s.to_tag()).collect(),
         };
         match self.call(&req)? {
-            Response::SplitOpened(id, rows) => {
-                Ok(SplitOpen::Protocol(Box::new(RemoteSplitHandle {
+            Response::SplitOpened(id, rows) => Ok(SplitOpen::Protocol {
+                handle: Box::new(RemoteSplitHandle {
                     conn: self,
                     id,
                     rows: rows as usize,
-                })))
-            }
+                }),
+                bounds: Vec::new(),
+            }),
             // Protocol inapplicable on the server's data: the absorbed
             // result came back instead, ready for the dense merge.
             Response::Table(t) => Ok(SplitOpen::Dense(t)),
@@ -2258,6 +2794,10 @@ impl ShardTransport for RemoteConnection {
 
     fn wire_bytes(&self) -> (u64, u64) {
         self.wire_byte_counts()
+    }
+
+    fn split_wire_bytes(&self) -> (u64, u64) {
+        self.split_wire_byte_counts()
     }
 }
 
@@ -2305,6 +2845,30 @@ impl SplitHandle for RemoteSplitHandle<'_> {
         summaries_from_table(&t).ok_or_else(|| {
             EngineError::Other(format!(
                 "shard server at {}: malformed split summaries",
+                self.conn.addr
+            ))
+        })
+    }
+
+    fn summaries_delta(
+        &self,
+        grid: &[Datum],
+        changed: &[usize],
+    ) -> BackendResult<Vec<IntervalSummary>> {
+        // The delta frame: full grid (cheap — keys only), but summaries
+        // come back solely for the `changed` intervals; the coordinator
+        // reconstructs the rest from its cache, bit-identically.
+        let t = self.table_reply(
+            "SplitSummariesDelta",
+            &Request::SplitSummariesDelta {
+                id: self.id,
+                grid: keys_to_table(grid),
+                changed: changed.iter().map(|&j| j as u32).collect(),
+            },
+        )?;
+        summaries_from_table(&t).ok_or_else(|| {
+            EngineError::Other(format!(
+                "shard server at {}: malformed split delta summaries",
                 self.conn.addr
             ))
         })

@@ -57,7 +57,10 @@ use joinboost_sql::parse_statement;
 use crate::sqlgen::{split_pushdown_shape, SplitQueryShape};
 
 use super::remote::{RemoteConnection, RemoteOptions};
-use super::split::{Acc, IntervalSummary, LocalSplitState, MergeSpec, SplitHandle, SplitSpec};
+use super::split::{
+    interval_delta_map, reconstruct_summaries, Acc, IntervalSummary, LocalSplitState, MergeSpec,
+    SplitHandle, SplitSpec,
+};
 use super::{BackendCapabilities, BackendResult, BackendStats, SqlBackend};
 
 /// One shard's engine as the fan-out sees it: the pluggable transport
@@ -110,14 +113,28 @@ pub trait ShardTransport: Send + Sync {
     /// the shard executes it and keeps the sorted, prefix-summed result
     /// *local*, answering the protocol through [`SplitHandle`] — so a
     /// remote transport ships boundary summaries and candidate rows, not
-    /// per-value aggregates. When this shard's data disqualifies the
-    /// protocol (NULL components), the executed result comes back as
+    /// per-value aggregates. `k > 0` asks for the first `k` equal-count
+    /// boundary keys *in the open reply* (fused: over a remote transport
+    /// this folds the opening `boundaries` round trip into the open
+    /// frame). When this shard's data disqualifies the protocol (NULL
+    /// components), the executed result comes back as
     /// [`SplitOpen::Dense`] so the caller's fallback pays no second
     /// execution.
-    fn split_open(&self, stmt: &Statement, spec: &SplitSpec) -> BackendResult<SplitOpen<'_>> {
+    fn split_open(
+        &self,
+        stmt: &Statement,
+        spec: &SplitSpec,
+        k: usize,
+    ) -> BackendResult<SplitOpen<'_>> {
         Ok(
             match LocalSplitState::build(self.execute(stmt)?, spec.clone()) {
-                Ok(s) => SplitOpen::Protocol(Box::new(s)),
+                Ok(s) => {
+                    let bounds = if k > 0 { s.boundaries(k)? } else { Vec::new() };
+                    SplitOpen::Protocol {
+                        handle: Box::new(s),
+                        bounds,
+                    }
+                }
                 Err(table) => SplitOpen::Dense(table),
             },
         )
@@ -145,6 +162,15 @@ pub trait ShardTransport: Send + Sync {
     fn wire_bytes(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// `(bytes_sent, bytes_received)` attributable to split-protocol
+    /// frames only (a subset of [`ShardTransport::wire_bytes`]); zero
+    /// for in-process transports. This is what lets the coordinator
+    /// report *per-round* split wire volume rather than lifetime socket
+    /// totals.
+    fn split_wire_bytes(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// What [`ShardTransport::split_open`] produced: the shard either serves
@@ -152,7 +178,14 @@ pub trait ShardTransport: Send + Sync {
 /// merge (its data disqualified the protocol).
 pub enum SplitOpen<'a> {
     /// The shard serves the summary protocol through this handle.
-    Protocol(Box<dyn SplitHandle + 'a>),
+    Protocol {
+        /// Answers boundaries/summaries/refine/fetch for this shard.
+        handle: Box<dyn SplitHandle + 'a>,
+        /// First-round boundary keys prefetched in the open reply (empty
+        /// when the open asked for none) — the fused frame that saves
+        /// the opening round trip per (shard, split query).
+        bounds: Vec<Datum>,
+    },
     /// Protocol inapplicable on this shard's data: the full absorbed
     /// result, for the dense fallback.
     Dense(Table),
@@ -163,7 +196,7 @@ impl SplitOpen<'_> {
     /// handle; in-process a move, remote one fetch).
     fn into_all_rows(self) -> BackendResult<Table> {
         match self {
-            SplitOpen::Protocol(h) => h.into_all_rows(),
+            SplitOpen::Protocol { handle, .. } => handle.into_all_rows(),
             SplitOpen::Dense(t) => Ok(t),
         }
     }
@@ -229,6 +262,14 @@ pub struct PushdownConfig {
     /// protocol would ship *more* than the rows themselves, so the split
     /// falls back to a dense merge.
     pub min_rows: usize,
+    /// Delta-encode refinement summaries (default on): after round 0
+    /// only freshly subdivided intervals cross the wire; intervals whose
+    /// bounds survived refinement are reconstructed from the
+    /// coordinator's cache, bit-identically (a summary is a pure
+    /// function of its interval's absolute row range). Off re-ships the
+    /// full summary table every round — the dense baseline the bench
+    /// compares against.
+    pub delta: bool,
 }
 
 impl Default for PushdownConfig {
@@ -236,6 +277,7 @@ impl Default for PushdownConfig {
         PushdownConfig {
             boundaries_per_shard: 16,
             min_rows: 256,
+            delta: true,
         }
     }
 }
@@ -266,6 +308,19 @@ pub struct ShardedBackend {
     replicated_statements: AtomicU64,
     coordinator_selects: AtomicU64,
     pushdown_splits: AtomicU64,
+    /// Summary rounds executed across all pushdown splits (the
+    /// denominator of per-round wire volume). Dense split execution
+    /// (pushdown off) counts each split query as one ship-everything
+    /// round, so dense and delta per-round volumes compare directly.
+    split_rounds: AtomicU64,
+    /// Wire bytes of *dense* split execution (pushdown off): the nested
+    /// fan-out-merge traffic of split-shaped queries, metered by
+    /// before/after snapshots of the shard sockets. Exact when split
+    /// queries run serially (the trainer's default); under inter-query
+    /// parallelism concurrent traffic may be co-attributed.
+    dense_split_sent: AtomicU64,
+    /// See `dense_split_sent`.
+    dense_split_received: AtomicU64,
     rows_shuffled: AtomicU64,
     skew_warnings: AtomicU64,
 }
@@ -358,6 +413,9 @@ impl ShardedBackend {
             replicated_statements: AtomicU64::new(0),
             coordinator_selects: AtomicU64::new(0),
             pushdown_splits: AtomicU64::new(0),
+            split_rounds: AtomicU64::new(0),
+            dense_split_sent: AtomicU64::new(0),
+            dense_split_received: AtomicU64::new(0),
             rows_shuffled: AtomicU64::new(0),
             skew_warnings: AtomicU64::new(0),
         }
@@ -400,6 +458,17 @@ impl ShardedBackend {
     /// Replace the pushdown tuning knobs (also re-enables the pushdown).
     pub fn set_pushdown_config(&self, cfg: PushdownConfig) {
         *self.pushdown.write() = Some(cfg);
+    }
+
+    /// Toggle delta-encoded refinement summaries (see
+    /// [`PushdownConfig::delta`]; default on). Off restores the
+    /// serial-dense wire behavior — every round re-ships full summary
+    /// tables — which is the baseline the bench compares against. Either
+    /// way the merged result is bit-identical.
+    pub fn set_split_delta(&self, enabled: bool) {
+        if let Some(cfg) = self.pushdown.write().as_mut() {
+            cfg.delta = enabled;
+        }
     }
 
     /// Rows of the fact relation held by each shard, in shard order —
@@ -531,15 +600,40 @@ impl ShardedBackend {
         // Split queries evaluate shard-locally: ship summaries and top-k
         // candidate rows, not the full per-value aggregates.
         let pushdown = *self.pushdown.read();
-        if let Some(cfg) = pushdown {
-            if let Some((shape, inner)) = split_pushdown_shape(q) {
+        if let Some((shape, inner)) = split_pushdown_shape(q) {
+            if let Some(cfg) = pushdown {
                 if let Some(plan) = distributable_merge_plan(inner) {
                     return self.pushdown_split(q, &shape, plan, cfg);
                 }
             }
+            // Dense split execution (pushdown off): the nested route
+            // below ships every shard's full absorbed table. Metered as
+            // one ship-everything round so dense and delta split wire
+            // volume compare per round.
+            let (s0, r0) = self.shard_wire_totals();
+            let result = self.exec_nested(q);
+            let (s1, r1) = self.shard_wire_totals();
+            self.split_rounds.fetch_add(1, Ordering::Relaxed);
+            self.dense_split_sent
+                .fetch_add(s1.saturating_sub(s0), Ordering::Relaxed);
+            self.dense_split_received
+                .fetch_add(r1.saturating_sub(r0), Ordering::Relaxed);
+            return result;
         }
-        // Nested query: resolve the FROM-subquery recursively, materialize
-        // the merged result on the coordinator, run the outer layers there.
+        self.exec_nested(q)
+    }
+
+    /// Total `(sent, received)` socket bytes across the shard transports.
+    fn shard_wire_totals(&self) -> (u64, u64) {
+        self.shards.iter().fold((0, 0), |(s, r), t| {
+            let (ts, tr) = t.wire_bytes();
+            (s + ts, r + tr)
+        })
+    }
+
+    /// Nested query: resolve the FROM-subquery recursively, materialize
+    /// the merged result on the coordinator, run the outer layers there.
+    fn exec_nested(&self, q: &Query) -> BackendResult {
         if let Some(TableRef::Subquery { query, alias }) = &q.from {
             let inner = self.exec_select(query)?;
             let tmp = format!(
@@ -623,15 +717,16 @@ impl ShardedBackend {
         &'a self,
         stmt: &Statement,
         spec: &SplitSpec,
+        k: usize,
     ) -> BackendResult<Vec<SplitOpen<'a>>> {
         let results: Vec<BackendResult<SplitOpen<'a>>> = if self.shards.len() == 1 {
-            vec![self.shards[0].split_open(stmt, spec)]
+            vec![self.shards[0].split_open(stmt, spec, k)]
         } else {
             crossbeam::thread::scope(|scope| {
                 let handles: Vec<_> = self
                     .shards
                     .iter()
-                    .map(|db| scope.spawn(move |_| db.split_open(stmt, spec)))
+                    .map(|db| scope.spawn(move |_| db.split_open(stmt, spec, k)))
                     .collect();
                 handles
                     .into_iter()
@@ -669,12 +764,16 @@ impl ShardedBackend {
             let Some(spec) = split_spec_for(&plan, shape) else {
                 break 'merged self.dense_split_merge(&stmt, &plan)?;
             };
-            let opens = self.open_splits(&stmt, &spec)?;
+            // The open is fused with the first boundaries round: each
+            // shard's opening reply already carries its k equal-count
+            // boundary keys, one less round trip per (shard, split
+            // query) over a remote transport.
+            let opens = self.open_splits(&stmt, &spec, cfg.boundaries_per_shard.max(2))?;
             let any_dense = opens.iter().any(|o| matches!(o, SplitOpen::Dense(_)));
             let total: usize = opens
                 .iter()
                 .map(|o| match o {
-                    SplitOpen::Protocol(h) => h.num_rows(),
+                    SplitOpen::Protocol { handle, .. } => handle.num_rows(),
                     SplitOpen::Dense(t) => t.num_rows(),
                 })
                 .sum();
@@ -691,15 +790,22 @@ impl ShardedBackend {
                 }
                 break 'merged merge_partials(locals, &plan.specs)?;
             }
-            let handles: Vec<Box<dyn SplitHandle + '_>> = opens
-                .into_iter()
-                .map(|o| match o {
-                    SplitOpen::Protocol(h) => h,
+            let mut handles: Vec<Box<dyn SplitHandle + '_>> = Vec::with_capacity(opens.len());
+            let mut prefetched: Vec<Vec<Datum>> = Vec::with_capacity(opens.len());
+            for o in opens {
+                match o {
+                    SplitOpen::Protocol { handle, bounds } => {
+                        handles.push(handle);
+                        prefetched.push(bounds);
+                    }
                     SplitOpen::Dense(_) => unreachable!("any_dense checked above"),
-                })
-                .collect();
-            let (table, shipped) = shard_split_protocol(&handles, &plan, shape, cfg)?;
+                }
+            }
+            let (table, shipped, rounds) =
+                shard_split_protocol(&handles, prefetched, &plan, shape, cfg)?;
             self.pushdown_splits.fetch_add(1, Ordering::Relaxed);
+            self.split_rounds
+                .fetch_add(rounds as u64, Ordering::Relaxed);
             self.rows_shuffled
                 .fetch_add(shipped as u64, Ordering::Relaxed);
             table
@@ -1085,11 +1191,19 @@ impl SqlBackend for ShardedBackend {
         let replicated_statements = self.replicated_statements.load(Ordering::Relaxed);
         let coordinator_selects = self.coordinator_selects.load(Ordering::Relaxed);
         let (mut bytes_sent, mut bytes_received) = (0u64, 0u64);
+        let (mut split_bytes_sent, mut split_bytes_received) = (0u64, 0u64);
         for t in &self.shards {
             let (s, r) = t.wire_bytes();
             bytes_sent += s;
             bytes_received += r;
+            let (ss, sr) = t.split_wire_bytes();
+            split_bytes_sent += ss;
+            split_bytes_received += sr;
         }
+        // Dense split execution meters its fan-out traffic separately
+        // (the transports attribute only protocol frames to split_*).
+        split_bytes_sent += self.dense_split_sent.load(Ordering::Relaxed);
+        split_bytes_received += self.dense_split_received.load(Ordering::Relaxed);
         BackendStats {
             statements: fanout_selects
                 + broadcast_statements
@@ -1101,10 +1215,13 @@ impl SqlBackend for ShardedBackend {
             replicated_statements,
             coordinator_selects,
             pushdown_splits: self.pushdown_splits.load(Ordering::Relaxed),
+            split_rounds: self.split_rounds.load(Ordering::Relaxed),
             rows_shipped: self.rows_shuffled.load(Ordering::Relaxed),
             text_round_trips: 0,
             bytes_sent,
             bytes_received,
+            split_bytes_sent,
+            split_bytes_received,
         }
     }
 }
@@ -1724,21 +1841,23 @@ where
 /// § "Distributed split evaluation" for the full argument.
 fn shard_split_protocol(
     handles: &[Box<dyn SplitHandle + '_>],
+    prefetched: Vec<Vec<Datum>>,
     plan: &MergePlan,
     shape: &SplitQueryShape,
     cfg: PushdownConfig,
-) -> BackendResult<(Table, usize)> {
+) -> BackendResult<(Table, usize, usize)> {
     let total: usize = handles.iter().map(|h| h.num_rows()).sum();
     let mut shipped = 0usize;
-    // Initial grid: each shard publishes k equal-count boundary keys (its
-    // last key always included, so the grid covers every row).
+    // Initial grid: each shard published k equal-count boundary keys in
+    // its (fused) open reply — its last key always included, so the grid
+    // covers every row.
     let k = cfg.boundaries_per_shard.max(2);
     let sort_dedup = |grid: &mut Vec<Datum>| {
         grid.sort_by(|a, b| a.sql_cmp(b));
         grid.dedup_by(|a, b| a.sql_cmp(b) == std::cmp::Ordering::Equal);
     };
     let mut grid: Vec<Datum> = Vec::new();
-    for keys in on_all_handles(handles, |h| h.boundaries(k))? {
+    for keys in prefetched {
         shipped += keys.len();
         grid.extend(keys);
     }
@@ -1779,6 +1898,14 @@ fn shard_split_protocol(
     // whole buckets around a flat criteria peak.
     let mut retain: Vec<bool> = Vec::new();
     let debug = std::env::var("JB_PUSHDOWN_DEBUG").is_ok();
+    let mut rounds = 0usize;
+    // Delta cache: the previous round's grid and per-shard summaries.
+    // Valid because a summary is a pure function of its interval's
+    // absolute row range — an interval whose (lower, upper) bounds both
+    // survived refinement covers the same rows and summarizes
+    // bit-identically, so only subdivided intervals need the wire.
+    let mut prev_grid: Vec<Datum> = Vec::new();
+    let mut prev: Vec<Vec<IntervalSummary>> = Vec::new();
     for round in 0usize..5 {
         let m = grid.len();
         // One summary row per (shard, interval): exact interval ⊕-sums
@@ -1788,13 +1915,35 @@ fn shard_split_protocol(
         // interval endpoints — the term that makes the tight bound
         // O(width²) on smooth data). Later rounds only re-ship the
         // freshly subdivided intervals (charged at refinement time).
-        let deltas: Vec<Vec<IntervalSummary>> = on_all_handles(handles, |h| h.summaries(&grid))?;
+        let deltas: Vec<Vec<IntervalSummary>> = if cfg.delta && !prev.is_empty() {
+            let map = interval_delta_map(&prev_grid, &grid);
+            let changed: Vec<usize> = map
+                .iter()
+                .enumerate()
+                .filter_map(|(j, o)| o.is_none().then_some(j))
+                .collect();
+            let fresh = on_all_handles(handles, |h| h.summaries_delta(&grid, &changed))?;
+            let mut full = Vec::with_capacity(fresh.len());
+            for (old, new) in prev.iter().zip(fresh) {
+                full.push(reconstruct_summaries(old, &map, &new).ok_or_else(|| {
+                    EngineError::Other("split delta summaries do not match the grid".into())
+                })?);
+            }
+            full
+        } else {
+            on_all_handles(handles, |h| h.summaries(&grid))?
+        };
+        rounds += 1;
         for row in &deltas {
             if row.len() != m {
                 return Err(EngineError::Other(
                     "split summaries do not match the grid".into(),
                 ));
             }
+        }
+        if cfg.delta {
+            prev_grid.clone_from(&grid);
+            prev.clone_from(&deltas);
         }
         let mut cum0 = vec![0.0f64; m];
         let mut cum1 = vec![0.0f64; m];
@@ -1982,7 +2131,7 @@ fn shard_split_protocol(
     let fetches = on_all_handles(handles, |h| h.fetch(&grid, &retain))?;
     shipped += fetches.iter().map(Table::num_rows).sum::<usize>();
     let merged = merge_partials(fetches, &plan.specs)?;
-    Ok((merged, shipped))
+    Ok((merged, shipped, rounds))
 }
 
 // ---------------------------------------------------------------------------

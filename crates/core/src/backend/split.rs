@@ -22,7 +22,7 @@
 //! run-compressed merge) stays in `sharded.rs` and drives shards through
 //! the [`SplitHandle`] trait.
 
-use joinboost_engine::{Column, Datum, Table};
+use joinboost_engine::{Column, Datum, EngineError, Table};
 
 use super::BackendResult;
 
@@ -179,6 +179,33 @@ pub trait SplitHandle: Send + Sync {
     /// (interval `j` holds keys in `(grid[j-1], grid[j]]`).
     fn summaries(&self, grid: &[Datum]) -> BackendResult<Vec<IntervalSummary>>;
 
+    /// Delta form of [`SplitHandle::summaries`]: summaries for the
+    /// ascending subset `changed` of interval indices only. An interval's
+    /// summary is a pure function of the absolute row range its bounding
+    /// keys enclose, so a caller that caches the previous round's
+    /// summaries can skip intervals whose bounds survived refinement —
+    /// their summaries are bit-identical by construction. The default
+    /// delegates to the full computation; shard-side implementations
+    /// override it to compute (and ship) only the changed intervals.
+    fn summaries_delta(
+        &self,
+        grid: &[Datum],
+        changed: &[usize],
+    ) -> BackendResult<Vec<IntervalSummary>> {
+        let all = self.summaries(grid)?;
+        changed
+            .iter()
+            .map(|&j| {
+                all.get(j).copied().ok_or_else(|| {
+                    EngineError::Other(format!(
+                        "split delta: interval {j} out of range ({} intervals)",
+                        all.len()
+                    ))
+                })
+            })
+            .collect()
+    }
+
     /// Equal-count sub-boundary keys inside the given intervals of the
     /// grid; `targets` pairs an interval index with the per-shard key
     /// budget for it.
@@ -269,6 +296,45 @@ impl LocalSplitState {
         debug_assert_eq!(t, self.keys.len(), "keys above the grid maximum");
         seg
     }
+
+    /// The boundary summary of one absolute row range `[start, end)`.
+    /// Pure in `(start, end)` — the bit-identity of unchanged intervals
+    /// across refinement rounds (and thus the delta protocol) rests on
+    /// exactly this.
+    fn summary_of(&self, start: usize, end: usize) -> IntervalSummary {
+        let at = |p: &[f64], i: usize| if i == 0 { 0.0 } else { p[i - 1] };
+        let c_at_start = at(&self.p0, start);
+        let s_at_start = at(&self.p1, start);
+        let dc = at(&self.p0, end) - c_at_start;
+        let ds = at(&self.p1, end) - s_at_start;
+        // Local prefix values reachable inside the interval: the
+        // value at its start plus every row's value.
+        let (mut mn0, mut mx0) = (c_at_start, c_at_start);
+        let (mut mn1, mut mx1) = (s_at_start, s_at_start);
+        let rho_i = if dc != 0.0 { ds / dc } else { 0.0 };
+        let (mut maxdev, mut maxabsdc) = (0.0f64, 0.0f64);
+        for t in start..end {
+            mn0 = mn0.min(self.p0[t]);
+            mx0 = mx0.max(self.p0[t]);
+            mn1 = mn1.min(self.p1[t]);
+            mx1 = mx1.max(self.p1[t]);
+            let a = self.p0[t] - c_at_start;
+            let b = self.p1[t] - s_at_start;
+            maxdev = maxdev.max((b - rho_i * a).abs());
+            maxabsdc = maxabsdc.max(a.abs());
+        }
+        IntervalSummary {
+            dc,
+            ds,
+            min0: mn0,
+            max0: mx0,
+            min1: mn1,
+            max1: mx1,
+            maxdev,
+            maxabsdc,
+            rows: (end - start) as u64,
+        }
+    }
 }
 
 impl SplitHandle for LocalSplitState {
@@ -294,42 +360,31 @@ impl SplitHandle for LocalSplitState {
 
     fn summaries(&self, grid: &[Datum]) -> BackendResult<Vec<IntervalSummary>> {
         let seg = self.segments(grid);
-        let mut out = Vec::with_capacity(grid.len());
-        for &(start, end) in &seg {
-            let at = |p: &[f64], i: usize| if i == 0 { 0.0 } else { p[i - 1] };
-            let c_at_start = at(&self.p0, start);
-            let s_at_start = at(&self.p1, start);
-            let dc = at(&self.p0, end) - c_at_start;
-            let ds = at(&self.p1, end) - s_at_start;
-            // Local prefix values reachable inside the interval: the
-            // value at its start plus every row's value.
-            let (mut mn0, mut mx0) = (c_at_start, c_at_start);
-            let (mut mn1, mut mx1) = (s_at_start, s_at_start);
-            let rho_i = if dc != 0.0 { ds / dc } else { 0.0 };
-            let (mut maxdev, mut maxabsdc) = (0.0f64, 0.0f64);
-            for t in start..end {
-                mn0 = mn0.min(self.p0[t]);
-                mx0 = mx0.max(self.p0[t]);
-                mn1 = mn1.min(self.p1[t]);
-                mx1 = mx1.max(self.p1[t]);
-                let a = self.p0[t] - c_at_start;
-                let b = self.p1[t] - s_at_start;
-                maxdev = maxdev.max((b - rho_i * a).abs());
-                maxabsdc = maxabsdc.max(a.abs());
-            }
-            out.push(IntervalSummary {
-                dc,
-                ds,
-                min0: mn0,
-                max0: mx0,
-                min1: mn1,
-                max1: mx1,
-                maxdev,
-                maxabsdc,
-                rows: (end - start) as u64,
-            });
-        }
-        Ok(out)
+        Ok(seg
+            .iter()
+            .map(|&(start, end)| self.summary_of(start, end))
+            .collect())
+    }
+
+    fn summaries_delta(
+        &self,
+        grid: &[Datum],
+        changed: &[usize],
+    ) -> BackendResult<Vec<IntervalSummary>> {
+        let seg = self.segments(grid);
+        changed
+            .iter()
+            .map(|&j| {
+                seg.get(j)
+                    .map(|&(start, end)| self.summary_of(start, end))
+                    .ok_or_else(|| {
+                        EngineError::Other(format!(
+                            "split delta: interval {j} out of range ({} intervals)",
+                            seg.len()
+                        ))
+                    })
+            })
+            .collect()
     }
 
     fn refine(&self, grid: &[Datum], targets: &[(usize, usize)]) -> BackendResult<Vec<Datum>> {
@@ -492,6 +547,61 @@ pub fn summaries_from_table(t: &Table) -> Option<Vec<IntervalSummary>> {
         .collect()
 }
 
+// ---------------------------------------------------------------------------
+// Coordinator-side delta bookkeeping
+// ---------------------------------------------------------------------------
+
+/// Map each interval of a refined grid back to the old-grid interval it
+/// is *identical* to, or `None` when it must be re-summarized. Interval
+/// `j` of a grid holds keys in `(grid[j-1], grid[j]]` (open start before
+/// index 0), so new interval `j` equals old interval `oi` exactly when
+/// both bounding keys match — refinement only inserts keys, it never
+/// moves or removes them, but the map is correct for arbitrary ascending
+/// grids. Two-pointer walk, `O(|old| + |new|)`.
+pub fn interval_delta_map(old: &[Datum], new: &[Datum]) -> Vec<Option<usize>> {
+    use std::cmp::Ordering;
+    let mut map = Vec::with_capacity(new.len());
+    let mut oi = 0usize;
+    for (j, nk) in new.iter().enumerate() {
+        while oi < old.len() && old[oi].sql_cmp(nk) == Ordering::Less {
+            oi += 1;
+        }
+        let upper = oi < old.len() && old[oi].sql_cmp(nk) == Ordering::Equal;
+        let lower = if j == 0 {
+            oi == 0
+        } else {
+            oi > 0 && old[oi - 1].sql_cmp(&new[j - 1]) == Ordering::Equal
+        };
+        map.push(if upper && lower { Some(oi) } else { None });
+    }
+    map
+}
+
+/// Rebuild the full summary vector of the new grid from the cached old
+/// summaries plus the shard's delta reply (`changed` rows in ascending
+/// interval order, as produced against [`interval_delta_map`]). Returns
+/// `None` when the pieces don't fit — a malformed delta reply must
+/// surface as a typed error at the call site, never a panic.
+pub fn reconstruct_summaries(
+    old: &[IntervalSummary],
+    map: &[Option<usize>],
+    changed: &[IntervalSummary],
+) -> Option<Vec<IntervalSummary>> {
+    let mut fresh = changed.iter();
+    let mut out = Vec::with_capacity(map.len());
+    for slot in map {
+        out.push(match slot {
+            Some(oi) => *old.get(*oi)?,
+            None => *fresh.next()?,
+        });
+    }
+    // A reply carrying extra rows is as malformed as one carrying too few.
+    if fresh.next().is_some() {
+        return None;
+    }
+    Some(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -570,6 +680,51 @@ mod tests {
         .expect_err("NULL component must refuse the protocol");
         // The dense fallback reuses the executed result — no re-run.
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn delta_summaries_match_full_summaries_bit_exactly() {
+        let st = state();
+        let old_grid = vec![Datum::Int(20), Datum::Int(40)];
+        let new_grid = vec![
+            Datum::Int(10),
+            Datum::Int(20),
+            Datum::Int(30),
+            Datum::Int(40),
+        ];
+        let map = interval_delta_map(&old_grid, &new_grid);
+        // Only interval (−∞,10], (10,20] split off old interval 0; (20,30]
+        // and (30,40] split old interval 1 — every new interval changed
+        // except none (all bounds moved), so the map is all-None except
+        // where both bounds survive.
+        assert_eq!(map, vec![None, None, None, None]);
+        // Refine only below 20: intervals above keep both bounds.
+        let new_grid = vec![Datum::Int(10), Datum::Int(20), Datum::Int(40)];
+        let map = interval_delta_map(&old_grid, &new_grid);
+        assert_eq!(map, vec![None, None, Some(1)]);
+        let changed: Vec<usize> = map
+            .iter()
+            .enumerate()
+            .filter_map(|(j, m)| m.is_none().then_some(j))
+            .collect();
+        let old_sums = st.summaries(&old_grid).unwrap();
+        let delta = st.summaries_delta(&new_grid, &changed).unwrap();
+        let rebuilt = reconstruct_summaries(&old_sums, &map, &delta).unwrap();
+        assert_eq!(rebuilt, st.summaries(&new_grid).unwrap());
+    }
+
+    #[test]
+    fn malformed_delta_replies_are_rejected_not_panics() {
+        let st = state();
+        let grid = vec![Datum::Int(20), Datum::Int(40)];
+        // Out-of-range interval index → typed error.
+        assert!(st.summaries_delta(&grid, &[5]).is_err());
+        let sums = st.summaries(&grid).unwrap();
+        // Too few / too many delta rows → None.
+        assert!(reconstruct_summaries(&sums, &[None, None], &sums[..1]).is_none());
+        assert!(reconstruct_summaries(&sums, &[Some(0)], &sums[..1]).is_none());
+        // Stale cache shorter than the map demands → None.
+        assert!(reconstruct_summaries(&sums[..1], &[Some(1)], &[]).is_none());
     }
 
     #[test]

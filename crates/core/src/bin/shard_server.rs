@@ -4,6 +4,7 @@
 //! ```text
 //! shard_server [--addr 127.0.0.1:0] [--allow-swap] [--fail-after N] [--stall]
 //!              [--drop-every N] [--flaky-after N] [--grace-ms MS]
+//!              [--reply-jitter SEED:MAX_MICROS]
 //!              [--storage DIR] [--checkpoint-bytes N]
 //!              [--job-checkpoint-iters K] [--crash-after-iters N]
 //! ```
@@ -16,6 +17,10 @@
 //! *recovering* faults — connections drop but the server keeps serving,
 //! exercising the client's reconnect-and-replay path — and `--grace-ms`
 //! sets how long a disconnected session's state survives.
+//! `--reply-jitter SEED:MAX_MICROS` delays each reply by a deterministic
+//! pseudo-random duration, scrambling the completion order of pipelined
+//! requests without changing any payload (the interleaving-equivalence
+//! tests' knob).
 //!
 //! `--storage DIR` hosts the paged, WAL-backed engine on `DIR` instead of
 //! the in-memory one: tables, the job registry and training checkpoints
@@ -40,6 +45,7 @@ fn main() {
     let mut drop_every = None;
     let mut flaky_after = None;
     let mut grace_ms: Option<u64> = None;
+    let mut reply_jitter: Option<(u64, u64)> = None;
     let mut storage: Option<String> = None;
     let mut checkpoint_bytes: Option<u64> = None;
     let mut job_checkpoint_iters: Option<u64> = None;
@@ -60,6 +66,16 @@ fn main() {
             "--drop-every" => drop_every = Some(number(&mut args, "--drop-every")),
             "--flaky-after" => flaky_after = Some(number(&mut args, "--flaky-after")),
             "--grace-ms" => grace_ms = Some(number(&mut args, "--grace-ms")),
+            "--reply-jitter" => {
+                let spec = args.next().expect("--reply-jitter needs SEED:MAX_MICROS");
+                let (seed, max) = spec
+                    .split_once(':')
+                    .expect("--reply-jitter needs SEED:MAX_MICROS");
+                reply_jitter = Some((
+                    seed.parse().expect("--reply-jitter seed must be a number"),
+                    max.parse().expect("--reply-jitter max must be a number"),
+                ));
+            }
             "--storage" => storage = Some(args.next().expect("--storage needs a directory")),
             "--checkpoint-bytes" => {
                 checkpoint_bytes = Some(number(&mut args, "--checkpoint-bytes"))
@@ -74,7 +90,8 @@ fn main() {
                 println!(
                     "usage: shard_server [--addr HOST:PORT] [--allow-swap] \
                      [--fail-after N] [--stall] [--drop-every N] \
-                     [--flaky-after N] [--grace-ms MS] [--storage DIR] \
+                     [--flaky-after N] [--grace-ms MS] \
+                     [--reply-jitter SEED:MAX_MICROS] [--storage DIR] \
                      [--checkpoint-bytes N] [--job-checkpoint-iters K] \
                      [--crash-after-iters N]"
                 );
@@ -113,6 +130,9 @@ fn main() {
     }
     if let Some(ms) = grace_ms {
         builder = builder.session_grace(Duration::from_millis(ms));
+    }
+    if let Some((seed, max_micros)) = reply_jitter {
+        builder = builder.reply_jitter(seed, max_micros);
     }
     if let Some(k) = job_checkpoint_iters {
         builder = builder.job_checkpoint_iters(k);

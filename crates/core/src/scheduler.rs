@@ -8,7 +8,7 @@
 //! messages on independent branches, and trees of a random forest.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 use joinboost_engine::Table;
 
@@ -97,20 +97,23 @@ pub fn run_dag(db: &dyn SqlBackend, tasks: &[Task], threads: usize) -> Vec<Resul
         results: (0..n).map(|_| None).collect(),
         pending: n,
     });
+    // Workers park here when the ready queue is momentarily empty (their
+    // dependencies are still executing elsewhere) instead of spinning;
+    // every completion that releases dependents — and the final one —
+    // wakes them.
+    let wake = Condvar::new();
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let next = {
                     let mut st = state.lock().expect("scheduler lock");
-                    if st.pending == 0 {
-                        return;
-                    }
-                    match st.ready.pop_front() {
-                        Some(i) => i,
-                        None => {
-                            drop(st);
-                            std::thread::yield_now();
-                            continue;
+                    loop {
+                        if st.pending == 0 {
+                            return;
+                        }
+                        match st.ready.pop_front() {
+                            Some(i) => break i,
+                            None => st = wake.wait(st).expect("scheduler lock"),
                         }
                     }
                 };
@@ -121,13 +124,24 @@ pub fn run_dag(db: &dyn SqlBackend, tasks: &[Task], threads: usize) -> Vec<Resul
                 st.results[next] = Some(result);
                 st.done[next] = true;
                 st.pending -= 1;
+                let mut released = 0usize;
                 for &dep in &dependents[next] {
                     if st.remaining[dep] != usize::MAX {
                         st.remaining[dep] -= 1;
                         if st.remaining[dep] == 0 {
                             st.remaining[dep] = usize::MAX;
                             st.ready.push_back(dep);
+                            released += 1;
                         }
+                    }
+                }
+                let finished = st.pending == 0;
+                drop(st);
+                if finished {
+                    wake.notify_all();
+                } else {
+                    for _ in 0..released {
+                        wake.notify_one();
                     }
                 }
             });

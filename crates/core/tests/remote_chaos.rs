@@ -4,10 +4,10 @@
 //! session-resume + idempotent-replay machinery:
 //!
 //! * the client reconnects under its [`RetryPolicy`], presents its resume
-//!   token, and re-issues the in-flight request;
-//! * the server replays the cached response when the request was already
-//!   applied (`seq <= last_applied`), so non-idempotent statements run
-//!   exactly once;
+//!   token, and re-issues every in-flight request;
+//! * the server replays cached responses from its replay window for
+//!   requests it already applied, so non-idempotent statements run
+//!   exactly once even when several were in flight at the drop;
 //! * session state (temp tables, split handles) survives the drop for the
 //!   grace period, so training resumes instead of restarting.
 //!
@@ -94,6 +94,7 @@ fn train_remote(addrs: &[std::net::SocketAddr], opts: RemoteOptions) -> GbmModel
     backend.set_pushdown_config(PushdownConfig {
         boundaries_per_shard: 4,
         min_rows: 0,
+        delta: true,
     });
     let (fact, dim, graph) = star_tables(400);
     backend.create_table("fact", fact).unwrap();
@@ -255,6 +256,107 @@ fn applied_but_unacknowledged_create_replays_from_cache() {
             .is_err(),
         "a genuinely new CREATE of the same table must still conflict"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Mid-pipeline faults: drops landing on multiplexed in-flight requests
+// ---------------------------------------------------------------------------
+
+/// Several threads share ONE multiplexed connection, so drops land while
+/// multiple non-idempotent requests are in flight — the case the replay
+/// *window* (not a single slot) exists for. Every `CREATE TABLE` must
+/// succeed exactly once: re-execution instead of replay would conflict
+/// and fail the create; a lost request would fail the later row-count
+/// check. Reply jitter scrambles which in-flight requests the drop
+/// catches, and the connection must survive unpoisoned.
+#[test]
+fn mid_pipeline_drops_replay_in_flight_requests_exactly_once() {
+    let server = WireServer::builder(Database::in_memory())
+        .drop_every(11)
+        .reply_jitter(0xC0FFEE, 300)
+        .spawn()
+        .unwrap();
+    let backend = RemoteBackend::builder(server.addr())
+        .connect_timeout(Duration::from_secs(5))
+        .io_timeout(Duration::from_secs(10))
+        .retry(test_retry())
+        .connect()
+        .unwrap();
+
+    let threads = 4usize;
+    let per_thread = 8usize;
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let backend = &backend;
+            scope.spawn(move || {
+                for i in 0..per_thread {
+                    let rows = (t * per_thread + i + 1) as i64;
+                    backend
+                        .create_table(
+                            &format!("c{t}_{i}"),
+                            Table::from_columns(vec![("x", Column::int((0..rows).collect()))]),
+                        )
+                        .unwrap_or_else(|e| panic!("create c{t}_{i} must replay, not fail: {e}"));
+                }
+            });
+        }
+    });
+
+    // The fault actually fired, repeatedly.
+    assert!(
+        backend.connection().retry_count() >= 1,
+        "drop-every must have hit the pipeline ({} retries)",
+        backend.connection().retry_count()
+    );
+    // Exactly-once side effects: every table exists with its exact rows,
+    // and a second create of any of them still conflicts.
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let name = format!("c{t}_{i}");
+            let rows = (t * per_thread + i + 1) as u64;
+            assert_eq!(
+                backend.row_count(&name).unwrap(),
+                rows as usize,
+                "{name} must hold its exact rows"
+            );
+        }
+    }
+    assert!(
+        backend
+            .create_table(
+                "c0_0",
+                Table::from_columns(vec![("x", Column::int(vec![]))])
+            )
+            .is_err(),
+        "a genuinely new CREATE of an existing table must conflict"
+    );
+    // No poisoned survivors: the shared connection keeps serving.
+    let t = backend.query("SELECT SUM(x) AS s FROM c0_0").unwrap();
+    assert_eq!(t.scalar_f64("s").unwrap(), 0.0);
+}
+
+/// The headline chaos run with the completion order scrambled too:
+/// connection drops *and* reply jitter on every shard process, so drops
+/// catch pipelined requests at random depths. Training must still
+/// reproduce the healthy run's bits.
+#[test]
+fn chaos_drops_with_scrambled_replies_train_bit_identical() {
+    let reference = reference_model();
+    let servers: Vec<ShardServerProc> = (0..4)
+        .map(|i| {
+            ShardServerProc::spawn(&[
+                "--drop-every",
+                "7",
+                "--grace-ms",
+                "30000",
+                "--reply-jitter",
+                &format!("{}:400", 17 + i * 1031),
+            ])
+        })
+        .collect();
+    let addrs: Vec<_> = servers.iter().map(|s| s.addr).collect();
+    let model = train_remote(&addrs, retrying_opts());
+    assert_bit_identical(reference, &model, "chaos x4 (drop-every 7 + jitter)");
 }
 
 // ---------------------------------------------------------------------------

@@ -40,6 +40,36 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`]. The API is `std`-style
+/// (`wait` consumes and returns the guard) because the shim's guards
+/// *are* std guards; poisoned guards are recovered transparently like
+/// everywhere else in the shim.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// A new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release the guard and block until notified; relocks
+    /// before returning. Spurious wakeups are possible — callers loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[derive(Debug, Default)]
 pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
 
